@@ -1,0 +1,243 @@
+//! The R* topological split (Beckmann et al. 1990, §4.2) and the
+//! forced-reinsert entry selection (§4.3).
+
+use acx_geom::Scalar;
+
+use super::node::{area, center_distance_sq, margin, overlap, union_into};
+
+
+/// Outcome of [`rstar_split`]: entry indices for the two groups.
+pub(crate) struct SplitPlan {
+    pub group1: Vec<usize>,
+    pub group2: Vec<usize>,
+}
+
+/// Chooses the R* split of `count` entries with flat MBBs `mbbs`:
+///
+/// 1. **ChooseSplitAxis** — for every axis, sort entries by lower then by
+///    upper bound and sum the margins of all `(k, count−k)` distributions
+///    with `m ≤ k ≤ count−m`; pick the axis with the least total margin.
+/// 2. **ChooseSplitIndex** — on that axis, pick the distribution with the
+///    least overlap between the two group MBBs, ties broken by least
+///    combined area.
+pub(crate) fn rstar_split(mbbs: &[Scalar], count: usize, dims: usize, m: usize) -> SplitPlan {
+    debug_assert!(count >= 2 * m, "cannot split {count} entries with m={m}");
+    let width = 2 * dims;
+    let entry = |k: usize| &mbbs[k * width..(k + 1) * width];
+
+    // Pre-sorted index arrays per axis (by lower and by upper bound).
+    let mut best_axis = 0usize;
+    let mut best_axis_margin = f64::INFINITY;
+    let mut axis_sorts: Vec<(Vec<usize>, Vec<usize>)> = Vec::with_capacity(dims);
+    for d in 0..dims {
+        let mut by_lo: Vec<usize> = (0..count).collect();
+        by_lo.sort_by(|&a, &b| {
+            entry(a)[2 * d]
+                .partial_cmp(&entry(b)[2 * d])
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        let mut by_hi: Vec<usize> = (0..count).collect();
+        by_hi.sort_by(|&a, &b| {
+            entry(a)[2 * d + 1]
+                .partial_cmp(&entry(b)[2 * d + 1])
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        let mut total_margin = 0.0;
+        for order in [&by_lo, &by_hi] {
+            let (prefix, suffix) = prefix_suffix_mbbs(mbbs, order, width);
+            for k in m..=count - m {
+                total_margin += margin(&prefix[(k - 1) * width..k * width])
+                    + margin(&suffix[k * width..(k + 1) * width]);
+            }
+        }
+        if total_margin < best_axis_margin {
+            best_axis_margin = total_margin;
+            best_axis = d;
+        }
+        axis_sorts.push((by_lo, by_hi));
+    }
+
+    let (by_lo, by_hi) = &axis_sorts[best_axis];
+    let mut best: Option<(f64, f64, &Vec<usize>, usize)> = None; // (overlap, area, order, k)
+    for order in [by_lo, by_hi] {
+        let (prefix, suffix) = prefix_suffix_mbbs(mbbs, order, width);
+        for k in m..=count - m {
+            let bb1 = &prefix[(k - 1) * width..k * width];
+            let bb2 = &suffix[k * width..(k + 1) * width];
+            let ov = overlap(bb1, bb2);
+            let ar = area(bb1) + area(bb2);
+            let better = match &best {
+                None => true,
+                Some((bov, bar, _, _)) => ov < *bov || (ov == *bov && ar < *bar),
+            };
+            if better {
+                best = Some((ov, ar, order, k));
+            }
+        }
+    }
+    let (_, _, order, k) = best.expect("at least one distribution exists");
+    SplitPlan {
+        group1: order[..k].to_vec(),
+        group2: order[k..].to_vec(),
+    }
+}
+
+/// For a given entry order, computes running MBBs of every prefix and
+/// every suffix. `prefix[k]` covers `order[0..=k]`, `suffix[k]` covers
+/// `order[k..]`.
+fn prefix_suffix_mbbs(
+    mbbs: &[Scalar],
+    order: &[usize],
+    width: usize,
+) -> (Vec<Scalar>, Vec<Scalar>) {
+    let count = order.len();
+    let entry = |k: usize| &mbbs[order[k] * width..(order[k] + 1) * width];
+    let mut prefix = vec![0.0; count * width];
+    let mut suffix = vec![0.0; count * width];
+    prefix[..width].copy_from_slice(entry(0));
+    for k in 1..count {
+        let (done, cur) = prefix.split_at_mut(k * width);
+        cur[..width].copy_from_slice(&done[(k - 1) * width..]);
+        union_into(&mut cur[..width], entry(k));
+    }
+    suffix[(count - 1) * width..].copy_from_slice(entry(count - 1));
+    for k in (0..count - 1).rev() {
+        let (cur, done) = suffix.split_at_mut((k + 1) * width);
+        let start = k * width;
+        cur[start..].copy_from_slice(&done[..width]);
+        let mut tmp = cur[start..].to_vec();
+        union_into(&mut tmp, entry(k));
+        cur[start..].copy_from_slice(&tmp);
+    }
+    (prefix, suffix)
+}
+
+/// Forced-reinsert selection (R* §4.3): returns the indices of the
+/// `p` entries whose centers lie furthest from the node MBB center,
+/// ordered **closest first** for re-insertion ("close reinsert").
+pub(crate) fn reinsert_selection(
+    mbbs: &[Scalar],
+    count: usize,
+    dims: usize,
+    p: usize,
+) -> Vec<usize> {
+    let width = 2 * dims;
+    let entry = |k: usize| &mbbs[k * width..(k + 1) * width];
+    let mut node_mbb = entry(0).to_vec();
+    for k in 1..count {
+        union_into(&mut node_mbb, entry(k));
+    }
+    let mut by_distance: Vec<(usize, f64)> = (0..count)
+        .map(|k| (k, center_distance_sq(entry(k), &node_mbb)))
+        .collect();
+    // Furthest first.
+    by_distance.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+    let mut chosen: Vec<usize> = by_distance[..p].iter().map(|&(k, _)| k).collect();
+    chosen.reverse(); // closest of the removed set is re-inserted first
+    chosen
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// 2-d entries forming two well-separated clusters; the split must
+    /// recover them.
+    #[test]
+    fn split_separates_obvious_clusters() {
+        let mut mbbs = Vec::new();
+        // Four entries near the origin.
+        for k in 0..4 {
+            let b = 0.02 * k as f32;
+            mbbs.extend_from_slice(&[b, b + 0.01, b, b + 0.01]);
+        }
+        // Four entries near (0.9, 0.9).
+        for k in 0..4 {
+            let b = 0.9 + 0.02 * k as f32;
+            mbbs.extend_from_slice(&[b, b + 0.01, b, b + 0.01]);
+        }
+        let plan = rstar_split(&mbbs, 8, 2, 2);
+        let mut g1 = plan.group1.clone();
+        let mut g2 = plan.group2.clone();
+        g1.sort_unstable();
+        g2.sort_unstable();
+        let (low, high) = if g1[0] == 0 { (g1, g2) } else { (g2, g1) };
+        assert_eq!(low, vec![0, 1, 2, 3]);
+        assert_eq!(high, vec![4, 5, 6, 7]);
+    }
+
+    #[test]
+    fn split_respects_minimum_fill() {
+        // Entries spread along one axis: any valid split keeps ≥ m per side.
+        let mut mbbs = Vec::new();
+        for k in 0..10 {
+            let b = 0.1 * k as f32;
+            mbbs.extend_from_slice(&[b, b + 0.05, 0.0, 1.0]);
+        }
+        let m = 4;
+        let plan = rstar_split(&mbbs, 10, 2, m);
+        assert!(plan.group1.len() >= m && plan.group2.len() >= m);
+        assert_eq!(plan.group1.len() + plan.group2.len(), 10);
+        // Groups must partition the indices.
+        let mut all: Vec<usize> = plan.group1.iter().chain(&plan.group2).copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn split_minimizes_overlap_on_chosen_axis() {
+        // Two groups overlapping on axis 0 but clean on axis 1:
+        // the split should use axis 1 and produce zero overlap.
+        let mut mbbs = Vec::new();
+        for k in 0..3 {
+            let b = 0.2 * k as f32;
+            mbbs.extend_from_slice(&[b, b + 0.5, 0.0, 0.1]);
+        }
+        for k in 0..3 {
+            let b = 0.2 * k as f32;
+            mbbs.extend_from_slice(&[b, b + 0.5, 0.8, 0.9]);
+        }
+        let plan = rstar_split(&mbbs, 6, 2, 2);
+        let width = 4;
+        let group_mbb = |idx: &[usize]| {
+            let mut bb = mbbs[idx[0] * width..idx[0] * width + width].to_vec();
+            for &k in &idx[1..] {
+                union_into(&mut bb, &mbbs[k * width..(k + 1) * width]);
+            }
+            bb
+        };
+        let ov = overlap(&group_mbb(&plan.group1), &group_mbb(&plan.group2));
+        assert_eq!(ov, 0.0);
+    }
+
+    #[test]
+    fn reinsert_picks_furthest_entries() {
+        let mut mbbs = Vec::new();
+        // Center cluster.
+        for _ in 0..6 {
+            mbbs.extend_from_slice(&[0.45, 0.55, 0.45, 0.55]);
+        }
+        // Two outliers.
+        mbbs.extend_from_slice(&[0.0, 0.02, 0.0, 0.02]);
+        mbbs.extend_from_slice(&[0.98, 1.0, 0.98, 1.0]);
+        let chosen = reinsert_selection(&mbbs, 8, 2, 2);
+        let mut sorted = chosen.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![6, 7], "outliers must be selected");
+    }
+
+    #[test]
+    fn prefix_suffix_consistency() {
+        let mbbs = vec![
+            0.0, 0.1, 0.0, 0.1, //
+            0.2, 0.3, 0.2, 0.3, //
+            0.4, 0.5, 0.4, 0.5,
+        ];
+        let order = vec![0, 1, 2];
+        let (prefix, suffix) = prefix_suffix_mbbs(&mbbs, &order, 4);
+        assert_eq!(&prefix[0..4], &[0.0, 0.1, 0.0, 0.1]);
+        assert_eq!(&prefix[8..12], &[0.0, 0.5, 0.0, 0.5]);
+        assert_eq!(&suffix[0..4], &[0.0, 0.5, 0.0, 0.5]);
+        assert_eq!(&suffix[8..12], &[0.4, 0.5, 0.4, 0.5]);
+    }
+}

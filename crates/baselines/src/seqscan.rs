@@ -1,0 +1,353 @@
+use std::time::Instant;
+
+use acx_geom::{object_size_bytes, HyperRect, ObjectId, Scalar, SpatialQuery, OBJECT_ID_BYTES};
+use acx_storage::{AccessStats, CostModel, QueryMetrics, QueryResult, StorageScenario};
+
+/// Sequential Scan baseline (paper §7.1).
+///
+/// The whole database is one sequential segment; every query verifies
+/// every object. Quantitatively expensive but with perfect locality: on
+/// disk it pays a single seek plus a sustained sequential transfer, which
+/// makes it the reference point in high-dimensional spaces.
+///
+/// The paper's footnote 4 is reproduced faithfully: an object is rejected
+/// as soon as one dimension fails the selection, so the *verified* byte
+/// count (and the in-memory execution time) grows as query selectivity
+/// decreases.
+pub struct SeqScan {
+    dims: usize,
+    ids: Vec<u32>,
+    coords: Vec<Scalar>,
+    model: CostModel,
+}
+
+impl SeqScan {
+    /// Creates an empty scan baseline priced for the given scenario on
+    /// the paper's reference platform.
+    pub fn new(dims: usize, scenario: StorageScenario) -> Self {
+        assert!(dims > 0, "dims must be positive");
+        Self {
+            dims,
+            ids: Vec::new(),
+            coords: Vec::new(),
+            model: CostModel::new(Default::default(), scenario, object_size_bytes(dims)),
+        }
+    }
+
+    /// Creates a scan baseline with an explicit cost model.
+    pub fn with_model(dims: usize, model: CostModel) -> Self {
+        assert!(dims > 0, "dims must be positive");
+        Self {
+            dims,
+            ids: Vec::new(),
+            coords: Vec::new(),
+            model,
+        }
+    }
+
+    /// Number of stored objects.
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// Whether the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    /// Dimensionality of stored objects.
+    pub fn dims(&self) -> usize {
+        self.dims
+    }
+
+    /// The cost model pricing this baseline.
+    pub fn cost_model(&self) -> &CostModel {
+        &self.model
+    }
+
+    /// Appends an object.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rectangle dimensionality differs from the store's.
+    pub fn insert(&mut self, id: ObjectId, rect: &HyperRect) {
+        assert_eq!(rect.dims(), self.dims, "dimensionality mismatch");
+        self.ids.push(id.raw());
+        rect.write_flat(&mut self.coords);
+    }
+
+    /// Removes an object by id. Returns whether it was present.
+    pub fn remove(&mut self, id: ObjectId) -> bool {
+        let Some(idx) = self.ids.iter().position(|&o| o == id.raw()) else {
+            return false;
+        };
+        let width = 2 * self.dims;
+        self.ids.swap_remove(idx);
+        let last = self.ids.len();
+        if idx < last {
+            let (from, to) = (last * width, idx * width);
+            for k in 0..width {
+                self.coords[to + k] = self.coords[from + k];
+            }
+        }
+        self.coords.truncate(last * width);
+        true
+    }
+
+    /// Executes a spatial selection by scanning the entire database.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the query dimensionality differs from the store's.
+    pub fn execute(&self, query: &SpatialQuery) -> QueryResult {
+        assert_eq!(query.dims(), self.dims, "dimensionality mismatch");
+        let started = Instant::now();
+        let width = 2 * self.dims;
+        let mut stats = AccessStats {
+            signature_checks: 0,
+            clusters_explored: 1,
+            seeks: 1,
+            transfer_bytes: (self.ids.len() * self.model.object_bytes()) as u64,
+            ..AccessStats::new()
+        };
+        let mut matches = Vec::new();
+        for (idx, flat) in self.coords.chunks_exact(width).enumerate() {
+            let outcome = query.matches_flat(flat);
+            stats.objects_verified += 1;
+            stats.verified_bytes += OBJECT_ID_BYTES as u64 + 8 * outcome.dims_checked as u64;
+            if outcome.matched {
+                matches.push(ObjectId(self.ids[idx]));
+            }
+        }
+        let priced_ms = self.model.price(&stats);
+        QueryResult {
+            matches,
+            metrics: QueryMetrics {
+                stats,
+                priced_ms,
+                wall: started.elapsed(),
+            },
+        }
+    }
+
+    /// Executes a spatial selection scanning the database with `threads`
+    /// worker threads over disjoint chunks.
+    ///
+    /// A modern-hardware extension (the paper's 2004 platform was
+    /// single-core): results and access counters are identical to
+    /// [`SeqScan::execute`]; the priced cost model still reflects the
+    /// single-stream device of the paper, so only wall-clock improves.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads == 0` or on query dimensionality mismatch.
+    pub fn execute_parallel(&self, query: &SpatialQuery, threads: usize) -> QueryResult {
+        assert!(threads > 0, "need at least one thread");
+        assert_eq!(query.dims(), self.dims, "dimensionality mismatch");
+        if threads == 1 || self.ids.len() < threads * 64 {
+            return self.execute(query);
+        }
+        let started = Instant::now();
+        let width = 2 * self.dims;
+        let n = self.ids.len();
+        let chunk = n.div_ceil(threads);
+        let results: Vec<(Vec<ObjectId>, u64)> = std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(threads);
+            for t in 0..threads {
+                let lo = t * chunk;
+                let hi = ((t + 1) * chunk).min(n);
+                if lo >= hi {
+                    break;
+                }
+                let ids = &self.ids[lo..hi];
+                let coords = &self.coords[lo * width..hi * width];
+                handles.push(scope.spawn(move || {
+                    let mut matches = Vec::new();
+                    let mut verified_bytes = 0u64;
+                    for (idx, flat) in coords.chunks_exact(width).enumerate() {
+                        let outcome = query.matches_flat(flat);
+                        verified_bytes +=
+                            OBJECT_ID_BYTES as u64 + 8 * outcome.dims_checked as u64;
+                        if outcome.matched {
+                            matches.push(ObjectId(ids[idx]));
+                        }
+                    }
+                    (matches, verified_bytes)
+                }));
+            }
+            handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+        });
+        let mut stats = AccessStats {
+            signature_checks: 0,
+            clusters_explored: 1,
+            seeks: 1,
+            objects_verified: n as u64,
+            transfer_bytes: (n * self.model.object_bytes()) as u64,
+            ..AccessStats::new()
+        };
+        let mut matches = Vec::new();
+        for (m, vb) in results {
+            stats.verified_bytes += vb;
+            matches.extend(m);
+        }
+        let priced_ms = self.model.price(&stats);
+        QueryResult {
+            matches,
+            metrics: QueryMetrics {
+                stats,
+                priced_ms,
+                wall: started.elapsed(),
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rect(lo: &[Scalar], hi: &[Scalar]) -> HyperRect {
+        HyperRect::from_bounds(lo, hi).unwrap()
+    }
+
+    fn populated() -> SeqScan {
+        let mut s = SeqScan::new(2, StorageScenario::Memory);
+        s.insert(ObjectId(1), &rect(&[0.1, 0.1], &[0.3, 0.3]));
+        s.insert(ObjectId(2), &rect(&[0.6, 0.6], &[0.8, 0.8]));
+        s.insert(ObjectId(3), &rect(&[0.0, 0.0], &[1.0, 1.0]));
+        s
+    }
+
+    #[test]
+    fn scan_finds_matches_for_all_relations() {
+        let s = populated();
+        let inter = s.execute(&SpatialQuery::intersection(rect(&[0.2, 0.2], &[0.25, 0.25])));
+        let mut got = inter.matches;
+        got.sort_unstable();
+        assert_eq!(got, vec![ObjectId(1), ObjectId(3)]);
+
+        let cont = s.execute(&SpatialQuery::containment(rect(&[0.5, 0.5], &[0.9, 0.9])));
+        assert_eq!(cont.matches, vec![ObjectId(2)]);
+
+        let encl = s.execute(&SpatialQuery::enclosure(rect(&[0.05, 0.05], &[0.9, 0.9])));
+        assert_eq!(encl.matches, vec![ObjectId(3)]);
+
+        let point = s.execute(&SpatialQuery::point_enclosing(vec![0.7, 0.7]));
+        let mut got = point.matches;
+        got.sort_unstable();
+        assert_eq!(got, vec![ObjectId(2), ObjectId(3)]);
+    }
+
+    #[test]
+    fn every_object_is_verified() {
+        let s = populated();
+        let r = s.execute(&SpatialQuery::point_enclosing(vec![0.0, 0.0]));
+        assert_eq!(r.metrics.stats.objects_verified, 3);
+        assert_eq!(r.metrics.stats.clusters_explored, 1);
+        assert_eq!(r.metrics.stats.seeks, 1);
+        assert_eq!(r.metrics.stats.transfer_bytes, 3 * 20);
+    }
+
+    #[test]
+    fn early_exit_reduces_verified_bytes() {
+        let mut s = SeqScan::new(4, StorageScenario::Memory);
+        // Object failing in dimension 1 for the point below.
+        s.insert(ObjectId(1), &rect(&[0.8, 0.0, 0.0, 0.0], &[0.9, 1.0, 1.0, 1.0]));
+        // Object matching in all 4 dimensions.
+        s.insert(ObjectId(2), &rect(&[0.0; 4], &[1.0; 4]));
+        let r = s.execute(&SpatialQuery::point_enclosing(vec![0.1; 4]));
+        // 4 (id) + 8·1 for the early reject, 4 + 8·4 for the full check.
+        assert_eq!(r.metrics.stats.verified_bytes, (4 + 8) + (4 + 32));
+    }
+
+    #[test]
+    fn remove_swaps_and_truncates() {
+        let mut s = populated();
+        assert!(s.remove(ObjectId(1)));
+        assert!(!s.remove(ObjectId(1)));
+        assert_eq!(s.len(), 2);
+        let r = s.execute(&SpatialQuery::point_enclosing(vec![0.2, 0.2]));
+        assert_eq!(r.matches, vec![ObjectId(3)]);
+    }
+
+    #[test]
+    fn disk_pricing_includes_full_transfer() {
+        let mut s = SeqScan::new(16, StorageScenario::Disk);
+        for i in 0..1000 {
+            s.insert(ObjectId(i), &HyperRect::unit(16));
+        }
+        let r = s.execute(&SpatialQuery::point_enclosing(vec![0.5; 16]));
+        // 1000 objects × 132 B at ≈ 4.77e-5 ms/B plus one 15 ms seek.
+        assert!(r.metrics.priced_ms > 15.0 + 132_000.0 * 4.5e-5);
+        assert_eq!(r.metrics.stats.transfer_bytes, 132_000);
+    }
+
+    #[test]
+    fn empty_scan_returns_nothing() {
+        let s = SeqScan::new(3, StorageScenario::Memory);
+        assert!(s.is_empty());
+        let r = s.execute(&SpatialQuery::point_enclosing(vec![0.5; 3]));
+        assert!(r.matches.is_empty());
+        assert_eq!(r.metrics.stats.objects_verified, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimensionality mismatch")]
+    fn insert_rejects_wrong_dims() {
+        let mut s = SeqScan::new(3, StorageScenario::Memory);
+        s.insert(ObjectId(1), &HyperRect::unit(2));
+    }
+
+    #[test]
+    fn parallel_scan_matches_serial() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(41);
+        let dims = 4;
+        let mut s = SeqScan::new(dims, StorageScenario::Memory);
+        for i in 0..5000u32 {
+            let mut lo = Vec::with_capacity(dims);
+            let mut hi = Vec::with_capacity(dims);
+            for _ in 0..dims {
+                let a: f32 = rng.gen_range(0.0..=1.0);
+                let b: f32 = rng.gen_range(0.0..=1.0);
+                lo.push(a.min(b));
+                hi.push(a.max(b));
+            }
+            s.insert(ObjectId(i), &rect(&lo, &hi));
+        }
+        for threads in [1usize, 2, 4, 7] {
+            let q = SpatialQuery::intersection(rect(&[0.4; 4], &[0.6; 4]));
+            let serial = s.execute(&q);
+            let parallel = s.execute_parallel(&q, threads);
+            let mut a = serial.matches.clone();
+            let mut b = parallel.matches.clone();
+            a.sort_unstable();
+            b.sort_unstable();
+            assert_eq!(a, b, "threads={threads}");
+            assert_eq!(
+                serial.metrics.stats.verified_bytes,
+                parallel.metrics.stats.verified_bytes
+            );
+            assert_eq!(
+                serial.metrics.stats.objects_verified,
+                parallel.metrics.stats.objects_verified
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_scan_on_tiny_input_falls_back_to_serial() {
+        let s = populated();
+        let q = SpatialQuery::point_enclosing(vec![0.2, 0.2]);
+        let r = s.execute_parallel(&q, 8);
+        assert_eq!(r.metrics.stats.objects_verified, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one thread")]
+    fn parallel_scan_rejects_zero_threads() {
+        let s = populated();
+        s.execute_parallel(&SpatialQuery::point_enclosing(vec![0.5, 0.5]), 0);
+    }
+}

@@ -1,0 +1,62 @@
+//! Micro-benchmarks of the hot primitive operations: signature checks
+//! (the cost model's `A`), object verification (`C`), candidate
+//! generation, insertions, and the benefit functions.
+
+use acx_core::cost::{materialization_benefit, merging_benefit};
+use acx_core::{candidates::generate_candidates, AdaptiveClusterIndex, IndexConfig, Signature};
+use acx_geom::{object_size_bytes, HyperRect, ObjectId, SpatialQuery};
+use acx_storage::CostModel;
+use acx_workloads::{UniformWorkload, Workload, WorkloadConfig};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_micro(c: &mut Criterion) {
+    let dims = 16;
+    let workload = UniformWorkload::new(WorkloadConfig::new(dims, 1024, 3));
+    let mut rng = WorkloadConfig::new(dims, 1024, 3).rng();
+    let objects: Vec<HyperRect> = (0..1024).map(|_| workload.sample_object(&mut rng)).collect();
+    let flats: Vec<Vec<f32>> = objects.iter().map(|o| o.to_flat()).collect();
+    let signature = Signature::root(dims).specialize(3, 4, 1, 2);
+    let query = SpatialQuery::intersection(workload.sample_window(&mut rng, 0.3));
+
+    let mut k = 0usize;
+    c.bench_function("signature_accepts_flat", |b| {
+        b.iter(|| {
+            k = (k + 1) % flats.len();
+            signature.accepts_flat(&flats[k])
+        })
+    });
+    c.bench_function("signature_matches_query", |b| {
+        b.iter(|| signature.matches_query(&query))
+    });
+    c.bench_function("object_verification_flat", |b| {
+        b.iter(|| {
+            k = (k + 1) % flats.len();
+            query.matches_flat(&flats[k]).matched
+        })
+    });
+    c.bench_function("generate_candidates_16d", |b| {
+        b.iter(|| generate_candidates(&signature, 4).len())
+    });
+
+    let model = CostModel::memory(object_size_bytes(dims));
+    let (a, bb, cc) = (model.a(), model.b(), model.c());
+    c.bench_function("benefit_functions", |b| {
+        b.iter(|| {
+            materialization_benefit(a, bb, cc, 0.8, 0.2, 500)
+                + merging_benefit(a, bb, cc, 0.3, 0.9, 200)
+        })
+    });
+
+    c.bench_function("ac_insert", |b| {
+        let mut index = AdaptiveClusterIndex::new(IndexConfig::memory(dims)).unwrap();
+        let mut next = 0u32;
+        b.iter(|| {
+            let rect = objects[next as usize % objects.len()].clone();
+            index.insert(ObjectId(next), rect).unwrap();
+            next += 1;
+        })
+    });
+}
+
+criterion_group!(benches, bench_micro);
+criterion_main!(benches);

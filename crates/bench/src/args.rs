@@ -1,0 +1,47 @@
+//! Minimal command-line parsing for the experiment binaries (no external
+//! dependency needed for `--key value` flags).
+
+use std::collections::HashMap;
+
+/// Parsed `--key value` flags.
+pub struct Flags {
+    values: HashMap<String, String>,
+    present: Vec<String>,
+}
+
+impl Flags {
+    /// Parses the process arguments. Flags are `--name value` pairs;
+    /// bare `--name` toggles are recorded as present.
+    pub fn from_env() -> Self {
+        let argv: Vec<String> = std::env::args().skip(1).collect();
+        let mut values = HashMap::new();
+        let mut present = Vec::new();
+        let mut i = 0;
+        while i < argv.len() {
+            let arg = &argv[i];
+            if let Some(name) = arg.strip_prefix("--") {
+                if i + 1 < argv.len() && !argv[i + 1].starts_with("--") {
+                    values.insert(name.to_string(), argv[i + 1].clone());
+                    i += 2;
+                    continue;
+                }
+                present.push(name.to_string());
+            }
+            i += 1;
+        }
+        Self { values, present }
+    }
+
+    /// Typed lookup with default.
+    pub fn get<T: std::str::FromStr>(&self, name: &str, default: T) -> T {
+        self.values
+            .get(name)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
+    }
+
+    /// Whether a bare flag was passed.
+    pub fn has(&self, name: &str) -> bool {
+        self.present.iter().any(|p| p == name) || self.values.contains_key(name)
+    }
+}

@@ -1,0 +1,16 @@
+//! Experiment harness regenerating every table and figure of the paper's
+//! evaluation (§7). See DESIGN.md §4 for the experiment index and
+//! EXPERIMENTS.md for paper-vs-measured results.
+//!
+//! The harness builds the three competitors — Adaptive Clustering (AC),
+//! R*-tree (RS), Sequential Scan (SS) — over identical object sets, runs
+//! identical query streams, and reports the paper's three indicators:
+//! average query execution time (wall-clock and cost-model priced),
+//! number of accessed clusters/nodes, and fraction of verified objects.
+
+pub mod args;
+pub mod runner;
+
+pub use runner::{
+    build_ac, build_rs, build_ss, run_ac, run_baseline, ExperimentScale, MethodReport,
+};

@@ -1,0 +1,214 @@
+//! Shared experiment machinery: building the three access methods over
+//! one object set and measuring them on one query stream.
+
+use acx_baselines::{RStarConfig, RStarTree, SeqScan};
+use acx_core::{AdaptiveClusterIndex, IndexConfig};
+use acx_geom::{HyperRect, ObjectId, SpatialQuery};
+use acx_storage::{AccessStats, CostModel, StorageScenario};
+
+/// Scale parameters of one experiment run.
+#[derive(Debug, Clone, Copy)]
+pub struct ExperimentScale {
+    /// Database size.
+    pub objects: usize,
+    /// Queries used to reach the stable clustering state (AC only).
+    pub warmup_queries: usize,
+    /// Queries measured and averaged.
+    pub measured_queries: usize,
+    /// Workload / query seed.
+    pub seed: u64,
+}
+
+impl ExperimentScale {
+    /// Default reduced scale: results keep the paper's *shape* while
+    /// running on a laptop in minutes (see DESIGN.md §3).
+    pub fn default_reduced(objects: usize) -> Self {
+        Self {
+            objects,
+            warmup_queries: 600,
+            measured_queries: 200,
+            seed: 0x5EED,
+        }
+    }
+}
+
+/// Averaged per-query measurements of one access method.
+#[derive(Debug, Clone)]
+pub struct MethodReport {
+    /// Method label ("AC", "RS", "SS").
+    pub method: &'static str,
+    /// Average wall-clock time per query (ms).
+    pub wall_ms: f64,
+    /// Average cost-model time per query in the memory scenario (ms).
+    pub priced_memory_ms: f64,
+    /// Average cost-model time per query in the disk scenario (ms).
+    pub priced_disk_ms: f64,
+    /// Total clusters (AC) or nodes (RS); 1 for SS.
+    pub total_units: usize,
+    /// Average explored clusters/nodes per query.
+    pub explored_units: f64,
+    /// Average fraction of clusters/nodes explored per query.
+    pub explored_fraction: f64,
+    /// Average fraction of database objects verified per query.
+    pub verified_fraction: f64,
+    /// Average result cardinality (for selectivity validation).
+    pub avg_matches: f64,
+}
+
+/// Builds an adaptive clustering index over the objects.
+pub fn build_ac(
+    dims: usize,
+    scenario: StorageScenario,
+    objects: &[HyperRect],
+) -> AdaptiveClusterIndex {
+    let config = match scenario {
+        StorageScenario::Memory => IndexConfig::memory(dims),
+        StorageScenario::Disk => IndexConfig::disk(dims),
+    };
+    let mut index = AdaptiveClusterIndex::new(config).expect("valid config");
+    for (i, rect) in objects.iter().enumerate() {
+        index
+            .insert(ObjectId(i as u32), rect.clone())
+            .expect("insertion succeeds");
+    }
+    index
+}
+
+/// Builds an R*-tree over the objects (structure is scenario-independent).
+pub fn build_rs(dims: usize, objects: &[HyperRect]) -> RStarTree {
+    let mut tree = RStarTree::new(RStarConfig::memory(dims));
+    for (i, rect) in objects.iter().enumerate() {
+        tree.insert(ObjectId(i as u32), rect);
+    }
+    tree
+}
+
+/// Builds the sequential-scan baseline.
+pub fn build_ss(dims: usize, objects: &[HyperRect]) -> SeqScan {
+    let mut scan = SeqScan::new(dims, StorageScenario::Memory);
+    for (i, rect) in objects.iter().enumerate() {
+        scan.insert(ObjectId(i as u32), rect);
+    }
+    scan
+}
+
+#[allow(clippy::too_many_arguments)]
+fn summarize(
+    method: &'static str,
+    total_units: usize,
+    n_objects: usize,
+    queries: usize,
+    agg: AccessStats,
+    wall_ns: u128,
+    matches: u64,
+    mem_model: &CostModel,
+    disk_model: &CostModel,
+) -> MethodReport {
+    let q = queries as f64;
+    let avg = agg.averaged(queries as u64);
+    MethodReport {
+        method,
+        wall_ms: wall_ns as f64 / 1e6 / q,
+        priced_memory_ms: mem_model.price(&agg) / q,
+        priced_disk_ms: disk_model.price(&agg) / q,
+        total_units,
+        explored_units: avg.clusters_explored,
+        explored_fraction: avg.clusters_explored / total_units.max(1) as f64,
+        verified_fraction: avg.objects_verified / n_objects.max(1) as f64,
+        avg_matches: matches as f64 / q,
+    }
+}
+
+/// Warm up an AC index to its stable clustering state, then measure it on
+/// the query stream.
+///
+/// Warm-up replays the stream cyclically (the paper launches "a number of
+/// queries … to trigger the object organization in clusters", reorganizing
+/// every 100 queries and stabilizing within 10 steps).
+pub fn run_ac(
+    index: &mut AdaptiveClusterIndex,
+    warmup: &[SpatialQuery],
+    measured: &[SpatialQuery],
+    n_objects: usize,
+) -> MethodReport {
+    for q in warmup {
+        index.execute(q);
+    }
+    let mem_model = IndexConfig::memory(index.dims()).cost_model();
+    let disk_model = IndexConfig::disk(index.dims()).cost_model();
+    let mut agg = AccessStats::new();
+    let mut wall_ns = 0u128;
+    let mut matches = 0u64;
+    for q in measured {
+        let r = index.execute(q);
+        agg.merge(&r.metrics.stats);
+        wall_ns += r.metrics.wall.as_nanos();
+        matches += r.matches.len() as u64;
+    }
+    summarize(
+        "AC",
+        index.cluster_count(),
+        n_objects,
+        measured.len(),
+        agg,
+        wall_ns,
+        matches,
+        &mem_model,
+        &disk_model,
+    )
+}
+
+/// Measures a baseline (RS or SS) on the query stream.
+pub fn run_baseline<F>(
+    method: &'static str,
+    total_units: usize,
+    n_objects: usize,
+    dims: usize,
+    measured: &[SpatialQuery],
+    mut execute: F,
+) -> MethodReport
+where
+    F: FnMut(&SpatialQuery) -> acx_storage::QueryResult,
+{
+    let mem_model = IndexConfig::memory(dims).cost_model();
+    let disk_model = IndexConfig::disk(dims).cost_model();
+    let mut agg = AccessStats::new();
+    let mut wall_ns = 0u128;
+    let mut matches = 0u64;
+    for q in measured {
+        let r = execute(q);
+        agg.merge(&r.metrics.stats);
+        wall_ns += r.metrics.wall.as_nanos();
+        matches += r.matches.len() as u64;
+    }
+    summarize(
+        method,
+        total_units,
+        n_objects,
+        measured.len(),
+        agg,
+        wall_ns,
+        matches,
+        &mem_model,
+        &disk_model,
+    )
+}
+
+/// Renders one paper-style table row.
+pub fn row(label: &str, reports: &[&MethodReport]) -> String {
+    use std::fmt::Write as _;
+    let mut s = format!("{label:>10} |");
+    for r in reports {
+        let _ = write!(
+            s,
+            " {:>3} mem={:>9.4}ms disk={:>10.2}ms units={:>6} expl={:>5.1}% objs={:>5.1}% |",
+            r.method,
+            r.priced_memory_ms,
+            r.priced_disk_ms,
+            r.total_units,
+            r.explored_fraction * 100.0,
+            r.verified_fraction * 100.0,
+        );
+    }
+    s
+}

@@ -1,0 +1,201 @@
+//! Virtual candidate subclusters (paper §3.2, §4.2).
+//!
+//! Every materialized cluster carries a set of *candidate* subclusters —
+//! potential specializations of its signature on a single dimension. Only
+//! their performance indicators (`n` objects, `q` matching queries) are
+//! maintained; a candidate becomes a real cluster only when the
+//! materialization benefit function selects it.
+
+use acx_geom::{Scalar, SpatialQuery};
+
+use crate::signature::{SigInterval, Signature};
+
+/// A candidate subcluster: specialization `(i, j)` of dimension `dim`
+/// with cached subintervals, plus its two performance indicators.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Candidate {
+    /// Specialized dimension.
+    pub dim: u16,
+    /// Index of the start subinterval (`0..f`).
+    pub i: u8,
+    /// Index of the end subinterval (`0..f`).
+    pub j: u8,
+    /// Cached start variation subinterval.
+    pub start: SigInterval,
+    /// Cached end variation subinterval.
+    pub end: SigInterval,
+    /// Number of member objects of the parent qualifying for the candidate.
+    pub n: u32,
+    /// Number of queries matching the candidate signature since the last
+    /// statistics epoch.
+    pub q: u32,
+    /// Exponentially decayed query count from previous epochs (smooths the
+    /// access-probability estimate across reorganization periods).
+    pub q_eff: f64,
+}
+
+impl Candidate {
+    /// Whether an object *that already satisfies the parent signature*
+    /// also satisfies this candidate (only the specialized dimension needs
+    /// to be checked).
+    #[inline]
+    pub fn accepts_member(&self, flat: &[Scalar]) -> bool {
+        let d = self.dim as usize;
+        let a = flat[2 * d];
+        let b = flat[2 * d + 1];
+        self.start.contains(a) && self.end.contains(b)
+    }
+
+    /// Whether a query *that already matches the parent signature* also
+    /// matches this candidate (only the specialized dimension is checked).
+    #[inline]
+    pub fn matches_query(&self, query: &SpatialQuery) -> bool {
+        let d = self.dim as usize;
+        match query {
+            SpatialQuery::Intersection(w) => {
+                let q = w.interval(d);
+                self.start.lo() <= q.hi() && self.end.can_reach(q.lo())
+            }
+            SpatialQuery::Containment(w) => {
+                let q = w.interval(d);
+                self.start.can_reach(q.lo()) && self.end.lo() <= q.hi()
+            }
+            SpatialQuery::Enclosure(w) => {
+                let q = w.interval(d);
+                self.start.lo() <= q.lo() && self.end.can_reach(q.hi())
+            }
+            SpatialQuery::PointEnclosing(p) => {
+                let v = p[d];
+                self.start.lo() <= v && self.end.can_reach(v)
+            }
+        }
+    }
+
+    /// Materializes the candidate's full signature.
+    pub fn signature(&self, parent: &Signature, f: u8) -> Signature {
+        parent.specialize(self.dim as usize, f, self.i, self.j)
+    }
+}
+
+/// Generates the candidate set of a cluster signature: for each dimension,
+/// every feasible `(i, j)` combination of `f` start/end subintervals
+/// (paper §4.2). Candidate counters start at zero.
+pub fn generate_candidates(sig: &Signature, f: u8) -> Vec<Candidate> {
+    let mut out = Vec::with_capacity(sig.dims() * (f as usize * (f as usize + 1)) / 2);
+    for d in 0..sig.dims() {
+        let ds = sig.dim(d);
+        for i in 0..f {
+            for j in 0..f {
+                if !sig.combination_feasible(d, f, i, j) {
+                    continue;
+                }
+                out.push(Candidate {
+                    dim: d as u16,
+                    i,
+                    j,
+                    start: ds.start.subdivide(f, i),
+                    end: ds.end.subdivide(f, j),
+                    n: 0,
+                    q: 0,
+                    q_eff: 0.0,
+                });
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use acx_geom::HyperRect;
+
+    fn rect(lo: &[Scalar], hi: &[Scalar]) -> HyperRect {
+        HyperRect::from_bounds(lo, hi).unwrap()
+    }
+
+    #[test]
+    fn root_candidate_count_matches_paper() {
+        // Root: identical variation intervals in every dimension →
+        // f(f+1)/2 = 10 candidates per dimension with f = 4.
+        let sig = Signature::root(16);
+        let cands = generate_candidates(&sig, 4);
+        assert_eq!(cands.len(), 16 * 10);
+        // §6: between 10·Nd and 16·Nd candidates per cluster.
+        assert!(cands.len() >= 10 * 16 && cands.len() <= 16 * 16);
+    }
+
+    #[test]
+    fn specialized_cluster_candidate_count_in_paper_range() {
+        // After specializing d0 with distinct start/end variation
+        // intervals, d0 contributes up to 16 combinations.
+        let sig = Signature::root(4).specialize(0, 4, 0, 3);
+        let cands = generate_candidates(&sig, 4);
+        assert!(cands.len() > 4 * 10 && cands.len() <= 4 * 16, "{}", cands.len());
+    }
+
+    #[test]
+    fn accepts_member_checks_only_specialized_dimension() {
+        let sig = Signature::root(2);
+        let cands = generate_candidates(&sig, 4);
+        // Candidate: d0, starts in [0,0.25), ends in [0,0.25).
+        let c = cands
+            .iter()
+            .find(|c| c.dim == 0 && c.i == 0 && c.j == 0)
+            .unwrap();
+        assert!(c.accepts_member(&rect(&[0.1, 0.9], &[0.2, 1.0]).to_flat()));
+        assert!(!c.accepts_member(&rect(&[0.1, 0.9], &[0.3, 1.0]).to_flat()));
+    }
+
+    #[test]
+    fn candidate_signature_equals_specialization() {
+        let sig = Signature::root(3);
+        let cands = generate_candidates(&sig, 4);
+        for c in cands.iter().take(5) {
+            let expected = sig.specialize(c.dim as usize, 4, c.i, c.j);
+            assert_eq!(c.signature(&sig, 4), expected);
+        }
+    }
+
+    #[test]
+    fn matches_query_agrees_with_full_signature_matching() {
+        let sig = Signature::root(2);
+        let cands = generate_candidates(&sig, 4);
+        let queries = [
+            SpatialQuery::intersection(rect(&[0.1, 0.2], &[0.3, 0.6])),
+            SpatialQuery::containment(rect(&[0.0, 0.0], &[0.5, 0.5])),
+            SpatialQuery::enclosure(rect(&[0.4, 0.4], &[0.45, 0.45])),
+            SpatialQuery::point_enclosing(vec![0.3, 0.7]),
+        ];
+        for c in &cands {
+            let full = c.signature(&sig, 4);
+            for q in &queries {
+                assert_eq!(
+                    c.matches_query(q),
+                    full.matches_query(q),
+                    "candidate d{} ({},{}) vs query {q:?}",
+                    c.dim,
+                    c.i,
+                    c.j
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn division_factor_two_produces_three_per_dim() {
+        let sig = Signature::root(5);
+        // f = 2 on identical intervals → 2·3/2 = 3 combinations per dim.
+        assert_eq!(generate_candidates(&sig, 2).len(), 5 * 3);
+    }
+
+    #[test]
+    fn counters_start_at_zero() {
+        let sig = Signature::root(2);
+        for c in generate_candidates(&sig, 4) {
+            assert_eq!(c.n, 0);
+            assert_eq!(c.q, 0);
+            assert_eq!(c.q_eff, 0.0);
+        }
+    }
+}

@@ -1,0 +1,158 @@
+//! Benefit functions driving the clustering strategy (paper §5).
+//!
+//! Both functions derive from the per-cluster expected query time
+//! `T = A + p·(B + n·C)` (see [`acx_storage::CostModel`]):
+//!
+//! * **materialization**: `β(s, c) = (p_c − p_s)·n_s·C − p_s·B − A`
+//!   — positive when carving candidate `s` out of cluster `c` lowers the
+//!   expected time, i.e. when the candidate is explored sufficiently less
+//!   often than its parent (`p_s < p_c`) and holds enough objects.
+//! * **merging**: `μ(c, a) = A + p_c·B − (p_a − p_c)·n_c·C`
+//!   — positive when maintaining `c` separately from its parent `a` no
+//!   longer pays: the saved signature check and exploration setup outweigh
+//!   the extra verifications caused by folding `c`'s objects into `a`.
+//!
+//! The functions take the cost terms as scalars so callers can refine
+//! them: the index passes an *effective* `C` that scales the verification
+//! component by the measured early-exit fraction (an object is rejected
+//! on its first failing dimension — paper footnote 4 — so verifying one
+//! object rarely touches all of its bytes).
+
+/// Materialization benefit `β(s, c)` in milliseconds per query.
+///
+/// * `a`, `b`, `c` — the cost model terms (signature check, exploration
+///   setup, per-object verification),
+/// * `p_c` — access probability of the existing cluster,
+/// * `p_s` — access probability of the candidate subcluster,
+/// * `n_s` — number of the cluster's objects qualifying for the candidate.
+///
+/// Derivation (§5): before the split the candidate's objects are verified
+/// whenever `c` is explored; after, they are verified only when `s` is
+/// explored (`p_s ≤ p_c` by backward compatibility), at the price of one
+/// extra signature check (`A`) on every query and an exploration setup
+/// (`B`) whenever `s` is explored.
+#[inline]
+pub fn materialization_benefit(a: f64, b: f64, c: f64, p_c: f64, p_s: f64, n_s: usize) -> f64 {
+    (p_c - p_s) * n_s as f64 * c - p_s * b - a
+}
+
+/// Merging benefit `μ(c, a)` in milliseconds per query.
+///
+/// * `p_c` — access probability of the cluster considered for removal,
+/// * `p_a` — access probability of its parent,
+/// * `n_c` — number of objects in the cluster.
+///
+/// Mirror image of materialization: merging saves `A` on every query and
+/// `p_c·B` of exploration setup, but the parent's explorations now verify
+/// `n_c` extra objects `(p_a − p_c)` of the time.
+#[inline]
+pub fn merging_benefit(a: f64, b: f64, c: f64, p_c: f64, p_a: f64, n_c: usize) -> f64 {
+    a + p_c * b - (p_a - p_c) * n_c as f64 * c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use acx_geom::object_size_bytes;
+    use acx_storage::CostModel;
+
+    fn mem_terms() -> (f64, f64, f64) {
+        let m = CostModel::memory(object_size_bytes(16));
+        (m.a(), m.b(), m.c())
+    }
+
+    fn disk_terms() -> (f64, f64, f64) {
+        let m = CostModel::disk(object_size_bytes(16));
+        (m.a(), m.b(), m.c())
+    }
+
+    #[test]
+    fn materialization_profitable_for_cold_populated_candidate() {
+        let (a, b, c) = mem_terms();
+        // Parent explored on every query, candidate on 1 %: moving 10,000
+        // objects out saves ~0.99·10000·C per query.
+        let benefit = materialization_benefit(a, b, c, 1.0, 0.01, 10_000);
+        assert!(benefit > 0.0, "benefit {benefit}");
+    }
+
+    #[test]
+    fn materialization_unprofitable_for_hot_candidate() {
+        let (a, b, c) = mem_terms();
+        // Candidate explored as often as the parent: only costs are added.
+        let benefit = materialization_benefit(a, b, c, 0.8, 0.8, 10_000);
+        assert!(benefit < 0.0, "benefit {benefit}");
+    }
+
+    #[test]
+    fn materialization_unprofitable_for_tiny_candidate() {
+        let (a, b, c) = mem_terms();
+        // One object saves at most C per query — below A + p_s·B.
+        let benefit = materialization_benefit(a, b, c, 1.0, 0.9, 1);
+        assert!(benefit < 0.0, "benefit {benefit}");
+    }
+
+    #[test]
+    fn disk_seek_raises_split_threshold() {
+        // On disk, B includes a 15 ms seek: a candidate must be much
+        // larger (or much colder) to justify materialization — this is
+        // why the paper reports far fewer clusters on disk.
+        let n = 200;
+        let (p_c, p_s) = (1.0, 0.5);
+        let (a, b, c) = mem_terms();
+        let mem = materialization_benefit(a, b, c, p_c, p_s, n);
+        let (a, b, c) = disk_terms();
+        let disk = materialization_benefit(a, b, c, p_c, p_s, n);
+        assert!(mem > 0.0, "memory benefit {mem}");
+        assert!(disk < 0.0, "disk benefit {disk}");
+    }
+
+    #[test]
+    fn smaller_effective_c_discourages_splits() {
+        // Early-exit verification makes scanning cheaper than the full
+        // object size suggests, so the same candidate can be unprofitable
+        // under the effective C.
+        let (a, b, c) = mem_terms();
+        let n = 6;
+        let full = materialization_benefit(a, b, c, 1.0, 0.5, n);
+        let effective = materialization_benefit(a, b, c * 0.1, 1.0, 0.5, n);
+        assert!(full > 0.0);
+        assert!(effective < 0.0, "effective benefit {effective}");
+    }
+
+    #[test]
+    fn merging_profitable_when_probabilities_converge() {
+        let (a, b, c) = mem_terms();
+        // Child explored almost as often as parent → keeping it separate
+        // costs A + p·B for nothing.
+        let benefit = merging_benefit(a, b, c, 0.95, 1.0, 20);
+        assert!(benefit > 0.0, "benefit {benefit}");
+    }
+
+    #[test]
+    fn merging_profitable_when_cluster_empties() {
+        let (a, b, c) = mem_terms();
+        let benefit = merging_benefit(a, b, c, 0.2, 1.0, 0);
+        assert!(benefit > 0.0, "benefit {benefit}");
+    }
+
+    #[test]
+    fn merging_unprofitable_for_cold_large_cluster() {
+        let (a, b, c) = mem_terms();
+        let benefit = merging_benefit(a, b, c, 0.01, 1.0, 50_000);
+        assert!(benefit < 0.0, "benefit {benefit}");
+    }
+
+    #[test]
+    fn merge_and_split_are_exact_negations() {
+        // β(s,c) > 0 should imply μ(s→c-after-split) < 0 for the same
+        // statistics: a just-materialized profitable cluster must not be
+        // immediately merged back.
+        let (a, b, c) = mem_terms();
+        let (p_c, p_s, n_s) = (1.0, 0.05, 5_000);
+        let beta = materialization_benefit(a, b, c, p_c, p_s, n_s);
+        let mu = merging_benefit(a, b, c, p_s, p_c, n_s);
+        assert!(beta > 0.0);
+        assert!(mu < 0.0);
+        assert!((beta + mu).abs() < 1e-12, "β and μ are exact negations");
+    }
+}

@@ -1,0 +1,86 @@
+use acx_geom::GeomError;
+use acx_storage::StoreError;
+
+/// Errors raised by the adaptive clustering index.
+#[derive(Debug)]
+pub enum IndexError {
+    /// The configuration is internally inconsistent.
+    InvalidConfig(String),
+    /// An object's dimensionality does not match the index.
+    DimensionMismatch {
+        /// Dimensionality the index was created with.
+        expected: usize,
+        /// Dimensionality of the offending value.
+        actual: usize,
+    },
+    /// Insertion of an object id that is already present.
+    DuplicateObject(u32),
+    /// Removal or lookup of an object id that is not present.
+    UnknownObject(u32),
+    /// Underlying geometry error.
+    Geom(GeomError),
+    /// Underlying persistence error.
+    Store(StoreError),
+}
+
+impl std::fmt::Display for IndexError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IndexError::InvalidConfig(why) => write!(f, "invalid configuration: {why}"),
+            IndexError::DimensionMismatch { expected, actual } => {
+                write!(f, "dimension mismatch: index has {expected}, got {actual}")
+            }
+            IndexError::DuplicateObject(id) => write!(f, "object #{id} already indexed"),
+            IndexError::UnknownObject(id) => write!(f, "object #{id} not found"),
+            IndexError::Geom(e) => write!(f, "geometry error: {e}"),
+            IndexError::Store(e) => write!(f, "store error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for IndexError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            IndexError::Geom(e) => Some(e),
+            IndexError::Store(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<GeomError> for IndexError {
+    fn from(e: GeomError) -> Self {
+        IndexError::Geom(e)
+    }
+}
+
+impl From<StoreError> for IndexError {
+    fn from(e: StoreError) -> Self {
+        IndexError::Store(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = IndexError::DimensionMismatch {
+            expected: 16,
+            actual: 4,
+        };
+        assert!(e.to_string().contains("16"));
+        assert!(e.to_string().contains('4'));
+        assert!(IndexError::DuplicateObject(9).to_string().contains("#9"));
+        assert!(IndexError::UnknownObject(3).to_string().contains("#3"));
+    }
+
+    #[test]
+    fn wraps_geom_errors() {
+        let ge = GeomError::EmptyRect;
+        let e: IndexError = ge.into();
+        assert!(matches!(e, IndexError::Geom(_)));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

@@ -1,0 +1,922 @@
+//! The adaptive cost-based clustering index (paper §3).
+//!
+//! Objects live in a tree of materialized clusters, each holding its
+//! members sequentially in a [`SegmentStore`] segment. Every cluster
+//! carries a signature, access statistics, and a set of *virtual*
+//! candidate subclusters. Periodically (every `reorg_period` queries) the
+//! index reconsiders each cluster: merge it into its parent, or split off
+//! the candidate subclusters whose materialization benefit is positive.
+
+use std::collections::HashMap;
+use std::path::Path;
+use std::time::Instant;
+
+use acx_geom::{HyperRect, ObjectId, Scalar, SpatialQuery, OBJECT_ID_BYTES};
+use acx_storage::{AccessStats, ClusterRecord, CostModel, FileStore, SegmentId, SegmentStore};
+
+use crate::candidates::{generate_candidates, Candidate};
+use crate::cost::{materialization_benefit, merging_benefit};
+use crate::metrics::{ClusterSnapshot, QueryMetrics, QueryResult, ReorgReport};
+use crate::signature::Signature;
+use crate::{IndexConfig, IndexError};
+
+const NO_PARENT: u32 = u32::MAX;
+
+/// One materialized cluster (paper §3.1).
+#[derive(Debug)]
+struct Cluster {
+    signature: Signature,
+    parent: Option<u32>,
+    children: Vec<u32>,
+    segment: SegmentId,
+    candidates: Vec<Candidate>,
+    /// Queries whose signature matched this cluster since `epoch_start`.
+    q_count: u64,
+    /// Global query counter value when this cluster's statistics epoch
+    /// began (creation or last reorganization).
+    epoch_start: u64,
+    /// Exponentially decayed matching-query count of completed epochs.
+    q_eff: f64,
+    /// Exponentially decayed length (in queries) of completed epochs —
+    /// the denominator paired with `q_eff`.
+    weight: f64,
+}
+
+/// Cost-based adaptive clustering index over multidimensional extended
+/// objects — the paper's primary contribution.
+///
+/// ```
+/// use acx_core::{AdaptiveClusterIndex, IndexConfig};
+/// use acx_geom::{HyperRect, ObjectId, SpatialQuery};
+///
+/// let mut index = AdaptiveClusterIndex::new(IndexConfig::memory(2)).unwrap();
+/// let obj = HyperRect::from_bounds(&[0.1, 0.6], &[0.3, 0.9]).unwrap();
+/// index.insert(ObjectId(1), obj).unwrap();
+/// let window = HyperRect::from_bounds(&[0.0, 0.5], &[0.2, 1.0]).unwrap();
+/// let found = index.execute(&SpatialQuery::intersection(window));
+/// assert_eq!(found.matches, vec![ObjectId(1)]);
+/// ```
+pub struct AdaptiveClusterIndex {
+    config: IndexConfig,
+    model: CostModel,
+    store: SegmentStore,
+    clusters: Vec<Option<Cluster>>,
+    free_slots: Vec<u32>,
+    root: u32,
+    /// object id → cluster slot currently hosting it.
+    object_cluster: HashMap<u32, u32>,
+    total_queries: u64,
+    queries_since_reorg: u64,
+    reorganizations: u64,
+    total_merges: u64,
+    total_splits: u64,
+    /// Verified bytes in the current epoch (early-exit accounted).
+    epoch_verified_bytes: u64,
+    /// Full-object bytes of the objects verified in the current epoch.
+    epoch_full_bytes: u64,
+    /// Exponentially decayed verified-byte history.
+    hist_verified_bytes: f64,
+    /// Exponentially decayed full-byte history.
+    hist_full_bytes: f64,
+}
+
+impl AdaptiveClusterIndex {
+    /// Creates an empty index: a single root cluster whose general
+    /// signature accepts any spatial object.
+    pub fn new(config: IndexConfig) -> Result<Self, IndexError> {
+        config.validate()?;
+        let model = config.cost_model();
+        let mut store = SegmentStore::with_reserve(config.dims, config.reserve_fraction);
+        let segment = store.create(16);
+        let signature = Signature::root(config.dims);
+        let candidates = generate_candidates(&signature, config.division_factor);
+        let root = Cluster {
+            signature,
+            parent: None,
+            children: Vec::new(),
+            segment,
+            candidates,
+            q_count: 0,
+            epoch_start: 0,
+            q_eff: 0.0,
+            weight: 0.0,
+        };
+        Ok(Self {
+            config,
+            model,
+            store,
+            clusters: vec![Some(root)],
+            free_slots: Vec::new(),
+            root: 0,
+            object_cluster: HashMap::new(),
+            total_queries: 0,
+            queries_since_reorg: 0,
+            reorganizations: 0,
+            total_merges: 0,
+            total_splits: 0,
+            epoch_verified_bytes: 0,
+            epoch_full_bytes: 0,
+            hist_verified_bytes: 0.0,
+            hist_full_bytes: 0.0,
+        })
+    }
+
+    /// The index configuration.
+    pub fn config(&self) -> &IndexConfig {
+        &self.config
+    }
+
+    /// The cost model pricing this index's storage scenario.
+    pub fn cost_model(&self) -> &CostModel {
+        &self.model
+    }
+
+    /// Dimensionality of indexed objects.
+    pub fn dims(&self) -> usize {
+        self.config.dims
+    }
+
+    /// Number of indexed objects.
+    pub fn len(&self) -> usize {
+        self.object_cluster.len()
+    }
+
+    /// Whether the index holds no objects.
+    pub fn is_empty(&self) -> bool {
+        self.object_cluster.is_empty()
+    }
+
+    /// Number of materialized clusters (including the root).
+    pub fn cluster_count(&self) -> usize {
+        self.clusters.len() - self.free_slots.len()
+    }
+
+    /// Total queries executed so far.
+    pub fn total_queries(&self) -> u64 {
+        self.total_queries
+    }
+
+    /// Reorganization passes run so far.
+    pub fn reorganizations(&self) -> u64 {
+        self.reorganizations
+    }
+
+    /// Total merge operations across all reorganizations.
+    pub fn total_merges(&self) -> u64 {
+        self.total_merges
+    }
+
+    /// Total materializations across all reorganizations.
+    pub fn total_splits(&self) -> u64 {
+        self.total_splits
+    }
+
+    /// Whether the object id is currently indexed.
+    pub fn contains(&self, id: ObjectId) -> bool {
+        self.object_cluster.contains_key(&id.raw())
+    }
+
+    fn cluster(&self, slot: u32) -> &Cluster {
+        self.clusters[slot as usize]
+            .as_ref()
+            .expect("cluster slot is live")
+    }
+
+    fn cluster_mut(&mut self, slot: u32) -> &mut Cluster {
+        self.clusters[slot as usize]
+            .as_mut()
+            .expect("cluster slot is live")
+    }
+
+    /// Access probability of a cluster: decayed history plus the current
+    /// (partial) epoch.
+    fn access_probability(&self, c: &Cluster) -> f64 {
+        let epoch_len = self.total_queries.saturating_sub(c.epoch_start) as f64;
+        let denom = c.weight + epoch_len;
+        if denom <= 0.0 {
+            0.0
+        } else {
+            (c.q_eff + c.q_count as f64) / denom
+        }
+    }
+
+    /// Measured early-exit verification fraction (paper footnote 4):
+    /// verified bytes over full-object bytes among verified objects,
+    /// smoothed across epochs. `1.0` until the first query provides data.
+    ///
+    /// Verifying an object stops at its first failing dimension, so the
+    /// *effective* per-object verification cost is usually a small
+    /// fraction of `C`'s full-object estimate; reorganization decisions
+    /// use the effective value to avoid over-splitting.
+    pub fn verify_fraction(&self) -> f64 {
+        let denom = self.hist_full_bytes + self.epoch_full_bytes as f64;
+        if denom <= 0.0 {
+            return 1.0;
+        }
+        ((self.hist_verified_bytes + self.epoch_verified_bytes as f64) / denom).clamp(0.0, 1.0)
+    }
+
+    /// The effective `C` used by reorganization decisions: the measured
+    /// early-exit fraction applies to the verification component, while
+    /// the disk-transfer component always moves whole objects.
+    fn decision_c(&self) -> f64 {
+        self.model.c_verify() * self.verify_fraction() + self.model.c_transfer()
+    }
+
+    /// Hysteresis threshold: a reorganization that moves `n` objects must
+    /// save more than the move cost (read + write ≈ `2·n·C`) amortized
+    /// over the configured pay-back horizon.
+    fn move_margin(&self, n: usize) -> f64 {
+        2.0 * n as f64 * self.decision_c() / self.config.reorg_cost_horizon
+    }
+
+    /// Statistical margin: `z` standard errors of a benefit estimate whose
+    /// dominant noise source is the sampled access probability `p` over
+    /// `n_eff` effective observations, with sensitivity `∂benefit/∂p ≈
+    /// n·C + B`. Acting only on statistically significant benefits stops
+    /// sampling noise from ping-ponging marginal clusters.
+    fn confidence_margin(&self, p: f64, n_eff: f64, n_objects: usize) -> f64 {
+        if self.config.confidence_z == 0.0 || n_eff <= 0.0 {
+            return 0.0;
+        }
+        let variance = (p * (1.0 - p)).max(1.0 / n_eff) / n_eff;
+        self.config.confidence_z
+            * variance.sqrt()
+            * (n_objects as f64 * self.decision_c() + self.model.b())
+    }
+
+    /// Inserts a new object (paper §3.5, Fig. 4): among all materialized
+    /// clusters whose signature accepts the object, the one with the
+    /// lowest access probability is chosen (ties broken towards the most
+    /// specific cluster).
+    pub fn insert(&mut self, id: ObjectId, rect: HyperRect) -> Result<(), IndexError> {
+        if rect.dims() != self.config.dims {
+            return Err(IndexError::DimensionMismatch {
+                expected: self.config.dims,
+                actual: rect.dims(),
+            });
+        }
+        if self.object_cluster.contains_key(&id.raw()) {
+            return Err(IndexError::DuplicateObject(id.raw()));
+        }
+        let flat = rect.to_flat();
+
+        // Backward compatibility makes acceptance hereditary: descend the
+        // tree, pruning subtrees whose root rejects the object.
+        let mut best: Option<(u32, f64, usize)> = None; // (slot, p, depth)
+        let mut stack: Vec<(u32, usize)> = vec![(self.root, 0)];
+        while let Some((slot, depth)) = stack.pop() {
+            let cluster = self.cluster(slot);
+            if !cluster.signature.accepts_flat(&flat) {
+                continue;
+            }
+            let p = self.access_probability(cluster);
+            let better = match best {
+                None => true,
+                Some((_, bp, bd)) => p < bp || (p == bp && depth > bd),
+            };
+            if better {
+                best = Some((slot, p, depth));
+            }
+            for &child in &cluster.children {
+                stack.push((child, depth + 1));
+            }
+        }
+        let (slot, _, _) = best.expect("root accepts every object");
+
+        let cluster = self.clusters[slot as usize]
+            .as_mut()
+            .expect("cluster slot is live");
+        for cand in cluster.candidates.iter_mut() {
+            if cand.accepts_member(&flat) {
+                cand.n += 1;
+            }
+        }
+        self.store.push(cluster.segment, id.raw(), &flat);
+        self.object_cluster.insert(id.raw(), slot);
+        Ok(())
+    }
+
+    /// Removes an object, returning its rectangle.
+    pub fn remove(&mut self, id: ObjectId) -> Result<HyperRect, IndexError> {
+        let slot = *self
+            .object_cluster
+            .get(&id.raw())
+            .ok_or(IndexError::UnknownObject(id.raw()))?;
+        let cluster = self.clusters[slot as usize]
+            .as_mut()
+            .expect("cluster slot is live");
+        let idx = self
+            .store
+            .ids(cluster.segment)
+            .iter()
+            .position(|&o| o == id.raw())
+            .expect("object map and segment agree");
+        let width = 2 * self.config.dims;
+        let flat: Vec<Scalar> =
+            self.store.coords(cluster.segment)[idx * width..(idx + 1) * width].to_vec();
+        for cand in cluster.candidates.iter_mut() {
+            if cand.accepts_member(&flat) {
+                debug_assert!(cand.n > 0);
+                cand.n -= 1;
+            }
+        }
+        self.store.swap_remove(cluster.segment, idx);
+        self.object_cluster.remove(&id.raw());
+        Ok(HyperRect::from_flat(&flat)?)
+    }
+
+    /// Returns the rectangle of an indexed object.
+    pub fn get(&self, id: ObjectId) -> Option<HyperRect> {
+        let slot = *self.object_cluster.get(&id.raw())?;
+        let cluster = self.cluster(slot);
+        let idx = self
+            .store
+            .ids(cluster.segment)
+            .iter()
+            .position(|&o| o == id.raw())?;
+        let width = 2 * self.config.dims;
+        HyperRect::from_flat(&self.store.coords(cluster.segment)[idx * width..(idx + 1) * width])
+            .ok()
+    }
+
+    /// Replaces the rectangle of an existing object.
+    pub fn update(&mut self, id: ObjectId, rect: HyperRect) -> Result<HyperRect, IndexError> {
+        if rect.dims() != self.config.dims {
+            return Err(IndexError::DimensionMismatch {
+                expected: self.config.dims,
+                actual: rect.dims(),
+            });
+        }
+        let old = self.remove(id)?;
+        self.insert(id, rect)?;
+        Ok(old)
+    }
+
+    /// Executes a spatial selection (paper §3.6, Fig. 5): explores every
+    /// materialized cluster whose signature matches the query, verifies
+    /// its members individually, and maintains the statistics of explored
+    /// clusters and their candidate subclusters.
+    ///
+    /// When `reorg_period` is non-zero, a cluster reorganization pass runs
+    /// automatically every `reorg_period` executed queries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the query dimensionality differs from the index's.
+    pub fn execute(&mut self, query: &SpatialQuery) -> QueryResult {
+        assert_eq!(
+            query.dims(),
+            self.config.dims,
+            "query dimensionality {} != index dimensionality {}",
+            query.dims(),
+            self.config.dims
+        );
+        let started = Instant::now();
+        let mut stats = AccessStats::new();
+        let mut matches = Vec::new();
+        let width = 2 * self.config.dims;
+        let object_bytes = self.store.object_bytes() as u64;
+
+        self.total_queries += 1;
+        let mut stack = vec![self.root];
+        while let Some(slot) = stack.pop() {
+            stats.signature_checks += 1;
+            let cluster = self.clusters[slot as usize]
+                .as_mut()
+                .expect("cluster slot is live");
+            if !cluster.signature.matches_query(query) {
+                continue;
+            }
+            // Explore: sequential verification of every member.
+            cluster.q_count += 1;
+            for cand in cluster.candidates.iter_mut() {
+                if cand.matches_query(query) {
+                    cand.q += 1;
+                }
+            }
+            let n = self.store.segment_len(cluster.segment) as u64;
+            stats.clusters_explored += 1;
+            stats.seeks += 1;
+            stats.transfer_bytes += n * object_bytes;
+            stats.objects_verified += n;
+            let ids = self.store.ids(cluster.segment);
+            let coords = self.store.coords(cluster.segment);
+            for (idx, flat) in coords.chunks_exact(width).enumerate() {
+                let outcome = query.matches_flat(flat);
+                stats.verified_bytes +=
+                    OBJECT_ID_BYTES as u64 + 8 * outcome.dims_checked as u64;
+                if outcome.matched {
+                    matches.push(ObjectId(ids[idx]));
+                }
+            }
+            stack.extend_from_slice(&cluster.children);
+        }
+
+        self.epoch_verified_bytes += stats.verified_bytes;
+        self.epoch_full_bytes += stats.objects_verified * object_bytes;
+
+        let priced_ms = self.model.price(&stats);
+        let wall = started.elapsed();
+
+        self.queries_since_reorg += 1;
+        if self.config.reorg_period > 0 && self.queries_since_reorg >= self.config.reorg_period {
+            self.reorganize();
+        }
+
+        QueryResult {
+            matches,
+            metrics: QueryMetrics {
+                stats,
+                priced_ms,
+                wall,
+            },
+        }
+    }
+
+    /// Runs one cluster reorganization pass (paper Fig. 1): for every
+    /// materialized cluster, merge it into its parent when the merging
+    /// benefit is positive, otherwise greedily materialize its profitable
+    /// candidate subclusters. Statistics epochs restart afterwards.
+    pub fn reorganize(&mut self) -> ReorgReport {
+        let mut report = ReorgReport {
+            clusters_before: self.cluster_count(),
+            ..Default::default()
+        };
+        let snapshot: Vec<u32> = (0..self.clusters.len() as u32)
+            .filter(|&s| self.clusters[s as usize].is_some())
+            .collect();
+        for slot in snapshot {
+            if self.clusters[slot as usize].is_none() {
+                continue; // removed by an earlier merge in this pass
+            }
+            let cluster = self.cluster(slot);
+            let epoch_len = self.total_queries.saturating_sub(cluster.epoch_start);
+            if cluster.weight + (epoch_len as f64) < self.config.min_epoch_queries as f64 {
+                continue;
+            }
+            if slot != self.root && self.merge_profitable(slot) {
+                self.merge_cluster(slot);
+                report.merges += 1;
+            } else {
+                report.splits += self.try_cluster_split(slot, epoch_len);
+            }
+        }
+        self.decay_statistics();
+        self.reorganizations += 1;
+        self.queries_since_reorg = 0;
+        report.clusters_after = self.cluster_count();
+        self.total_merges += report.merges;
+        self.total_splits += report.splits;
+        report
+    }
+
+    fn merge_profitable(&self, slot: u32) -> bool {
+        let cluster = self.cluster(slot);
+        let parent = self.cluster(cluster.parent.expect("non-root has a parent"));
+        let p_c = self.access_probability(cluster);
+        let p_a = self.access_probability(parent);
+        let n_c = self.store.segment_len(cluster.segment);
+        let n_eff =
+            cluster.weight + self.total_queries.saturating_sub(cluster.epoch_start) as f64;
+        let threshold = self.move_margin(n_c) + self.confidence_margin(p_c, n_eff, n_c);
+        merging_benefit(
+            self.model.a(),
+            self.model.b(),
+            self.decision_c(),
+            p_c,
+            p_a,
+            n_c,
+        ) > threshold
+    }
+
+    /// Paper Fig. 2: moves all members of `slot` into its parent, updates
+    /// the parent's candidate statistics, reparents the children, and
+    /// removes the cluster.
+    fn merge_cluster(&mut self, slot: u32) {
+        let parent_slot = self.cluster(slot).parent.expect("non-root has a parent");
+        let cluster = self.clusters[slot as usize]
+            .take()
+            .expect("cluster slot is live");
+        self.free_slots.push(slot);
+
+        let (ids, coords) = self.store.remove(cluster.segment);
+        let width = 2 * self.config.dims;
+        {
+            let parent = self.clusters[parent_slot as usize]
+                .as_mut()
+                .expect("parent slot is live");
+            parent.children.retain(|&c| c != slot);
+            for (i, oid) in ids.iter().enumerate() {
+                let flat = &coords[i * width..(i + 1) * width];
+                debug_assert!(parent.signature.accepts_flat(flat));
+                for cand in parent.candidates.iter_mut() {
+                    if cand.accepts_member(flat) {
+                        cand.n += 1;
+                    }
+                }
+                self.store.push(parent.segment, *oid, flat);
+                self.object_cluster.insert(*oid, parent_slot);
+            }
+        }
+        for child in cluster.children {
+            self.cluster_mut(child).parent = Some(parent_slot);
+            self.cluster_mut(parent_slot).children.push(child);
+        }
+    }
+
+    /// Paper Fig. 3: greedily materializes the best positive-benefit
+    /// candidate subclusters of `slot`. Returns the number of
+    /// materializations performed.
+    fn try_cluster_split(&mut self, slot: u32, epoch_len: u64) -> u64 {
+        let mut splits = 0u64;
+        let (a, b, c) = (self.model.a(), self.model.b(), self.decision_c());
+        loop {
+            let cluster = self.cluster(slot);
+            let p_c = self.access_probability(cluster);
+            let denom = cluster.weight + epoch_len as f64;
+            let mut best: Option<(usize, f64)> = None;
+            for (idx, cand) in cluster.candidates.iter().enumerate() {
+                if cand.n == 0 {
+                    continue;
+                }
+                let p_s = if denom <= 0.0 {
+                    0.0
+                } else {
+                    (cand.q_eff + cand.q as f64) / denom
+                };
+                let benefit = materialization_benefit(a, b, c, p_c, p_s, cand.n as usize);
+                let threshold = self.move_margin(cand.n as usize)
+                    + self.confidence_margin(p_s, denom, cand.n as usize);
+                if benefit > threshold && best.is_none_or(|(_, bst)| benefit > bst) {
+                    best = Some((idx, benefit));
+                }
+            }
+            let Some((cand_idx, _)) = best else {
+                break;
+            };
+            self.materialize_candidate(slot, cand_idx);
+            splits += 1;
+        }
+        splits
+    }
+
+    /// Materializes candidate `cand_idx` of cluster `slot` as a new
+    /// cluster, moving the qualifying objects.
+    fn materialize_candidate(&mut self, slot: u32, cand_idx: usize) {
+        let f = self.config.division_factor;
+        let width = 2 * self.config.dims;
+        let (new_signature, expected, inherited_q, inherited_q_eff, parent_epoch, parent_weight) = {
+            let cluster = self.cluster(slot);
+            let cand = &cluster.candidates[cand_idx];
+            (
+                cand.signature(&cluster.signature, f),
+                cand.n as usize,
+                cand.q as u64,
+                cand.q_eff,
+                cluster.epoch_start,
+                cluster.weight,
+            )
+        };
+        let new_segment = self.store.create(expected.max(1));
+        let new_candidates = generate_candidates(&new_signature, f);
+        let new_slot = self.alloc_slot(Cluster {
+            signature: new_signature,
+            parent: Some(slot),
+            children: Vec::new(),
+            segment: new_segment,
+            candidates: new_candidates,
+            q_count: inherited_q,
+            epoch_start: parent_epoch,
+            q_eff: inherited_q_eff,
+            weight: parent_weight,
+        });
+
+        // Move qualifying objects; maintain the source cluster's candidate
+        // counters and compute the new cluster's.
+        let parent_cluster = self.clusters[slot as usize]
+            .as_mut()
+            .expect("cluster slot is live");
+        let parent_segment = parent_cluster.segment;
+        let cand = parent_cluster.candidates[cand_idx];
+        let mut moved: Vec<(u32, Vec<Scalar>)> = Vec::with_capacity(expected);
+        let mut idx = 0;
+        while idx < self.store.segment_len(parent_segment) {
+            let flat = &self.store.coords(parent_segment)[idx * width..(idx + 1) * width];
+            if cand.accepts_member(flat) {
+                let flat_copy = flat.to_vec();
+                let oid = self.store.ids(parent_segment)[idx];
+                self.store.swap_remove(parent_segment, idx);
+                moved.push((oid, flat_copy));
+            } else {
+                idx += 1;
+            }
+        }
+        for (oid, flat) in &moved {
+            for c in parent_cluster.candidates.iter_mut() {
+                if c.accepts_member(flat) {
+                    debug_assert!(c.n > 0);
+                    c.n -= 1;
+                }
+            }
+            self.object_cluster.insert(*oid, new_slot);
+            let _ = oid;
+        }
+        parent_cluster.children.push(new_slot);
+        debug_assert_eq!(parent_cluster.candidates[cand_idx].n, 0);
+
+        let new_cluster = self.clusters[new_slot as usize]
+            .as_mut()
+            .expect("new slot is live");
+        for (oid, flat) in &moved {
+            for c in new_cluster.candidates.iter_mut() {
+                if c.accepts_member(flat) {
+                    c.n += 1;
+                }
+            }
+            self.store.push(new_cluster.segment, *oid, flat);
+        }
+    }
+
+    fn alloc_slot(&mut self, cluster: Cluster) -> u32 {
+        if let Some(slot) = self.free_slots.pop() {
+            self.clusters[slot as usize] = Some(cluster);
+            slot
+        } else {
+            self.clusters.push(Some(cluster));
+            (self.clusters.len() - 1) as u32
+        }
+    }
+
+    /// Closes the current statistics epoch: folds the per-epoch counters
+    /// into the exponentially decayed history (`stats_decay` weight) and
+    /// restarts the epoch, so access probabilities track recent periods
+    /// while damping single-period noise.
+    fn decay_statistics(&mut self) {
+        let now = self.total_queries;
+        let gamma = self.config.stats_decay;
+        self.hist_verified_bytes =
+            gamma * self.hist_verified_bytes + self.epoch_verified_bytes as f64;
+        self.hist_full_bytes = gamma * self.hist_full_bytes + self.epoch_full_bytes as f64;
+        self.epoch_verified_bytes = 0;
+        self.epoch_full_bytes = 0;
+        for cluster in self.clusters.iter_mut().flatten() {
+            let epoch_len = now.saturating_sub(cluster.epoch_start) as f64;
+            cluster.q_eff = gamma * cluster.q_eff + cluster.q_count as f64;
+            cluster.weight = gamma * cluster.weight + epoch_len;
+            cluster.q_count = 0;
+            cluster.epoch_start = now;
+            for cand in cluster.candidates.iter_mut() {
+                cand.q_eff = gamma * cand.q_eff + cand.q as f64;
+                cand.q = 0;
+            }
+        }
+    }
+
+    /// Read-only snapshots of all materialized clusters (depth-first
+    /// order from the root).
+    pub fn snapshots(&self) -> Vec<ClusterSnapshot> {
+        let mut out = Vec::with_capacity(self.cluster_count());
+        let mut stack = vec![(self.root, 0usize)];
+        while let Some((slot, depth)) = stack.pop() {
+            let cluster = self.cluster(slot);
+            out.push(ClusterSnapshot {
+                id: slot,
+                parent: cluster.parent,
+                objects: self.store.segment_len(cluster.segment),
+                access_probability: self.access_probability(cluster),
+                depth,
+                signature: cluster.signature.to_string(),
+            });
+            for &child in &cluster.children {
+                stack.push((child, depth + 1));
+            }
+        }
+        out
+    }
+
+    /// Storage utilization of the underlying segment store.
+    pub fn storage_utilization(&self) -> f64 {
+        self.store.utilization()
+    }
+
+    /// Segment relocations performed by the store since creation.
+    pub fn storage_relocations(&self) -> u64 {
+        self.store.relocations()
+    }
+
+    /// Persists the cluster tree (signatures and members) to `path`
+    /// following the paper's recovery scheme (§6): signatures are stored
+    /// with the member objects behind a one-block directory. Statistics
+    /// are not persisted — they are re-gathered after a restart.
+    pub fn save(&self, path: &Path) -> Result<(), IndexError> {
+        let live: Vec<u32> = (0..self.clusters.len() as u32)
+            .filter(|&s| self.clusters[s as usize].is_some())
+            .collect();
+        let dense: HashMap<u32, u32> = live
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| (s, i as u32))
+            .collect();
+        let mut records = Vec::with_capacity(live.len());
+        for &slot in &live {
+            let cluster = self.cluster(slot);
+            let parent = cluster.parent.map_or(NO_PARENT, |p| dense[&p]);
+            let mut signature = parent.to_le_bytes().to_vec();
+            signature.extend_from_slice(&cluster.signature.to_bytes());
+            records.push(ClusterRecord {
+                signature,
+                ids: self.store.ids(cluster.segment).to_vec(),
+                coords: self.store.coords(cluster.segment).to_vec(),
+            });
+        }
+        FileStore::save(path, self.config.dims, &records)?;
+        Ok(())
+    }
+
+    /// Restores an index persisted by [`AdaptiveClusterIndex::save`].
+    /// The configuration must use the same dimensionality.
+    pub fn load(path: &Path, config: IndexConfig) -> Result<Self, IndexError> {
+        config.validate()?;
+        let (dims, records) = FileStore::load(path)?;
+        if dims != config.dims {
+            return Err(IndexError::DimensionMismatch {
+                expected: config.dims,
+                actual: dims,
+            });
+        }
+        let f = config.division_factor;
+        let width = 2 * dims;
+        let mut store = SegmentStore::with_reserve(dims, config.reserve_fraction);
+        let mut clusters: Vec<Option<Cluster>> = Vec::with_capacity(records.len());
+        let mut object_cluster = HashMap::new();
+        let mut root = None;
+        let mut parents: Vec<Option<u32>> = Vec::with_capacity(records.len());
+        for (i, rec) in records.iter().enumerate() {
+            if rec.signature.len() < 4 {
+                return Err(IndexError::Store(acx_storage::StoreError::Corrupt(
+                    format!("cluster {i}: signature blob too short"),
+                )));
+            }
+            let parent = u32::from_le_bytes(rec.signature[..4].try_into().unwrap());
+            let signature = Signature::from_bytes(&rec.signature[4..]).ok_or_else(|| {
+                IndexError::Store(acx_storage::StoreError::Corrupt(format!(
+                    "cluster {i}: undecodable signature"
+                )))
+            })?;
+            if signature.dims() != dims {
+                return Err(IndexError::DimensionMismatch {
+                    expected: dims,
+                    actual: signature.dims(),
+                });
+            }
+            let segment = store.create(rec.ids.len());
+            let mut candidates = generate_candidates(&signature, f);
+            for (k, &oid) in rec.ids.iter().enumerate() {
+                let flat = &rec.coords[k * width..(k + 1) * width];
+                if !signature.accepts_flat(flat) {
+                    return Err(IndexError::Store(acx_storage::StoreError::Corrupt(
+                        format!("cluster {i}: object #{oid} violates signature"),
+                    )));
+                }
+                store.push(segment, oid, flat);
+                if object_cluster.insert(oid, i as u32).is_some() {
+                    return Err(IndexError::Store(acx_storage::StoreError::Corrupt(
+                        format!("object #{oid} appears in two clusters"),
+                    )));
+                }
+                for cand in candidates.iter_mut() {
+                    if cand.accepts_member(flat) {
+                        cand.n += 1;
+                    }
+                }
+            }
+            let parent = if parent == NO_PARENT {
+                if root.replace(i as u32).is_some() {
+                    return Err(IndexError::Store(acx_storage::StoreError::Corrupt(
+                        "multiple root clusters".into(),
+                    )));
+                }
+                None
+            } else {
+                if parent as usize >= records.len() {
+                    return Err(IndexError::Store(acx_storage::StoreError::Corrupt(
+                        format!("cluster {i}: dangling parent {parent}"),
+                    )));
+                }
+                Some(parent)
+            };
+            parents.push(parent);
+            clusters.push(Some(Cluster {
+                signature,
+                parent,
+                children: Vec::new(),
+                segment,
+                candidates,
+                q_count: 0,
+                epoch_start: 0,
+                q_eff: 0.0,
+                weight: 0.0,
+            }));
+        }
+        let root = root.ok_or_else(|| {
+            IndexError::Store(acx_storage::StoreError::Corrupt("no root cluster".into()))
+        })?;
+        for (i, parent) in parents.iter().enumerate() {
+            if let Some(p) = parent {
+                clusters[*p as usize]
+                    .as_mut()
+                    .expect("parents are live")
+                    .children
+                    .push(i as u32);
+            }
+        }
+        let model = config.cost_model();
+        Ok(Self {
+            config,
+            model,
+            store,
+            clusters,
+            free_slots: Vec::new(),
+            root,
+            object_cluster,
+            total_queries: 0,
+            queries_since_reorg: 0,
+            reorganizations: 0,
+            total_merges: 0,
+            total_splits: 0,
+            epoch_verified_bytes: 0,
+            epoch_full_bytes: 0,
+            hist_verified_bytes: 0.0,
+            hist_full_bytes: 0.0,
+        })
+    }
+
+    /// Verifies internal invariants; used by tests and debug assertions.
+    ///
+    /// Checks that every object is hosted by a cluster whose signature
+    /// accepts it, that candidate `n` counters agree with the stored
+    /// members, that parent/child links are consistent, and that the
+    /// object map matches segment contents.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        let width = 2 * self.config.dims;
+        let mut seen_objects = 0usize;
+        for (slot, cluster) in self.clusters.iter().enumerate() {
+            let Some(cluster) = cluster else { continue };
+            let ids = self.store.ids(cluster.segment);
+            let coords = self.store.coords(cluster.segment);
+            seen_objects += ids.len();
+            let mut expected_n = vec![0u32; cluster.candidates.len()];
+            for (k, &oid) in ids.iter().enumerate() {
+                let flat = &coords[k * width..(k + 1) * width];
+                if !cluster.signature.accepts_flat(flat) {
+                    return Err(format!("object #{oid} violates signature of cluster {slot}"));
+                }
+                if self.object_cluster.get(&oid) != Some(&(slot as u32)) {
+                    return Err(format!("object #{oid} map entry disagrees with cluster {slot}"));
+                }
+                for (ci, cand) in cluster.candidates.iter().enumerate() {
+                    if cand.accepts_member(flat) {
+                        expected_n[ci] += 1;
+                    }
+                }
+            }
+            for (ci, cand) in cluster.candidates.iter().enumerate() {
+                if cand.n != expected_n[ci] {
+                    return Err(format!(
+                        "cluster {slot} candidate {ci}: n={} but {} members qualify",
+                        cand.n, expected_n[ci]
+                    ));
+                }
+            }
+            for &child in &cluster.children {
+                let c = self
+                    .clusters
+                    .get(child as usize)
+                    .and_then(|c| c.as_ref())
+                    .ok_or_else(|| format!("cluster {slot} has dangling child {child}"))?;
+                if c.parent != Some(slot as u32) {
+                    return Err(format!("child {child} does not point back to {slot}"));
+                }
+            }
+            if let Some(parent) = cluster.parent {
+                let p = self.clusters[parent as usize]
+                    .as_ref()
+                    .ok_or_else(|| format!("cluster {slot} has dangling parent {parent}"))?;
+                if !p.children.contains(&(slot as u32)) {
+                    return Err(format!("parent {parent} does not list child {slot}"));
+                }
+            } else if slot as u32 != self.root {
+                return Err(format!("non-root cluster {slot} has no parent"));
+            }
+        }
+        if seen_objects != self.object_cluster.len() {
+            return Err(format!(
+                "{} objects in segments but {} in the object map",
+                seen_objects,
+                self.object_cluster.len()
+            ));
+        }
+        Ok(())
+    }
+}

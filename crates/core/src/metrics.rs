@@ -1,0 +1,71 @@
+pub use acx_storage::{QueryMetrics, QueryResult};
+
+/// Outcome of one reorganization pass (paper Fig. 1).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReorgReport {
+    /// Clusters merged back into their parents.
+    pub merges: u64,
+    /// Candidate subclusters materialized as new clusters.
+    pub splits: u64,
+    /// Materialized clusters before the pass.
+    pub clusters_before: usize,
+    /// Materialized clusters after the pass.
+    pub clusters_after: usize,
+}
+
+impl ReorgReport {
+    /// Whether the pass changed the clustering at all.
+    pub fn changed(&self) -> bool {
+        self.merges > 0 || self.splits > 0
+    }
+}
+
+/// A read-only view of one materialized cluster, for inspection, tests
+/// and the experiment harness.
+#[derive(Debug, Clone)]
+pub struct ClusterSnapshot {
+    /// Dense identifier of the cluster within the index.
+    pub id: u32,
+    /// Identifier of the parent cluster (`None` for the root).
+    pub parent: Option<u32>,
+    /// Number of member objects.
+    pub objects: usize,
+    /// Estimated access probability in the current statistics epoch.
+    pub access_probability: f64,
+    /// Depth in the cluster tree (root = 0).
+    pub depth: usize,
+    /// Rendered signature (paper notation).
+    pub signature: String,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reorg_report_changed() {
+        let mut r = ReorgReport::default();
+        assert!(!r.changed());
+        r.merges = 1;
+        assert!(r.changed());
+        r = ReorgReport {
+            splits: 2,
+            ..Default::default()
+        };
+        assert!(r.changed());
+    }
+
+    #[test]
+    fn snapshot_fields_are_accessible() {
+        let s = ClusterSnapshot {
+            id: 1,
+            parent: Some(0),
+            objects: 10,
+            access_probability: 0.5,
+            depth: 1,
+            signature: "sig".into(),
+        };
+        assert_eq!(s.parent, Some(0));
+        assert_eq!(s.depth, 1);
+    }
+}

@@ -1,0 +1,570 @@
+//! Behavioral tests of the adaptive clustering index: CRUD semantics,
+//! query correctness against a naive reference, reorganization dynamics
+//! (split, merge, stability), persistence, and invariant preservation.
+
+use acx_core::{AdaptiveClusterIndex, IndexConfig, IndexError};
+use acx_geom::{HyperRect, ObjectId, Scalar, SpatialQuery};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn rect(lo: &[Scalar], hi: &[Scalar]) -> HyperRect {
+    HyperRect::from_bounds(lo, hi).unwrap()
+}
+
+/// A uniform random rectangle: per dimension, an ordered pair of uniforms.
+fn random_rect(rng: &mut StdRng, dims: usize) -> HyperRect {
+    let mut lo = Vec::with_capacity(dims);
+    let mut hi = Vec::with_capacity(dims);
+    for _ in 0..dims {
+        let a: f32 = rng.gen_range(0.0..=1.0);
+        let b: f32 = rng.gen_range(0.0..=1.0);
+        lo.push(a.min(b));
+        hi.push(a.max(b));
+    }
+    rect(&lo, &hi)
+}
+
+/// Small random rectangle (selective as an intersection window).
+fn small_rect(rng: &mut StdRng, dims: usize, extent: f32) -> HyperRect {
+    let mut lo = Vec::with_capacity(dims);
+    let mut hi = Vec::with_capacity(dims);
+    for _ in 0..dims {
+        let a: f32 = rng.gen_range(0.0..=1.0 - extent);
+        lo.push(a);
+        hi.push(a + extent);
+    }
+    rect(&lo, &hi)
+}
+
+/// Reference implementation: exhaustive filter.
+fn naive_matches(objects: &[(u32, HyperRect)], query: &SpatialQuery) -> Vec<ObjectId> {
+    let mut out: Vec<ObjectId> = objects
+        .iter()
+        .filter(|(_, r)| query.matches_rect(r))
+        .map(|(id, _)| ObjectId(*id))
+        .collect();
+    out.sort_unstable();
+    out
+}
+
+fn sorted(mut v: Vec<ObjectId>) -> Vec<ObjectId> {
+    v.sort_unstable();
+    v
+}
+
+#[test]
+fn empty_index_answers_empty() {
+    let mut index = AdaptiveClusterIndex::new(IndexConfig::memory(4)).unwrap();
+    assert!(index.is_empty());
+    assert_eq!(index.cluster_count(), 1);
+    let r = index.execute(&SpatialQuery::point_enclosing(vec![0.5; 4]));
+    assert!(r.matches.is_empty());
+    // Even an empty query explores the root.
+    assert_eq!(r.metrics.stats.clusters_explored, 1);
+}
+
+#[test]
+fn insert_then_query_all_relations() {
+    let mut index = AdaptiveClusterIndex::new(IndexConfig::memory(2)).unwrap();
+    index.insert(ObjectId(1), rect(&[0.2, 0.2], &[0.4, 0.4])).unwrap();
+    index.insert(ObjectId(2), rect(&[0.6, 0.6], &[0.9, 0.9])).unwrap();
+
+    let inter = index.execute(&SpatialQuery::intersection(rect(&[0.3, 0.3], &[0.7, 0.7])));
+    assert_eq!(sorted(inter.matches), vec![ObjectId(1), ObjectId(2)]);
+
+    let cont = index.execute(&SpatialQuery::containment(rect(&[0.5, 0.5], &[1.0, 1.0])));
+    assert_eq!(cont.matches, vec![ObjectId(2)]);
+
+    let encl = index.execute(&SpatialQuery::enclosure(rect(&[0.25, 0.25], &[0.35, 0.35])));
+    assert_eq!(encl.matches, vec![ObjectId(1)]);
+
+    let point = index.execute(&SpatialQuery::point_enclosing(vec![0.7, 0.7]));
+    assert_eq!(point.matches, vec![ObjectId(2)]);
+}
+
+#[test]
+fn duplicate_insert_is_rejected() {
+    let mut index = AdaptiveClusterIndex::new(IndexConfig::memory(2)).unwrap();
+    let r = rect(&[0.1, 0.1], &[0.2, 0.2]);
+    index.insert(ObjectId(7), r.clone()).unwrap();
+    assert!(matches!(
+        index.insert(ObjectId(7), r),
+        Err(IndexError::DuplicateObject(7))
+    ));
+}
+
+#[test]
+fn dimension_mismatch_is_rejected() {
+    let mut index = AdaptiveClusterIndex::new(IndexConfig::memory(3)).unwrap();
+    assert!(matches!(
+        index.insert(ObjectId(1), rect(&[0.1], &[0.2])),
+        Err(IndexError::DimensionMismatch { expected: 3, actual: 1 })
+    ));
+}
+
+#[test]
+#[should_panic(expected = "query dimensionality")]
+fn query_dimension_mismatch_panics() {
+    let mut index = AdaptiveClusterIndex::new(IndexConfig::memory(3)).unwrap();
+    index.execute(&SpatialQuery::point_enclosing(vec![0.5]));
+}
+
+#[test]
+fn remove_and_get_roundtrip() {
+    let mut index = AdaptiveClusterIndex::new(IndexConfig::memory(2)).unwrap();
+    let r = rect(&[0.3, 0.4], &[0.5, 0.6]);
+    index.insert(ObjectId(9), r.clone()).unwrap();
+    assert_eq!(index.get(ObjectId(9)), Some(r.clone()));
+    assert!(index.contains(ObjectId(9)));
+    let removed = index.remove(ObjectId(9)).unwrap();
+    assert_eq!(removed, r);
+    assert!(!index.contains(ObjectId(9)));
+    assert!(matches!(
+        index.remove(ObjectId(9)),
+        Err(IndexError::UnknownObject(9))
+    ));
+    let q = index.execute(&SpatialQuery::point_enclosing(vec![0.4, 0.5]));
+    assert!(q.matches.is_empty());
+}
+
+#[test]
+fn update_moves_object() {
+    let mut index = AdaptiveClusterIndex::new(IndexConfig::memory(2)).unwrap();
+    index.insert(ObjectId(1), rect(&[0.0, 0.0], &[0.1, 0.1])).unwrap();
+    let old = index
+        .update(ObjectId(1), rect(&[0.8, 0.8], &[0.9, 0.9]))
+        .unwrap();
+    assert_eq!(old, rect(&[0.0, 0.0], &[0.1, 0.1]));
+    let hit = index.execute(&SpatialQuery::point_enclosing(vec![0.85, 0.85]));
+    assert_eq!(hit.matches, vec![ObjectId(1)]);
+    let miss = index.execute(&SpatialQuery::point_enclosing(vec![0.05, 0.05]));
+    assert!(miss.matches.is_empty());
+}
+
+#[test]
+fn query_results_match_naive_reference_before_and_after_reorg() {
+    let mut rng = StdRng::seed_from_u64(11);
+    let dims = 4;
+    let mut config = IndexConfig::memory(dims);
+    config.reorg_period = 0; // manual reorganizations only
+    let mut index = AdaptiveClusterIndex::new(config).unwrap();
+    let mut objects = Vec::new();
+    for i in 0..1500u32 {
+        let r = random_rect(&mut rng, dims);
+        index.insert(ObjectId(i), r.clone()).unwrap();
+        objects.push((i, r));
+    }
+    let queries: Vec<SpatialQuery> = (0..150)
+        .map(|k| match k % 3 {
+            0 => SpatialQuery::intersection(small_rect(&mut rng, dims, 0.1)),
+            1 => SpatialQuery::point_enclosing(
+                (0..dims).map(|_| rng.gen_range(0.0..=1.0)).collect(),
+            ),
+            _ => SpatialQuery::containment(small_rect(&mut rng, dims, 0.6)),
+        })
+        .collect();
+
+    for q in &queries {
+        assert_eq!(sorted(index.execute(q).matches), naive_matches(&objects, q));
+    }
+    let report = index.reorganize();
+    assert!(report.splits > 0, "selective workload should split: {report:?}");
+    index.check_invariants().unwrap();
+    for q in &queries {
+        assert_eq!(
+            sorted(index.execute(q).matches),
+            naive_matches(&objects, q),
+            "mismatch after reorganization"
+        );
+    }
+}
+
+#[test]
+fn reorganization_reduces_verified_objects_on_selective_workload() {
+    let mut rng = StdRng::seed_from_u64(42);
+    let dims = 4;
+    let mut config = IndexConfig::memory(dims);
+    config.reorg_period = 0;
+    let mut index = AdaptiveClusterIndex::new(config).unwrap();
+    for i in 0..3000u32 {
+        index.insert(ObjectId(i), random_rect(&mut rng, dims)).unwrap();
+    }
+    let mut points: Vec<Vec<f32>> = Vec::new();
+    for _ in 0..200 {
+        points.push((0..dims).map(|_| rng.gen_range(0.0..=1.0)).collect());
+    }
+    let mut before = 0u64;
+    for p in &points {
+        before += index
+            .execute(&SpatialQuery::point_enclosing(p.clone()))
+            .metrics
+            .stats
+            .objects_verified;
+    }
+    index.reorganize();
+    index.check_invariants().unwrap();
+    let mut after = 0u64;
+    for p in &points {
+        after += index
+            .execute(&SpatialQuery::point_enclosing(p.clone()))
+            .metrics
+            .stats
+            .objects_verified;
+    }
+    assert!(
+        after < before / 2,
+        "adaptation should at least halve verification work: {before} -> {after}"
+    );
+}
+
+#[test]
+fn broad_queries_trigger_merges_back_to_coarser_clustering() {
+    let mut rng = StdRng::seed_from_u64(3);
+    let dims = 3;
+    let mut config = IndexConfig::memory(dims);
+    config.reorg_period = 0;
+    let mut index = AdaptiveClusterIndex::new(config).unwrap();
+    for i in 0..2000u32 {
+        index.insert(ObjectId(i), random_rect(&mut rng, dims)).unwrap();
+    }
+    // Phase 1: selective point queries → splits.
+    for _ in 0..100 {
+        let p: Vec<f32> = (0..dims).map(|_| rng.gen_range(0.0..=1.0)).collect();
+        index.execute(&SpatialQuery::point_enclosing(p));
+    }
+    index.reorganize();
+    let split_clusters = index.cluster_count();
+    assert!(split_clusters > 1);
+    // Phase 2: only full-domain intersection queries → every cluster is
+    // explored by every query, separate management is pure overhead.
+    let everything = SpatialQuery::intersection(HyperRect::unit(dims));
+    let mut merges = 0;
+    for _ in 0..10 {
+        for _ in 0..100 {
+            index.execute(&everything);
+        }
+        let report = index.reorganize();
+        merges += report.merges;
+        index.check_invariants().unwrap();
+        if index.cluster_count() == 1 {
+            break;
+        }
+    }
+    assert!(merges > 0, "shifted query pattern should cause merges");
+    assert!(
+        index.cluster_count() < split_clusters,
+        "cluster count should shrink: {} -> {}",
+        split_clusters,
+        index.cluster_count()
+    );
+}
+
+#[test]
+fn clustering_reaches_stable_state_under_fixed_distribution() {
+    // Paper §7.1: with an unchanged query distribution the clustering
+    // stabilizes in fewer than 10 reorganization steps.
+    let mut rng = StdRng::seed_from_u64(7);
+    let dims = 4;
+    let mut config = IndexConfig::memory(dims);
+    config.reorg_period = 0;
+    let mut index = AdaptiveClusterIndex::new(config).unwrap();
+    for i in 0..3000u32 {
+        index.insert(ObjectId(i), random_rect(&mut rng, dims)).unwrap();
+    }
+    let mut query_rng = StdRng::seed_from_u64(1234);
+    let mut stable_steps = 0;
+    let mut steps = 0;
+    for _ in 0..15 {
+        for _ in 0..100 {
+            let w = small_rect(&mut query_rng, dims, 0.05);
+            index.execute(&SpatialQuery::intersection(w));
+        }
+        let report = index.reorganize();
+        steps += 1;
+        // Stable state: structural churn below 2 % of the clustering.
+        let churn = (report.merges + report.splits) as f64 / report.clusters_after.max(1) as f64;
+        if churn < 0.02 {
+            stable_steps += 1;
+            if stable_steps >= 2 {
+                break;
+            }
+        } else {
+            stable_steps = 0;
+        }
+    }
+    assert!(
+        stable_steps >= 2,
+        "clustering did not stabilize within {steps} steps"
+    );
+    index.check_invariants().unwrap();
+}
+
+#[test]
+fn automatic_reorganization_fires_every_period() {
+    let mut rng = StdRng::seed_from_u64(21);
+    let dims = 3;
+    let mut config = IndexConfig::memory(dims);
+    config.reorg_period = 50;
+    let mut index = AdaptiveClusterIndex::new(config).unwrap();
+    for i in 0..1000u32 {
+        index.insert(ObjectId(i), random_rect(&mut rng, dims)).unwrap();
+    }
+    assert_eq!(index.reorganizations(), 0);
+    for _ in 0..49 {
+        index.execute(&SpatialQuery::point_enclosing(vec![0.5; 3]));
+    }
+    assert_eq!(index.reorganizations(), 0);
+    index.execute(&SpatialQuery::point_enclosing(vec![0.5; 3]));
+    assert_eq!(index.reorganizations(), 1);
+    for _ in 0..50 {
+        index.execute(&SpatialQuery::point_enclosing(vec![0.5; 3]));
+    }
+    assert_eq!(index.reorganizations(), 2);
+}
+
+#[test]
+fn insertion_prefers_lowest_access_probability() {
+    let mut rng = StdRng::seed_from_u64(5);
+    let dims = 2;
+    let mut config = IndexConfig::memory(dims);
+    config.reorg_period = 0;
+    let mut index = AdaptiveClusterIndex::new(config).unwrap();
+    // Objects concentrated in the first quarter of d1 → splittable cell.
+    for i in 0..800u32 {
+        let a: f32 = rng.gen_range(0.0..0.2);
+        let b: f32 = a + rng.gen_range(0.0..0.05);
+        let c: f32 = rng.gen_range(0.0..=0.5);
+        let d: f32 = c + rng.gen_range(0.0f32..=0.5).min(1.0 - c);
+        index.insert(ObjectId(i), rect(&[a, c], &[b, d])).unwrap();
+    }
+    // Queries that *miss* the concentration → the cell is cold.
+    for _ in 0..100 {
+        index.execute(&SpatialQuery::point_enclosing(vec![0.9, 0.5]));
+    }
+    index.reorganize();
+    assert!(index.cluster_count() > 1, "expected a split");
+    // Make the root hot again (epoch restarted at reorganization).
+    for _ in 0..50 {
+        index.execute(&SpatialQuery::point_enclosing(vec![0.9, 0.5]));
+    }
+    let before = index.snapshots();
+    // New object qualifying for the cold child: must land there.
+    index
+        .insert(ObjectId(100_000), rect(&[0.05, 0.3], &[0.08, 0.6]))
+        .unwrap();
+    let after = index.snapshots();
+    let grew: Vec<_> = after
+        .iter()
+        .filter(|s| {
+            before
+                .iter()
+                .find(|b| b.id == s.id)
+                .is_none_or(|b| b.objects < s.objects)
+        })
+        .collect();
+    assert_eq!(grew.len(), 1);
+    assert!(
+        grew[0].parent.is_some(),
+        "object should go to the cold child, not the hot root"
+    );
+    index.check_invariants().unwrap();
+}
+
+#[test]
+fn mixed_churn_preserves_invariants_and_correctness() {
+    let mut rng = StdRng::seed_from_u64(99);
+    let dims = 3;
+    let mut config = IndexConfig::memory(dims);
+    config.reorg_period = 40;
+    let mut index = AdaptiveClusterIndex::new(config).unwrap();
+    let mut objects: Vec<(u32, HyperRect)> = Vec::new();
+    let mut next_id = 0u32;
+    for round in 0..12 {
+        // Insert a batch.
+        for _ in 0..150 {
+            let r = random_rect(&mut rng, dims);
+            index.insert(ObjectId(next_id), r.clone()).unwrap();
+            objects.push((next_id, r));
+            next_id += 1;
+        }
+        // Remove a random subset.
+        for _ in 0..40 {
+            if objects.is_empty() {
+                break;
+            }
+            let k = rng.gen_range(0..objects.len());
+            let (id, _) = objects.swap_remove(k);
+            index.remove(ObjectId(id)).unwrap();
+        }
+        // Query (triggers automatic reorganizations).
+        for _ in 0..25 {
+            let q = if round % 2 == 0 {
+                SpatialQuery::intersection(small_rect(&mut rng, dims, 0.15))
+            } else {
+                SpatialQuery::enclosure(small_rect(&mut rng, dims, 0.01))
+            };
+            assert_eq!(
+                sorted(index.execute(&q).matches),
+                naive_matches(&objects, &q),
+                "round {round}"
+            );
+        }
+        index.check_invariants().unwrap();
+    }
+    assert_eq!(index.len(), objects.len());
+}
+
+#[test]
+fn snapshots_reflect_tree_shape() {
+    let mut rng = StdRng::seed_from_u64(17);
+    let dims = 3;
+    let mut config = IndexConfig::memory(dims);
+    config.reorg_period = 0;
+    let mut index = AdaptiveClusterIndex::new(config).unwrap();
+    for i in 0..2000u32 {
+        index.insert(ObjectId(i), random_rect(&mut rng, dims)).unwrap();
+    }
+    for _ in 0..100 {
+        let p: Vec<f32> = (0..dims).map(|_| rng.gen_range(0.0..=1.0)).collect();
+        index.execute(&SpatialQuery::point_enclosing(p));
+    }
+    index.reorganize();
+    let snaps = index.snapshots();
+    assert_eq!(snaps.len(), index.cluster_count());
+    let root_count = snaps.iter().filter(|s| s.parent.is_none()).count();
+    assert_eq!(root_count, 1);
+    let total_objects: usize = snaps.iter().map(|s| s.objects).sum();
+    assert_eq!(total_objects, index.len());
+    // Depths are consistent with parent links.
+    for s in &snaps {
+        if let Some(p) = s.parent {
+            let parent = snaps.iter().find(|x| x.id == p).unwrap();
+            assert_eq!(parent.depth + 1, s.depth);
+        } else {
+            assert_eq!(s.depth, 0);
+        }
+        assert!(!s.signature.is_empty());
+    }
+}
+
+#[test]
+fn disk_scenario_produces_fewer_clusters_than_memory() {
+    // Paper Fig. 7: the 15 ms seek makes splits far less attractive, so
+    // the disk-based index materializes far fewer clusters.
+    let dims = 4;
+    let build = |config: IndexConfig| {
+        let mut rng = StdRng::seed_from_u64(31);
+        let mut index = AdaptiveClusterIndex::new(config).unwrap();
+        for i in 0..4000u32 {
+            index.insert(ObjectId(i), random_rect(&mut rng, dims)).unwrap();
+        }
+        let mut qrng = StdRng::seed_from_u64(77);
+        for _ in 0..3 {
+            for _ in 0..200 {
+                let p: Vec<f32> = (0..dims).map(|_| qrng.gen_range(0.0..=1.0)).collect();
+                index.execute(&SpatialQuery::point_enclosing(p));
+            }
+            index.reorganize();
+        }
+        index
+    };
+    let mut mem_cfg = IndexConfig::memory(dims);
+    mem_cfg.reorg_period = 0;
+    let mut disk_cfg = IndexConfig::disk(dims);
+    disk_cfg.reorg_period = 0;
+    let mem = build(mem_cfg);
+    let disk = build(disk_cfg);
+    assert!(
+        disk.cluster_count() < mem.cluster_count(),
+        "disk {} vs memory {}",
+        disk.cluster_count(),
+        mem.cluster_count()
+    );
+}
+
+#[test]
+fn save_load_roundtrip_preserves_contents_and_results() {
+    let mut rng = StdRng::seed_from_u64(55);
+    let dims = 3;
+    let mut config = IndexConfig::memory(dims);
+    config.reorg_period = 0;
+    let mut index = AdaptiveClusterIndex::new(config.clone()).unwrap();
+    let mut objects = Vec::new();
+    for i in 0..1200u32 {
+        let r = random_rect(&mut rng, dims);
+        index.insert(ObjectId(i), r.clone()).unwrap();
+        objects.push((i, r));
+    }
+    for _ in 0..100 {
+        let p: Vec<f32> = (0..dims).map(|_| rng.gen_range(0.0..=1.0)).collect();
+        index.execute(&SpatialQuery::point_enclosing(p));
+    }
+    index.reorganize();
+    let clusters_saved = index.cluster_count();
+
+    let mut path = std::env::temp_dir();
+    path.push(format!("acx-index-roundtrip-{}.acx", std::process::id()));
+    index.save(&path).unwrap();
+    let mut restored = AdaptiveClusterIndex::load(&path, config).unwrap();
+    std::fs::remove_file(&path).unwrap();
+
+    assert_eq!(restored.len(), index.len());
+    assert_eq!(restored.cluster_count(), clusters_saved);
+    restored.check_invariants().unwrap();
+    for _ in 0..50 {
+        let q = SpatialQuery::intersection(small_rect(&mut rng, dims, 0.2));
+        assert_eq!(
+            sorted(restored.execute(&q).matches),
+            naive_matches(&objects, &q)
+        );
+    }
+}
+
+#[test]
+fn load_rejects_wrong_dimensionality() {
+    let mut index = AdaptiveClusterIndex::new(IndexConfig::memory(2)).unwrap();
+    index.insert(ObjectId(1), rect(&[0.1, 0.1], &[0.2, 0.2])).unwrap();
+    let mut path = std::env::temp_dir();
+    path.push(format!("acx-index-wrongdims-{}.acx", std::process::id()));
+    index.save(&path).unwrap();
+    let err = AdaptiveClusterIndex::load(&path, IndexConfig::memory(5));
+    std::fs::remove_file(&path).unwrap();
+    assert!(matches!(
+        err,
+        Err(IndexError::DimensionMismatch { expected: 5, actual: 2 })
+    ));
+}
+
+#[test]
+fn priced_cost_drops_after_adaptation() {
+    // The headline claim: adaptive clustering beats sequential scan —
+    // i.e. the priced execution cost falls below the initial root-only
+    // (scan-equivalent) cost once clustering kicks in.
+    let mut rng = StdRng::seed_from_u64(2024);
+    let dims = 6;
+    let mut config = IndexConfig::memory(dims);
+    config.reorg_period = 0;
+    let mut index = AdaptiveClusterIndex::new(config).unwrap();
+    for i in 0..5000u32 {
+        index.insert(ObjectId(i), random_rect(&mut rng, dims)).unwrap();
+    }
+    let mut qrng = StdRng::seed_from_u64(9);
+    let gen_query = |rng: &mut StdRng| {
+        SpatialQuery::point_enclosing((0..dims).map(|_| rng.gen_range(0.0..=1.0)).collect())
+    };
+    let mut cost_before = 0.0;
+    for _ in 0..100 {
+        let q = gen_query(&mut qrng);
+        cost_before += index.execute(&q).metrics.priced_ms;
+    }
+    index.reorganize();
+    let mut cost_after = 0.0;
+    for _ in 0..100 {
+        let q = gen_query(&mut qrng);
+        cost_after += index.execute(&q).metrics.priced_ms;
+    }
+    assert!(
+        cost_after < cost_before,
+        "priced cost should drop: {cost_before:.4} -> {cost_after:.4}"
+    );
+}

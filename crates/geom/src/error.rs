@@ -1,0 +1,62 @@
+use std::fmt;
+
+/// Errors raised when constructing geometric values.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GeomError {
+    /// An interval was constructed with `lo > hi` or a non-finite bound.
+    InvalidInterval {
+        /// Human-readable rendering of the offending bounds.
+        detail: String,
+    },
+    /// A hyper-rectangle was constructed with zero dimensions.
+    EmptyRect,
+    /// Two multi-dimensional values had different dimensionalities.
+    DimensionMismatch {
+        /// Dimensionality of the left-hand value.
+        left: usize,
+        /// Dimensionality of the right-hand value.
+        right: usize,
+    },
+    /// A flat coordinate slice had an odd length.
+    OddCoordinateCount {
+        /// The offending length.
+        len: usize,
+    },
+}
+
+impl fmt::Display for GeomError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GeomError::InvalidInterval { detail } => {
+                write!(f, "invalid interval: {detail}")
+            }
+            GeomError::EmptyRect => write!(f, "hyper-rectangle must have at least one dimension"),
+            GeomError::DimensionMismatch { left, right } => {
+                write!(f, "dimension mismatch: {left} vs {right}")
+            }
+            GeomError::OddCoordinateCount { len } => {
+                write!(f, "flat coordinate slice must have even length, got {len}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GeomError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats_are_informative() {
+        let e = GeomError::InvalidInterval {
+            detail: "lo=2 hi=1".into(),
+        };
+        assert!(e.to_string().contains("lo=2 hi=1"));
+        assert!(GeomError::EmptyRect.to_string().contains("at least one"));
+        let e = GeomError::DimensionMismatch { left: 3, right: 5 };
+        assert!(e.to_string().contains("3 vs 5"));
+        let e = GeomError::OddCoordinateCount { len: 7 };
+        assert!(e.to_string().contains('7'));
+    }
+}

@@ -1,0 +1,65 @@
+/// Identifier of a spatial object stored in the database.
+///
+/// The paper represents the identifier on 4 bytes; the cost model's
+/// per-object byte size depends on this.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ObjectId(pub u32);
+
+impl ObjectId {
+    /// The raw 32-bit value.
+    #[inline]
+    pub fn raw(self) -> u32 {
+        self.0
+    }
+}
+
+impl std::fmt::Display for ObjectId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "#{}", self.0)
+    }
+}
+
+impl From<u32> for ObjectId {
+    fn from(v: u32) -> Self {
+        ObjectId(v)
+    }
+}
+
+/// Bytes used by an object identifier (paper §7.1, "Data Representation").
+pub const OBJECT_ID_BYTES: usize = 4;
+
+/// Size in bytes of one stored spatial object with `dims` dimensions.
+///
+/// "A spatial object consists of an object identifier and of `Nd` pairs of
+/// real values […] each represented on 4 bytes" — i.e. `4 + 8·Nd` bytes.
+/// This value feeds the cost model (verification and transfer are priced
+/// per byte) and the R*-tree page-capacity computation.
+#[inline]
+pub const fn object_size_bytes(dims: usize) -> usize {
+    OBJECT_ID_BYTES + dims * 2 * core::mem::size_of::<f32>()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn object_size_matches_paper_figures() {
+        // 16 dimensions: 4 + 128 = 132 bytes; 2,000,000 objects = 251 MiB.
+        assert_eq!(object_size_bytes(16), 132);
+        let two_million = 2_000_000usize * object_size_bytes(16);
+        let mib = two_million as f64 / (1024.0 * 1024.0);
+        assert!((mib - 251.0).abs() < 1.0, "got {mib} MiB");
+        // 40 dimensions: 4 + 320 = 324 bytes.
+        assert_eq!(object_size_bytes(40), 324);
+    }
+
+    #[test]
+    fn object_id_roundtrip_and_display() {
+        let id = ObjectId::from(42u32);
+        assert_eq!(id.raw(), 42);
+        assert_eq!(id.to_string(), "#42");
+        assert_eq!(ObjectId(7), ObjectId(7));
+        assert!(ObjectId(1) < ObjectId(2));
+    }
+}

@@ -1,0 +1,213 @@
+use crate::{AccessStats, DeviceProfile, StorageScenario};
+
+/// The paper's cost model (§5): prices cluster explorations and whole
+/// queries for a given storage scenario and object size.
+///
+/// The expected query time attributed to a cluster `c` is
+///
+/// ```text
+/// T_c = A + p_c · (B + n_c · C)
+/// ```
+///
+/// where `p_c` is the cluster's access probability, `n_c` its object count,
+/// and:
+///
+/// * `A` — signature verification time,
+/// * `B` — exploration setup (memory) plus one disk access (disk scenario),
+/// * `C` — per-object verification time (memory) plus per-object transfer
+///   time (disk scenario).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostModel {
+    profile: DeviceProfile,
+    scenario: StorageScenario,
+    object_bytes: usize,
+}
+
+impl CostModel {
+    /// Builds a cost model for the scenario, pricing objects of
+    /// `object_bytes` bytes (see [`acx_geom::object_size_bytes`]).
+    pub fn new(profile: DeviceProfile, scenario: StorageScenario, object_bytes: usize) -> Self {
+        Self {
+            profile,
+            scenario,
+            object_bytes,
+        }
+    }
+
+    /// Memory-scenario model on the paper's reference platform.
+    pub fn memory(object_bytes: usize) -> Self {
+        Self::new(
+            DeviceProfile::edbt2004(),
+            StorageScenario::Memory,
+            object_bytes,
+        )
+    }
+
+    /// Disk-scenario model on the paper's reference platform.
+    pub fn disk(object_bytes: usize) -> Self {
+        Self::new(
+            DeviceProfile::edbt2004(),
+            StorageScenario::Disk,
+            object_bytes,
+        )
+    }
+
+    /// The storage scenario this model prices.
+    pub fn scenario(&self) -> StorageScenario {
+        self.scenario
+    }
+
+    /// The device profile behind this model.
+    pub fn profile(&self) -> &DeviceProfile {
+        &self.profile
+    }
+
+    /// Object size in bytes used for `C`.
+    pub fn object_bytes(&self) -> usize {
+        self.object_bytes
+    }
+
+    /// Model parameter `A`: cluster signature verification time (ms).
+    #[inline]
+    pub fn a(&self) -> f64 {
+        self.profile.signature_check_ms
+    }
+
+    /// Model parameter `B`: cluster exploration preparation time (ms).
+    /// In the disk scenario this includes one random disk access.
+    #[inline]
+    pub fn b(&self) -> f64 {
+        match self.scenario {
+            StorageScenario::Memory => self.profile.exploration_setup_ms,
+            StorageScenario::Disk => self.profile.exploration_setup_ms + self.profile.seek_ms,
+        }
+    }
+
+    /// Model parameter `C`: per-object check time (ms). In the disk
+    /// scenario this includes transferring the object from disk.
+    #[inline]
+    pub fn c(&self) -> f64 {
+        self.c_verify() + self.c_transfer()
+    }
+
+    /// CPU verification component of `C`: time to check one full object
+    /// (ms). Callers that account for early-exit verification (paper
+    /// footnote 4) scale this component by the observed checked-bytes
+    /// fraction.
+    #[inline]
+    pub fn c_verify(&self) -> f64 {
+        self.object_bytes as f64 * self.profile.verify_ms_per_byte
+    }
+
+    /// Transfer component of `C` (ms): zero in memory, one object's disk
+    /// transfer in the disk scenario. Transfer always moves the whole
+    /// object regardless of early-exit verification.
+    #[inline]
+    pub fn c_transfer(&self) -> f64 {
+        match self.scenario {
+            StorageScenario::Memory => 0.0,
+            StorageScenario::Disk => self.object_bytes as f64 * self.profile.transfer_ms_per_byte,
+        }
+    }
+
+    /// Expected per-query time `T = A + p·(B + n·C)` for a cluster with
+    /// access probability `p` and `n` objects (ms).
+    pub fn expected_cluster_time(&self, p: f64, n: usize) -> f64 {
+        self.a() + p * (self.b() + n as f64 * self.c())
+    }
+
+    /// Prices a set of measured access counters (ms).
+    ///
+    /// Unlike [`CostModel::expected_cluster_time`], which the index uses
+    /// *prospectively* to decide reorganizations, this prices what a query
+    /// *actually did*: signature checks, explorations, byte verifications,
+    /// and — in the disk scenario — seeks and transfers.
+    pub fn price(&self, stats: &AccessStats) -> f64 {
+        let mut ms = stats.signature_checks as f64 * self.profile.signature_check_ms
+            + stats.clusters_explored as f64 * self.profile.exploration_setup_ms
+            + stats.verified_bytes as f64 * self.profile.verify_ms_per_byte;
+        if self.scenario == StorageScenario::Disk {
+            ms += stats.seeks as f64 * self.profile.seek_ms
+                + stats.transfer_bytes as f64 * self.profile.transfer_ms_per_byte;
+        }
+        ms
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const OBJ_16D: usize = 132; // 4 + 8·16
+
+    #[test]
+    fn memory_parameters() {
+        let m = CostModel::memory(OBJ_16D);
+        assert_eq!(m.a(), 5e-7);
+        assert_eq!(m.b(), 1e-3);
+        // C = 132 bytes · ≈3.18e-6 ms/B ≈ 4.2e-4 ms (Table 2 rounds the rate).
+        assert!((m.c() - 132.0 * 3.18e-6).abs() / m.c() < 1e-2);
+    }
+
+    #[test]
+    fn disk_parameters_add_seek_and_transfer() {
+        let mem = CostModel::memory(OBJ_16D);
+        let disk = CostModel::disk(OBJ_16D);
+        assert_eq!(disk.a(), mem.a());
+        assert!((disk.b() - (mem.b() + 15.0)).abs() < 1e-9);
+        assert!(disk.c() > mem.c());
+        // C' − C = transfer time of one object.
+        let delta = disk.c() - mem.c();
+        assert!((delta - 132.0 * 4.77e-5).abs() / delta < 1e-2);
+    }
+
+    #[test]
+    fn expected_time_formula() {
+        let m = CostModel::memory(OBJ_16D);
+        let t = m.expected_cluster_time(0.5, 1000);
+        let manual = m.a() + 0.5 * (m.b() + 1000.0 * m.c());
+        assert!((t - manual).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_probability_cluster_costs_only_signature_check() {
+        let m = CostModel::disk(OBJ_16D);
+        assert_eq!(m.expected_cluster_time(0.0, 10_000), m.a());
+    }
+
+    #[test]
+    fn price_counts_scenario_specific_costs() {
+        let stats = AccessStats {
+            signature_checks: 100,
+            clusters_explored: 10,
+            objects_verified: 1000,
+            verified_bytes: 132_000,
+            seeks: 10,
+            transfer_bytes: 132_000,
+        };
+        let mem = CostModel::memory(OBJ_16D).price(&stats);
+        let disk = CostModel::disk(OBJ_16D).price(&stats);
+        // Disk adds 10 seeks (150 ms) plus transfer.
+        assert!(disk > mem + 150.0 - 1e-6);
+        let expected_mem =
+            100.0 * 5e-7 + 10.0 * 1e-3 + 132_000.0 * DeviceProfile::edbt2004().verify_ms_per_byte;
+        assert!((mem - expected_mem).abs() < 1e-9);
+    }
+
+    #[test]
+    fn seq_scan_disk_cost_dominated_by_transfer() {
+        // A 251 MiB database read sequentially should take ≈ 12.5 s at
+        // 20 MiB/s — the flat SS line in Fig. 7 chart B.
+        let db_bytes = 2_000_000u64 * OBJ_16D as u64;
+        let stats = AccessStats {
+            signature_checks: 1,
+            clusters_explored: 1,
+            objects_verified: 2_000_000,
+            verified_bytes: db_bytes,
+            seeks: 1,
+            transfer_bytes: db_bytes,
+        };
+        let disk_ms = CostModel::disk(OBJ_16D).price(&stats);
+        assert!(disk_ms > 12_000.0 && disk_ms < 15_000.0, "got {disk_ms}");
+    }
+}

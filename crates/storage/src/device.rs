@@ -1,0 +1,128 @@
+/// Where the cluster members live (paper §5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum StorageScenario {
+    /// The database fits in main memory; clusters are contiguous in RAM.
+    #[default]
+    Memory,
+    /// Cluster members are on external storage; signatures and statistics
+    /// stay in memory, exploring a cluster pays a random access.
+    Disk,
+}
+
+impl std::fmt::Display for StorageScenario {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StorageScenario::Memory => f.write_str("memory"),
+            StorageScenario::Disk => f.write_str("disk"),
+        }
+    }
+}
+
+/// I/O and CPU cost constants of the execution platform.
+///
+/// Defaults reproduce the paper's Table 2 (a 2004 SCSI disk and a
+/// Pentium III 650 MHz):
+///
+/// | quantity | value |
+/// |---|---|
+/// | disk access time | 15 ms |
+/// | disk transfer rate | 20 MiB/s → 4.77·10⁻⁵ ms/byte |
+/// | object verification rate | 300 MiB/s → 3.18·10⁻⁶ ms/byte |
+/// | cluster signature check | 5·10⁻⁷ ms |
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DeviceProfile {
+    /// Time to position the disk head at the start of a cluster (ms).
+    pub seek_ms: f64,
+    /// Time to transfer one byte from disk to memory (ms).
+    pub transfer_ms_per_byte: f64,
+    /// Time to verify one byte of object data against a selection (ms).
+    pub verify_ms_per_byte: f64,
+    /// Time to check one cluster signature (ms) — the model's `A`.
+    pub signature_check_ms: f64,
+    /// CPU time to prepare a cluster exploration: function call, scan
+    /// initialization, and statistics update (ms). Part of the model's `B`;
+    /// the paper does not tabulate it, we default to 1 µs.
+    pub exploration_setup_ms: f64,
+}
+
+const MIB: f64 = 1024.0 * 1024.0;
+
+impl DeviceProfile {
+    /// The paper's reference platform (Table 2).
+    pub fn edbt2004() -> Self {
+        DeviceProfile {
+            seek_ms: 15.0,
+            transfer_ms_per_byte: 1000.0 / (20.0 * MIB),
+            verify_ms_per_byte: 1000.0 / (300.0 * MIB),
+            signature_check_ms: 5e-7,
+            exploration_setup_ms: 1e-3,
+        }
+    }
+
+    /// A profile resembling commodity NVMe hardware (for ablations):
+    /// 100 µs access, 2 GiB/s transfer, 4 GiB/s verification.
+    pub fn modern_nvme() -> Self {
+        DeviceProfile {
+            seek_ms: 0.1,
+            transfer_ms_per_byte: 1000.0 / (2048.0 * MIB),
+            verify_ms_per_byte: 1000.0 / (4096.0 * MIB),
+            signature_check_ms: 5e-8,
+            exploration_setup_ms: 1e-4,
+        }
+    }
+
+    /// Disk transfer rate in MiB/s implied by this profile.
+    pub fn transfer_rate_mib_s(&self) -> f64 {
+        1000.0 / (self.transfer_ms_per_byte * MIB)
+    }
+
+    /// Verification rate in MiB/s implied by this profile.
+    pub fn verify_rate_mib_s(&self) -> f64 {
+        1000.0 / (self.verify_ms_per_byte * MIB)
+    }
+}
+
+impl Default for DeviceProfile {
+    fn default() -> Self {
+        Self::edbt2004()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn edbt2004_matches_table_2() {
+        let p = DeviceProfile::edbt2004();
+        assert_eq!(p.seek_ms, 15.0);
+        // Table 2: transfer time per byte = 4.77e-5 ms.
+        assert!((p.transfer_ms_per_byte - 4.77e-5).abs() < 1e-7);
+        // Table 2: verification time per byte = 3.18e-6 ms.
+        assert!((p.verify_ms_per_byte - 3.18e-6).abs() < 1e-8);
+        assert_eq!(p.signature_check_ms, 5e-7);
+    }
+
+    #[test]
+    fn rates_roundtrip() {
+        let p = DeviceProfile::edbt2004();
+        assert!((p.transfer_rate_mib_s() - 20.0).abs() < 0.01);
+        assert!((p.verify_rate_mib_s() - 300.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn modern_profile_is_faster_everywhere() {
+        let old = DeviceProfile::edbt2004();
+        let new = DeviceProfile::modern_nvme();
+        assert!(new.seek_ms < old.seek_ms);
+        assert!(new.transfer_ms_per_byte < old.transfer_ms_per_byte);
+        assert!(new.verify_ms_per_byte < old.verify_ms_per_byte);
+    }
+
+    #[test]
+    fn scenario_display_and_default() {
+        assert_eq!(StorageScenario::Memory.to_string(), "memory");
+        assert_eq!(StorageScenario::Disk.to_string(), "disk");
+        assert_eq!(StorageScenario::default(), StorageScenario::Memory);
+    }
+}

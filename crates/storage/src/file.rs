@@ -1,0 +1,320 @@
+//! File-backed persistence with a one-block directory (paper §6, "Fail
+//! Recovery").
+//!
+//! Layout of the store file (all integers little-endian):
+//!
+//! ```text
+//! [magic "ACXF"][version u32][dims u32][cluster_count u32]
+//! directory: cluster_count × { offset u64, byte_len u64 }
+//! records:   cluster_count × {
+//!     sig_len u32, sig bytes,          // opaque signature blob
+//!     n u32, n × id u32, n × 2·dims f32 // sequential members
+//! }
+//! ```
+//!
+//! The directory indicates the position of each cluster on disk; signatures
+//! are stored **with** the member objects, so the search structure can be
+//! rebuilt after a crash without replaying statistics (the paper notes
+//! statistics can simply be re-gathered).
+
+use std::fs::File;
+use std::io::{self, BufReader, BufWriter, Read, Seek, SeekFrom, Write};
+use std::path::Path;
+
+use acx_geom::Scalar;
+
+const MAGIC: &[u8; 4] = b"ACXF";
+const VERSION: u32 = 1;
+
+/// Errors produced by the persistent store.
+#[derive(Debug)]
+pub enum StoreError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// The file is not an ACX store or is corrupted.
+    Corrupt(String),
+    /// The file uses an unsupported format version.
+    UnsupportedVersion(u32),
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreError::Io(e) => write!(f, "i/o error: {e}"),
+            StoreError::Corrupt(why) => write!(f, "corrupt store: {why}"),
+            StoreError::UnsupportedVersion(v) => write!(f, "unsupported store version {v}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StoreError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for StoreError {
+    fn from(e: io::Error) -> Self {
+        StoreError::Io(e)
+    }
+}
+
+/// One persisted cluster: opaque signature blob plus sequential members.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterRecord {
+    /// Serialized cluster signature (interpreted by `acx-core`).
+    pub signature: Vec<u8>,
+    /// Object identifiers, parallel to `coords`.
+    pub ids: Vec<u32>,
+    /// Flat coordinates, `2·dims` scalars per object.
+    pub coords: Vec<Scalar>,
+}
+
+/// Persistent cluster store: saves and restores a set of cluster records.
+pub struct FileStore;
+
+impl FileStore {
+    /// Writes all cluster records to `path`, atomically replacing any
+    /// previous content (write to temp file + rename).
+    pub fn save(path: &Path, dims: usize, clusters: &[ClusterRecord]) -> Result<(), StoreError> {
+        for (i, c) in clusters.iter().enumerate() {
+            if c.coords.len() != c.ids.len() * 2 * dims {
+                return Err(StoreError::Corrupt(format!(
+                    "cluster {i}: coords/ids arity mismatch"
+                )));
+            }
+        }
+        let tmp = path.with_extension("tmp");
+        {
+            let mut w = BufWriter::new(File::create(&tmp)?);
+            w.write_all(MAGIC)?;
+            w.write_all(&VERSION.to_le_bytes())?;
+            w.write_all(&(dims as u32).to_le_bytes())?;
+            w.write_all(&(clusters.len() as u32).to_le_bytes())?;
+
+            // Directory block: per-cluster (offset, len); offsets are
+            // relative to the end of the directory.
+            let header_len = 4 + 4 + 4 + 4;
+            let dir_len = clusters.len() * 16;
+            let mut offset = (header_len + dir_len) as u64;
+            for c in clusters {
+                let len = 4 + c.signature.len() + 4 + c.ids.len() * 4 + c.coords.len() * 4;
+                w.write_all(&offset.to_le_bytes())?;
+                w.write_all(&(len as u64).to_le_bytes())?;
+                offset += len as u64;
+            }
+            for c in clusters {
+                w.write_all(&(c.signature.len() as u32).to_le_bytes())?;
+                w.write_all(&c.signature)?;
+                w.write_all(&(c.ids.len() as u32).to_le_bytes())?;
+                for id in &c.ids {
+                    w.write_all(&id.to_le_bytes())?;
+                }
+                for v in &c.coords {
+                    w.write_all(&v.to_le_bytes())?;
+                }
+            }
+            w.flush()?;
+        }
+        std::fs::rename(&tmp, path)?;
+        Ok(())
+    }
+
+    /// Loads every cluster record from `path`. Returns the dimensionality
+    /// and the records in directory order.
+    pub fn load(path: &Path) -> Result<(usize, Vec<ClusterRecord>), StoreError> {
+        let mut r = BufReader::new(File::open(path)?);
+        let mut magic = [0u8; 4];
+        r.read_exact(&mut magic)?;
+        if &magic != MAGIC {
+            return Err(StoreError::Corrupt("bad magic".into()));
+        }
+        let version = read_u32(&mut r)?;
+        if version != VERSION {
+            return Err(StoreError::UnsupportedVersion(version));
+        }
+        let dims = read_u32(&mut r)? as usize;
+        if dims == 0 {
+            return Err(StoreError::Corrupt("zero dimensions".into()));
+        }
+        let count = read_u32(&mut r)? as usize;
+        let mut directory = Vec::with_capacity(count);
+        for _ in 0..count {
+            let offset = read_u64(&mut r)?;
+            let len = read_u64(&mut r)?;
+            directory.push((offset, len));
+        }
+        let mut clusters = Vec::with_capacity(count);
+        for (i, (offset, len)) in directory.into_iter().enumerate() {
+            r.seek(SeekFrom::Start(offset))?;
+            let sig_len = read_u32(&mut r)? as usize;
+            let mut signature = vec![0u8; sig_len];
+            r.read_exact(&mut signature)?;
+            let n = read_u32(&mut r)? as usize;
+            let expected = 4 + sig_len + 4 + n * 4 + n * 8 * dims;
+            if expected as u64 != len {
+                return Err(StoreError::Corrupt(format!(
+                    "cluster {i}: directory len {len} != record len {expected}"
+                )));
+            }
+            let mut ids = Vec::with_capacity(n);
+            for _ in 0..n {
+                ids.push(read_u32(&mut r)?);
+            }
+            let mut coords = Vec::with_capacity(n * 2 * dims);
+            let mut buf = [0u8; 4];
+            for _ in 0..n * 2 * dims {
+                r.read_exact(&mut buf)?;
+                coords.push(Scalar::from_le_bytes(buf));
+            }
+            clusters.push(ClusterRecord {
+                signature,
+                ids,
+                coords,
+            });
+        }
+        Ok((dims, clusters))
+    }
+}
+
+fn read_u32<R: Read>(r: &mut R) -> Result<u32, StoreError> {
+    let mut buf = [0u8; 4];
+    r.read_exact(&mut buf)?;
+    Ok(u32::from_le_bytes(buf))
+}
+
+fn read_u64<R: Read>(r: &mut R) -> Result<u64, StoreError> {
+    let mut buf = [0u8; 8];
+    r.read_exact(&mut buf)?;
+    Ok(u64::from_le_bytes(buf))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn temp_path(name: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!(
+            "acx-filestore-{}-{}-{name}",
+            std::process::id(),
+            std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .unwrap()
+                .as_nanos()
+        ));
+        p
+    }
+
+    fn sample_clusters() -> Vec<ClusterRecord> {
+        vec![
+            ClusterRecord {
+                signature: vec![1, 2, 3],
+                ids: vec![10, 11],
+                coords: vec![0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8],
+            },
+            ClusterRecord {
+                signature: vec![],
+                ids: vec![],
+                coords: vec![],
+            },
+            ClusterRecord {
+                signature: vec![0xFF; 64],
+                ids: vec![42],
+                coords: vec![0.0, 1.0, 0.25, 0.75],
+            },
+        ]
+    }
+
+    #[test]
+    fn save_load_roundtrip() {
+        let path = temp_path("roundtrip");
+        let clusters = sample_clusters();
+        FileStore::save(&path, 2, &clusters).unwrap();
+        let (dims, loaded) = FileStore::load(&path).unwrap();
+        assert_eq!(dims, 2);
+        assert_eq!(loaded, clusters);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn save_rejects_arity_mismatch() {
+        let path = temp_path("arity");
+        let bad = vec![ClusterRecord {
+            signature: vec![],
+            ids: vec![1],
+            coords: vec![0.0, 1.0], // needs 4 scalars for 2 dims
+        }];
+        assert!(matches!(
+            FileStore::save(&path, 2, &bad),
+            Err(StoreError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn load_rejects_bad_magic() {
+        let path = temp_path("magic");
+        std::fs::write(&path, b"NOPE....").unwrap();
+        assert!(matches!(
+            FileStore::load(&path),
+            Err(StoreError::Corrupt(_))
+        ));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn load_rejects_truncated_file() {
+        let path = temp_path("trunc");
+        let clusters = sample_clusters();
+        FileStore::save(&path, 2, &clusters).unwrap();
+        let data = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &data[..data.len() - 5]).unwrap();
+        assert!(FileStore::load(&path).is_err());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn load_rejects_future_version() {
+        let path = temp_path("version");
+        let mut data = Vec::new();
+        data.extend_from_slice(MAGIC);
+        data.extend_from_slice(&99u32.to_le_bytes());
+        data.extend_from_slice(&2u32.to_le_bytes());
+        data.extend_from_slice(&0u32.to_le_bytes());
+        std::fs::write(&path, &data).unwrap();
+        assert!(matches!(
+            FileStore::load(&path),
+            Err(StoreError::UnsupportedVersion(99))
+        ));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn save_overwrites_atomically() {
+        let path = temp_path("atomic");
+        FileStore::save(&path, 2, &sample_clusters()).unwrap();
+        let one = vec![ClusterRecord {
+            signature: vec![7],
+            ids: vec![1],
+            coords: vec![0.0, 0.5, 0.5, 1.0],
+        }];
+        FileStore::save(&path, 2, &one).unwrap();
+        let (_, loaded) = FileStore::load(&path).unwrap();
+        assert_eq!(loaded, one);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn empty_store_roundtrip() {
+        let path = temp_path("empty");
+        FileStore::save(&path, 5, &[]).unwrap();
+        let (dims, loaded) = FileStore::load(&path).unwrap();
+        assert_eq!(dims, 5);
+        assert!(loaded.is_empty());
+        std::fs::remove_file(&path).unwrap();
+    }
+}

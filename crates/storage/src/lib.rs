@@ -1,0 +1,33 @@
+//! Storage substrate: device cost profiles, simulated disk, sequential
+//! segment store, and a file-backed persistent store.
+//!
+//! The paper evaluates two storage scenarios (§5):
+//!
+//! * **Memory** — objects of a cluster are stored sequentially in memory to
+//!   maximize locality; costs are signature checks, exploration setup, and
+//!   per-byte verification.
+//! * **Disk** — cluster members live on external storage, stored
+//!   sequentially per cluster; exploring a cluster additionally pays one
+//!   random disk access (seek) and a per-byte transfer cost.
+//!
+//! The original experiments ran on 2004 SCSI hardware (15 ms access time,
+//! 20 MB/s sustained transfer, 64 MB RAM cap). This crate reproduces that
+//! environment as a **simulation**: query execution collects exact access
+//! counters ([`AccessStats`]) which a [`CostModel`] prices with the paper's
+//! own Table 2 constants. See DESIGN.md §3 for the substitution rationale.
+
+mod cost;
+mod counters;
+mod device;
+mod file;
+mod result;
+mod segment;
+mod simdisk;
+
+pub use cost::CostModel;
+pub use counters::{AccessStats, AveragedStats};
+pub use device::{DeviceProfile, StorageScenario};
+pub use file::{ClusterRecord, FileStore, StoreError};
+pub use result::{QueryMetrics, QueryResult};
+pub use segment::{SegmentId, SegmentStore};
+pub use simdisk::SimulatedDisk;

@@ -1,0 +1,43 @@
+use std::time::Duration;
+
+use acx_geom::ObjectId;
+
+use crate::AccessStats;
+
+/// Everything one spatial query did, for cost accounting and the paper's
+/// reported indicators (query time, accessed clusters/nodes, verified
+/// data). Shared by every access method in the repository so the
+/// evaluation compares like with like.
+#[derive(Debug, Clone, Default)]
+pub struct QueryMetrics {
+    /// Exact access counters of the execution.
+    pub stats: AccessStats,
+    /// Simulated execution time (ms) under the access method's storage
+    /// scenario, priced from `stats` by the cost model.
+    pub priced_ms: f64,
+    /// Real wall-clock time spent executing the query.
+    pub wall: Duration,
+}
+
+/// Result of executing one spatial query.
+#[derive(Debug, Clone, Default)]
+pub struct QueryResult {
+    /// Identifiers of the matching objects (unsorted).
+    pub matches: Vec<ObjectId>,
+    /// Execution metrics.
+    pub metrics: QueryMetrics,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_empty() {
+        let q = QueryResult::default();
+        assert!(q.matches.is_empty());
+        assert_eq!(q.metrics.stats, AccessStats::default());
+        assert_eq!(q.metrics.priced_ms, 0.0);
+        assert_eq!(q.metrics.wall, Duration::ZERO);
+    }
+}

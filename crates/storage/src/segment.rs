@@ -1,0 +1,489 @@
+use acx_geom::{object_size_bytes, Scalar};
+
+/// Handle to one cluster's sequential object segment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SegmentId(pub u32);
+
+/// One cluster's members, stored sequentially: parallel id and flat
+/// coordinate arrays, plus the segment's position in the (virtual) disk
+/// layout.
+#[derive(Debug)]
+struct Segment {
+    ids: Vec<u32>,
+    /// Flat `[lo0, hi0, lo1, hi1, …]` coordinates, `2·dims` per object.
+    coords: Vec<Scalar>,
+    /// Reserved capacity in objects (allocation size on the layout).
+    capacity: usize,
+    /// Byte offset of the segment in the virtual sequential layout.
+    offset: u64,
+}
+
+/// Sequential cluster storage with reserved slack (paper §6, "Storage
+/// Utilization").
+///
+/// Each cluster's objects are stored contiguously — in memory for cache
+/// locality, on disk to favour sequential transfer. Because a relocation is
+/// expensive, every created or relocated segment reserves `reserve_fraction`
+/// extra places (the paper uses 20–30 %, guaranteeing ≥ 70 % utilization
+/// right after a relocation).
+///
+/// The store also maintains a *virtual byte layout* (bump allocation +
+/// relocation) so the disk scenario can reason about segment offsets, and
+/// counts relocations so tests can assert they stay rare.
+#[derive(Debug)]
+pub struct SegmentStore {
+    dims: usize,
+    object_bytes: usize,
+    reserve_fraction: f64,
+    segments: Vec<Option<Segment>>,
+    free_slots: Vec<u32>,
+    next_offset: u64,
+    relocations: u64,
+    live_objects: usize,
+}
+
+impl SegmentStore {
+    /// Creates a store for `dims`-dimensional objects with the paper's
+    /// default 25 % reserve.
+    pub fn new(dims: usize) -> Self {
+        Self::with_reserve(dims, 0.25)
+    }
+
+    /// Creates a store with an explicit reserve fraction in `[0, 1]`.
+    pub fn with_reserve(dims: usize, reserve_fraction: f64) -> Self {
+        assert!(dims > 0, "dims must be positive");
+        assert!(
+            (0.0..=1.0).contains(&reserve_fraction),
+            "reserve fraction must be in [0,1]"
+        );
+        Self {
+            dims,
+            object_bytes: object_size_bytes(dims),
+            reserve_fraction,
+            segments: Vec::new(),
+            free_slots: Vec::new(),
+            next_offset: 0,
+            relocations: 0,
+            live_objects: 0,
+        }
+    }
+
+    /// Dimensionality of stored objects.
+    pub fn dims(&self) -> usize {
+        self.dims
+    }
+
+    /// Bytes per stored object (id + `2·dims` scalars).
+    pub fn object_bytes(&self) -> usize {
+        self.object_bytes
+    }
+
+    /// Number of live segments.
+    pub fn segment_count(&self) -> usize {
+        self.segments.len() - self.free_slots.len()
+    }
+
+    /// Total number of stored objects across all segments.
+    pub fn len(&self) -> usize {
+        self.live_objects
+    }
+
+    /// Whether the store holds no objects.
+    pub fn is_empty(&self) -> bool {
+        self.live_objects == 0
+    }
+
+    /// How many times a segment had to be moved because it outgrew its
+    /// reservation.
+    pub fn relocations(&self) -> u64 {
+        self.relocations
+    }
+
+    /// Storage utilization: live object slots over reserved slots.
+    pub fn utilization(&self) -> f64 {
+        let mut used = 0usize;
+        let mut cap = 0usize;
+        for seg in self.segments.iter().flatten() {
+            used += seg.ids.len();
+            cap += seg.capacity;
+        }
+        if cap == 0 {
+            1.0
+        } else {
+            used as f64 / cap as f64
+        }
+    }
+
+    fn reserved_capacity(&self, n: usize) -> usize {
+        // n live objects plus the reserve, at least one slot.
+        ((n as f64 * (1.0 + self.reserve_fraction)).ceil() as usize).max(1)
+    }
+
+    fn alloc_bytes(&mut self, capacity: usize) -> u64 {
+        let offset = self.next_offset;
+        self.next_offset += (capacity * self.object_bytes) as u64;
+        offset
+    }
+
+    /// Creates an empty segment sized for `expected` objects.
+    pub fn create(&mut self, expected: usize) -> SegmentId {
+        let capacity = self.reserved_capacity(expected.max(1));
+        let offset = self.alloc_bytes(capacity);
+        let seg = Segment {
+            ids: Vec::with_capacity(capacity),
+            coords: Vec::with_capacity(capacity * 2 * self.dims),
+            capacity,
+            offset,
+        };
+        if let Some(slot) = self.free_slots.pop() {
+            self.segments[slot as usize] = Some(seg);
+            SegmentId(slot)
+        } else {
+            self.segments.push(Some(seg));
+            SegmentId((self.segments.len() - 1) as u32)
+        }
+    }
+
+    fn segment(&self, id: SegmentId) -> &Segment {
+        self.segments[id.0 as usize]
+            .as_ref()
+            .expect("segment was removed")
+    }
+
+    fn segment_mut(&mut self, id: SegmentId) -> &mut Segment {
+        self.segments[id.0 as usize]
+            .as_mut()
+            .expect("segment was removed")
+    }
+
+    /// Appends one object; relocates the segment (with fresh reserve) when
+    /// the reservation is exhausted.
+    pub fn push(&mut self, id: SegmentId, object_id: u32, flat: &[Scalar]) {
+        assert_eq!(flat.len(), 2 * self.dims, "coordinate arity mismatch");
+        let dims = self.dims;
+        let object_bytes = self.object_bytes;
+        let needs_relocation = {
+            let seg = self.segment(id);
+            seg.ids.len() == seg.capacity
+        };
+        if needs_relocation {
+            let new_capacity = self.reserved_capacity(self.segment(id).ids.len() + 1);
+            let new_offset = {
+                let offset = self.next_offset;
+                self.next_offset += (new_capacity * object_bytes) as u64;
+                offset
+            };
+            let seg = self.segment_mut(id);
+            seg.capacity = new_capacity;
+            seg.offset = new_offset;
+            seg.ids.reserve(new_capacity - seg.ids.len());
+            self.relocations += 1;
+        }
+        let seg = self.segment_mut(id);
+        seg.ids.push(object_id);
+        seg.coords.extend_from_slice(flat);
+        debug_assert_eq!(seg.coords.len(), seg.ids.len() * 2 * dims);
+        self.live_objects += 1;
+    }
+
+    /// Removes the object at `index` by swapping in the last member.
+    /// Returns the removed object id.
+    pub fn swap_remove(&mut self, id: SegmentId, index: usize) -> u32 {
+        let dims = self.dims;
+        let seg = self.segment_mut(id);
+        let removed = seg.ids.swap_remove(index);
+        let last = seg.ids.len(); // after removal, old last index
+        let width = 2 * dims;
+        if index < last {
+            let (from, to) = (last * width, index * width);
+            for k in 0..width {
+                seg.coords[to + k] = seg.coords[from + k];
+            }
+        }
+        seg.coords.truncate(last * width);
+        self.live_objects -= 1;
+        removed
+    }
+
+    /// Object ids of a segment, in storage order.
+    pub fn ids(&self, id: SegmentId) -> &[u32] {
+        &self.segment(id).ids
+    }
+
+    /// Flat coordinates of a segment (`2·dims` scalars per object).
+    pub fn coords(&self, id: SegmentId) -> &[Scalar] {
+        &self.segment(id).coords
+    }
+
+    /// Number of objects in a segment.
+    pub fn segment_len(&self, id: SegmentId) -> usize {
+        self.segment(id).ids.len()
+    }
+
+    /// Byte offset of the segment in the virtual layout.
+    pub fn offset(&self, id: SegmentId) -> u64 {
+        self.segment(id).offset
+    }
+
+    /// Bytes occupied by live objects of the segment.
+    pub fn used_bytes(&self, id: SegmentId) -> u64 {
+        (self.segment(id).ids.len() * self.object_bytes) as u64
+    }
+
+    /// Removes a segment entirely, returning its members.
+    pub fn remove(&mut self, id: SegmentId) -> (Vec<u32>, Vec<Scalar>) {
+        let seg = self.segments[id.0 as usize]
+            .take()
+            .expect("segment was removed");
+        self.free_slots.push(id.0);
+        self.live_objects -= seg.ids.len();
+        (seg.ids, seg.coords)
+    }
+
+    /// Moves every member of `src` into `dst` (used by cluster merging),
+    /// removing `src`. Returns how many objects moved.
+    pub fn merge_into(&mut self, src: SegmentId, dst: SegmentId) -> usize {
+        let (ids, coords) = self.remove(src);
+        let moved = ids.len();
+        let width = 2 * self.dims;
+        for (i, object_id) in ids.into_iter().enumerate() {
+            self.push(dst, object_id, &coords[i * width..(i + 1) * width]);
+        }
+        moved
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flat(lo: Scalar, hi: Scalar) -> Vec<Scalar> {
+        vec![lo, hi, lo, hi]
+    }
+
+    #[test]
+    fn create_push_read_roundtrip() {
+        let mut s = SegmentStore::new(2);
+        let seg = s.create(4);
+        s.push(seg, 7, &flat(0.1, 0.2));
+        s.push(seg, 9, &flat(0.3, 0.4));
+        assert_eq!(s.ids(seg), &[7, 9]);
+        assert_eq!(s.segment_len(seg), 2);
+        assert_eq!(s.coords(seg).len(), 2 * 4);
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn push_beyond_reserve_relocates() {
+        let mut s = SegmentStore::with_reserve(2, 0.25);
+        let seg = s.create(4); // capacity = ceil(4·1.25) = 5
+        let first_offset = s.offset(seg);
+        for i in 0..5 {
+            s.push(seg, i, &flat(0.0, 1.0));
+        }
+        assert_eq!(s.relocations(), 0);
+        s.push(seg, 5, &flat(0.0, 1.0)); // sixth object exceeds capacity
+        assert_eq!(s.relocations(), 1);
+        assert_ne!(s.offset(seg), first_offset);
+        assert_eq!(s.segment_len(seg), 6);
+    }
+
+    #[test]
+    fn utilization_at_least_70_percent_after_relocation() {
+        let mut s = SegmentStore::with_reserve(2, 0.30);
+        let seg = s.create(1);
+        for i in 0..1000 {
+            s.push(seg, i, &flat(0.0, 1.0));
+        }
+        // Right after any relocation: used/capacity = 1/1.3 ≈ 0.77 ≥ 0.7.
+        assert!(s.utilization() >= 0.70, "utilization {}", s.utilization());
+    }
+
+    #[test]
+    fn swap_remove_keeps_arrays_parallel() {
+        let mut s = SegmentStore::new(2);
+        let seg = s.create(4);
+        s.push(seg, 1, &flat(0.1, 0.15));
+        s.push(seg, 2, &flat(0.2, 0.25));
+        s.push(seg, 3, &flat(0.3, 0.35));
+        let removed = s.swap_remove(seg, 0);
+        assert_eq!(removed, 1);
+        assert_eq!(s.ids(seg), &[3, 2]);
+        let c = s.coords(seg);
+        assert_eq!(c[0], 0.3); // object 3's coords moved to slot 0
+        assert_eq!(c[4], 0.2); // object 2 untouched
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn swap_remove_last_element() {
+        let mut s = SegmentStore::new(1);
+        let seg = s.create(2);
+        s.push(seg, 1, &[0.1, 0.2]);
+        s.push(seg, 2, &[0.3, 0.4]);
+        assert_eq!(s.swap_remove(seg, 1), 2);
+        assert_eq!(s.ids(seg), &[1]);
+        assert_eq!(s.coords(seg), &[0.1, 0.2]);
+    }
+
+    #[test]
+    fn remove_segment_recycles_slot() {
+        let mut s = SegmentStore::new(1);
+        let a = s.create(2);
+        s.push(a, 1, &[0.0, 1.0]);
+        let (ids, coords) = s.remove(a);
+        assert_eq!(ids, vec![1]);
+        assert_eq!(coords, vec![0.0, 1.0]);
+        assert_eq!(s.len(), 0);
+        assert_eq!(s.segment_count(), 0);
+        let b = s.create(2);
+        assert_eq!(b.0, a.0, "slot should be recycled");
+    }
+
+    #[test]
+    fn merge_into_moves_all_members() {
+        let mut s = SegmentStore::new(1);
+        let a = s.create(2);
+        let b = s.create(2);
+        s.push(a, 1, &[0.0, 0.1]);
+        s.push(a, 2, &[0.2, 0.3]);
+        s.push(b, 3, &[0.4, 0.5]);
+        let moved = s.merge_into(a, b);
+        assert_eq!(moved, 2);
+        assert_eq!(s.segment_count(), 1);
+        assert_eq!(s.segment_len(b), 3);
+        let mut ids = s.ids(b).to_vec();
+        ids.sort_unstable();
+        assert_eq!(ids, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn offsets_are_disjoint_in_layout() {
+        let mut s = SegmentStore::new(2);
+        let a = s.create(10);
+        let b = s.create(10);
+        let bytes_a = 13 * s.object_bytes() as u64; // ceil(10·1.25)=13 slots
+        assert!(s.offset(b) >= s.offset(a) + bytes_a);
+    }
+
+    #[test]
+    #[should_panic(expected = "coordinate arity mismatch")]
+    fn push_rejects_wrong_arity() {
+        let mut s = SegmentStore::new(2);
+        let seg = s.create(1);
+        s.push(seg, 1, &[0.0, 1.0]); // needs 4 scalars for 2 dims
+    }
+
+    #[test]
+    fn object_bytes_matches_geom_layout() {
+        let s = SegmentStore::new(16);
+        assert_eq!(s.object_bytes(), 132);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[derive(Debug, Clone)]
+    enum Op {
+        Create(u8),
+        Push(u8, u32),
+        SwapRemove(u8, u8),
+        Merge(u8, u8),
+    }
+
+    fn op() -> impl Strategy<Value = Op> {
+        prop_oneof![
+            1 => (1u8..8).prop_map(Op::Create),
+            5 => (0u8..6, 0u32..1000).prop_map(|(s, id)| Op::Push(s, id)),
+            2 => (0u8..6, 0u8..16).prop_map(|(s, k)| Op::SwapRemove(s, k)),
+            1 => (0u8..6, 0u8..6).prop_map(|(a, b)| Op::Merge(a, b)),
+        ]
+    }
+
+    proptest! {
+        /// The segment store behaves like a vector of (id, coords) lists
+        /// under arbitrary create/push/remove/merge sequences, and its
+        /// id and coordinate arrays never fall out of sync.
+        #[test]
+        fn store_matches_model(ops in prop::collection::vec(op(), 1..80)) {
+            let dims = 2;
+            let mut store = SegmentStore::new(dims);
+            let mut live: Vec<SegmentId> = Vec::new();
+            let mut model: Vec<Vec<(u32, Vec<Scalar>)>> = Vec::new();
+            for op in ops {
+                match op {
+                    Op::Create(expected) => {
+                        live.push(store.create(expected as usize));
+                        model.push(Vec::new());
+                    }
+                    Op::Push(s, id) => {
+                        if live.is_empty() { continue; }
+                        let k = s as usize % live.len();
+                        let flat = vec![id as f32 / 1000.0, 1.0, 0.25, 0.75];
+                        store.push(live[k], id, &flat);
+                        model[k].push((id, flat));
+                    }
+                    Op::SwapRemove(s, idx) => {
+                        if live.is_empty() { continue; }
+                        let k = s as usize % live.len();
+                        if model[k].is_empty() { continue; }
+                        let i = idx as usize % model[k].len();
+                        let removed = store.swap_remove(live[k], i);
+                        let (expected, _) = model[k].swap_remove(i);
+                        prop_assert_eq!(removed, expected);
+                    }
+                    Op::Merge(a, b) => {
+                        if live.len() < 2 { continue; }
+                        let ka = a as usize % live.len();
+                        let mut kb = b as usize % live.len();
+                        if ka == kb { kb = (kb + 1) % live.len(); }
+                        let moved = store.merge_into(live[ka], live[kb]);
+                        prop_assert_eq!(moved, model[ka].len());
+                        let mut taken = std::mem::take(&mut model[ka]);
+                        model[kb].append(&mut taken);
+                        live.remove(ka);
+                        model.remove(ka);
+                    }
+                }
+                // Global consistency.
+                let total: usize = model.iter().map(|m| m.len()).sum();
+                prop_assert_eq!(store.len(), total);
+                prop_assert_eq!(store.segment_count(), live.len());
+                for (k, seg) in live.iter().enumerate() {
+                    prop_assert_eq!(store.segment_len(*seg), model[k].len());
+                    let mut got: Vec<u32> = store.ids(*seg).to_vec();
+                    let mut want: Vec<u32> = model[k].iter().map(|(id, _)| *id).collect();
+                    got.sort_unstable();
+                    want.sort_unstable();
+                    prop_assert_eq!(got, want);
+                    prop_assert_eq!(
+                        store.coords(*seg).len(),
+                        model[k].len() * 2 * store.dims()
+                    );
+                }
+            }
+        }
+
+        /// The paper's §6 guarantee: a segment that has grown past its
+        /// initial reservation keeps utilization ≥ 1/(1 + reserve) — the
+        /// worst case is the instant right after a relocation.
+        #[test]
+        fn grown_segment_keeps_utilization_floor(pushes in 20usize..400) {
+            let mut store = SegmentStore::with_reserve(1, 0.30);
+            let seg = store.create(1);
+            for i in 0..pushes {
+                store.push(seg, i as u32, &[0.0, 1.0]);
+            }
+            prop_assert!(store.relocations() > 0, "test premise: segment must grow");
+            prop_assert!(
+                store.utilization() >= 0.70,
+                "utilization {} after {} pushes",
+                store.utilization(),
+                pushes
+            );
+        }
+    }
+}

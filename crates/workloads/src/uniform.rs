@@ -1,0 +1,121 @@
+use acx_geom::{HyperRect, Scalar};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use crate::{Workload, WorkloadConfig};
+
+/// The uniform workload of the paper's first experiment (§7.2): each
+/// object defines, in every dimension, an interval whose **size and
+/// position are uniformly distributed**.
+///
+/// Interval length is drawn from `U(0, max_length)` and the start from
+/// `U(0, 1 − length)`, so objects of all sizes appear everywhere in the
+/// domain.
+#[derive(Debug, Clone)]
+pub struct UniformWorkload {
+    config: WorkloadConfig,
+    max_length: Scalar,
+}
+
+impl UniformWorkload {
+    /// Uniform workload with unconstrained interval sizes (`max_length = 1`).
+    pub fn new(config: WorkloadConfig) -> Self {
+        Self::with_max_length(config, 1.0)
+    }
+
+    /// Uniform workload whose interval lengths are bounded by
+    /// `max_length` (used to control object extension).
+    pub fn with_max_length(config: WorkloadConfig, max_length: Scalar) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&max_length),
+            "max_length must be in [0, 1]"
+        );
+        assert!(config.dims > 0, "dims must be positive");
+        Self { config, max_length }
+    }
+
+    /// The workload configuration.
+    pub fn config(&self) -> &WorkloadConfig {
+        &self.config
+    }
+
+    /// Generates the full database deterministically from the seed.
+    pub fn generate_objects(&self) -> Vec<HyperRect> {
+        let mut rng = self.config.rng();
+        (0..self.config.n_objects)
+            .map(|_| self.sample_object(&mut rng))
+            .collect()
+    }
+}
+
+impl Workload for UniformWorkload {
+    fn dims(&self) -> usize {
+        self.config.dims
+    }
+
+    fn sample_object(&self, rng: &mut StdRng) -> HyperRect {
+        let dims = self.config.dims;
+        let mut lo = Vec::with_capacity(dims);
+        let mut hi = Vec::with_capacity(dims);
+        for _ in 0..dims {
+            let len: Scalar = rng.gen_range(0.0..=self.max_length);
+            let start: Scalar = rng.gen_range(0.0..=1.0 - len);
+            lo.push(start);
+            hi.push(start + len);
+        }
+        HyperRect::from_bounds(&lo, &hi).expect("object bounds are valid")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn objects_are_valid_and_in_domain() {
+        let w = UniformWorkload::new(WorkloadConfig::new(6, 500, 7));
+        for obj in w.generate_objects() {
+            assert_eq!(obj.dims(), 6);
+            for iv in obj.intervals() {
+                assert!(iv.lo() >= 0.0 && iv.hi() <= 1.0);
+            }
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let w1 = UniformWorkload::new(WorkloadConfig::new(4, 50, 99));
+        let w2 = UniformWorkload::new(WorkloadConfig::new(4, 50, 99));
+        assert_eq!(w1.generate_objects(), w2.generate_objects());
+        let w3 = UniformWorkload::new(WorkloadConfig::new(4, 50, 100));
+        assert_ne!(w1.generate_objects(), w3.generate_objects());
+    }
+
+    #[test]
+    fn max_length_bounds_interval_sizes() {
+        let w = UniformWorkload::with_max_length(WorkloadConfig::new(3, 300, 5), 0.1);
+        for obj in w.generate_objects() {
+            for iv in obj.intervals() {
+                assert!(iv.length() <= 0.1 + 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn mean_length_is_half_max() {
+        let w = UniformWorkload::with_max_length(WorkloadConfig::new(1, 20_000, 11), 0.5);
+        let mean: f64 = w
+            .generate_objects()
+            .iter()
+            .map(|o| o.interval(0).length() as f64)
+            .sum::<f64>()
+            / 20_000.0;
+        assert!((mean - 0.25).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    #[should_panic(expected = "max_length")]
+    fn rejects_invalid_max_length() {
+        UniformWorkload::with_max_length(WorkloadConfig::new(2, 10, 1), 1.5);
+    }
+}

@@ -1,0 +1,67 @@
+//! Quickstart: index a small collection of multidimensional extended
+//! objects and run all four query kinds.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use acx::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 3-dimensional extended objects: each defines a range interval per
+    // dimension (think price × surface × distance, normalized to [0,1]).
+    let mut index = AdaptiveClusterIndex::new(IndexConfig::memory(3))?;
+
+    let objects = [
+        (1, [0.10, 0.20, 0.30], [0.20, 0.40, 0.50]),
+        (2, [0.15, 0.25, 0.35], [0.25, 0.45, 0.55]),
+        (3, [0.60, 0.60, 0.60], [0.90, 0.90, 0.90]),
+        (4, [0.00, 0.00, 0.00], [1.00, 1.00, 1.00]),
+        (5, [0.40, 0.45, 0.50], [0.42, 0.47, 0.52]),
+    ];
+    for (id, lo, hi) in &objects {
+        index.insert(ObjectId(*id), HyperRect::from_bounds(lo, hi)?)?;
+    }
+    println!("indexed {} objects in {} cluster(s)", index.len(), index.cluster_count());
+
+    // Intersection: who overlaps this window?
+    let window = HyperRect::from_bounds(&[0.18, 0.30, 0.40], &[0.50, 0.50, 0.60])?;
+    let result = index.execute(&SpatialQuery::intersection(window.clone()));
+    println!("intersection  → {:?}", sorted(result.matches));
+
+    // Containment: who lies entirely inside the window?
+    let result = index.execute(&SpatialQuery::containment(
+        HyperRect::from_bounds(&[0.0, 0.0, 0.0], &[0.5, 0.5, 0.6])?,
+    ));
+    println!("containment   → {:?}", sorted(result.matches));
+
+    // Enclosure: who encloses this small box?
+    let result = index.execute(&SpatialQuery::enclosure(
+        HyperRect::from_bounds(&[0.41, 0.46, 0.51], &[0.415, 0.465, 0.515])?,
+    ));
+    println!("enclosure     → {:?}", sorted(result.matches));
+
+    // Point-enclosing: who covers this exact point?
+    let result = index.execute(&SpatialQuery::point_enclosing(vec![0.7, 0.7, 0.7]));
+    println!("point         → {:?}", sorted(result.matches));
+
+    // Every query returns metrics usable for cost analysis.
+    println!(
+        "last query: {} clusters explored, {} objects verified, {:.6} ms (cost model)",
+        result.metrics.stats.clusters_explored,
+        result.metrics.stats.objects_verified,
+        result.metrics.priced_ms
+    );
+
+    // Updates are first-class: objects can move or leave.
+    index.update(ObjectId(5), HyperRect::from_bounds(&[0.8, 0.8, 0.8], &[0.85, 0.85, 0.85])?)?;
+    index.remove(ObjectId(4))?;
+    let result = index.execute(&SpatialQuery::point_enclosing(vec![0.82, 0.82, 0.82]));
+    println!("after update  → {:?}", sorted(result.matches));
+    Ok(())
+}
+
+fn sorted(mut v: Vec<ObjectId>) -> Vec<ObjectId> {
+    v.sort_unstable();
+    v
+}
