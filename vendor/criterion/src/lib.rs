@@ -1,0 +1,230 @@
+//! Offline stand-in for the crates.io
+//! [`criterion`](https://crates.io/crates/criterion) crate, implementing
+//! the API subset the `acx_bench` benches use: [`Criterion`],
+//! [`Criterion::bench_function`] / [`Criterion::benchmark_group`],
+//! [`BenchmarkGroup::sample_size`], [`Bencher::iter`], [`BenchmarkId`],
+//! [`black_box`], and the [`criterion_group!`] / [`criterion_main!`]
+//! macros.
+//!
+//! Measurement is a simple calibrated loop: each benchmark warms up for
+//! ~`WARMUP_MS`, picks an iteration count that makes one sample take
+//! ~`SAMPLE_TARGET_MS`, then records `sample_size` samples and prints the
+//! median with a min–max spread. No plots, no statistical regression —
+//! numbers are comparable within a run, which is what the experiment
+//! harness needs.
+//!
+//! The workspace builds in network-isolated environments; this crate
+//! exists so `cargo bench` needs no registry access. To use the real
+//! dependency, repoint the `criterion` entry in the root `Cargo.toml`'s
+//! `[workspace.dependencies]` at crates.io.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+const WARMUP_MS: u64 = 300;
+const SAMPLE_TARGET_MS: u64 = 50;
+const DEFAULT_SAMPLE_SIZE: usize = 20;
+
+/// Prevents the compiler from optimizing away a benchmarked value.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// Benchmark driver: registry of benchmark functions plus a CLI filter
+/// (`cargo bench -- <substring>` runs only matching benchmarks).
+pub struct Criterion {
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Cargo's bench harness protocol passes `--bench`; every other
+        // non-flag argument is a name filter, like real criterion.
+        let filter = std::env::args()
+            .skip(1)
+            .find(|arg| !arg.starts_with('-'));
+        Self { filter }
+    }
+}
+
+impl Criterion {
+    /// Runs one named benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        run_benchmark(&self.filter, &id.0, DEFAULT_SAMPLE_SIZE, f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: DEFAULT_SAMPLE_SIZE,
+        }
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and sample settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of recorded samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Runs one benchmark within the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let full = format!("{}/{}", self.name, id.0);
+        run_benchmark(&self.criterion.filter, &full, self.sample_size, f);
+        self
+    }
+
+    /// Ends the group (kept for API compatibility; nothing to flush).
+    pub fn finish(self) {}
+}
+
+/// Identifier of one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// `name/parameter` identifier.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        Self(format!("{}/{}", name.into(), parameter))
+    }
+
+    /// Identifier carrying only a parameter value.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self(parameter.to_string())
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(name: &str) -> Self {
+        Self(name.to_string())
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(name: String) -> Self {
+        Self(name)
+    }
+}
+
+/// Timing context handed to each benchmark closure.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine` over this sample's iteration count.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_benchmark<F>(filter: &Option<String>, name: &str, sample_size: usize, mut f: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    if let Some(filter) = filter {
+        if !name.contains(filter.as_str()) {
+            return;
+        }
+    }
+
+    // Warm up and calibrate the per-sample iteration count.
+    let mut iters = 1u64;
+    let warmup_deadline = Instant::now() + Duration::from_millis(WARMUP_MS);
+    let mut per_iter = Duration::from_secs(1);
+    while Instant::now() < warmup_deadline {
+        let mut bencher = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut bencher);
+        per_iter = bencher.elapsed / u32::try_from(iters).unwrap_or(u32::MAX);
+        if bencher.elapsed < Duration::from_millis(5) {
+            iters = iters.saturating_mul(4);
+        }
+    }
+    let target = Duration::from_millis(SAMPLE_TARGET_MS);
+    if !per_iter.is_zero() {
+        let fit = target.as_nanos() / per_iter.as_nanos().max(1);
+        iters = u64::try_from(fit).unwrap_or(u64::MAX).clamp(1, 1_000_000_000);
+    }
+
+    let mut samples: Vec<Duration> = Vec::with_capacity(sample_size);
+    for _ in 0..sample_size {
+        let mut bencher = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut bencher);
+        samples.push(bencher.elapsed / u32::try_from(iters).unwrap_or(u32::MAX));
+    }
+    samples.sort_unstable();
+    let median = samples[samples.len() / 2];
+    let min = samples[0];
+    let max = samples[samples.len() - 1];
+    println!(
+        "{name:<50} time: [{} {} {}]  ({iters} iters/sample, {sample_size} samples)",
+        fmt_duration(min),
+        fmt_duration(median),
+        fmt_duration(max),
+    );
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos < 1_000 {
+        format!("{nanos} ns")
+    } else if nanos < 1_000_000 {
+        format!("{:.3} µs", nanos as f64 / 1e3)
+    } else if nanos < 1_000_000_000 {
+        format!("{:.3} ms", nanos as f64 / 1e6)
+    } else {
+        format!("{:.3} s", nanos as f64 / 1e9)
+    }
+}
+
+/// Bundles benchmark functions into one runner, mirroring
+/// `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emits `main` for a bench target built with `harness = false`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,122 @@
+//! Offline stand-in for the crates.io
+//! [`proptest`](https://crates.io/crates/proptest) crate, implementing the
+//! API subset this workspace's property tests use:
+//!
+//! * the [`strategy::Strategy`] trait with
+//!   [`prop_map`](strategy::Strategy::prop_map),
+//! * range strategies (`0u8..8`, `0.0f32..=1.0`), tuple strategies,
+//!   [`strategy::Just`], weighted [`prop_oneof!`] unions, and
+//!   [`collection::vec()`],
+//! * the [`proptest!`] macro (with optional
+//!   `#![proptest_config(ProptestConfig::with_cases(n))]`),
+//! * [`prop_assert!`] / [`prop_assert_eq!`] / [`prop_assert_ne!`].
+//!
+//! Each generated test runs its body over `cases` freshly sampled inputs
+//! (default 256), seeded deterministically from the test's name, so runs
+//! are reproducible. **No shrinking** is performed on failure — the failing
+//! input is printed as-is via the panic message of the underlying assert.
+//!
+//! The workspace builds in network-isolated environments; this crate exists
+//! so `cargo build` needs no registry access. To use the real dependency,
+//! repoint the `proptest` entry in the root `Cargo.toml`'s
+//! `[workspace.dependencies]` at crates.io.
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// One-line import for tests, mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+
+    /// Namespace alias so `prop::collection::vec(...)` resolves as it does
+    /// with the real crate.
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+/// Asserts a condition inside a [`proptest!`] body.
+///
+/// Unlike the real crate this panics immediately (no shrinking).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Asserts equality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Asserts inequality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Weighted union of strategies producing the same value type:
+/// `prop_oneof![2 => strat_a, 1 => strat_b]`. Unweighted arms default to
+/// weight 1.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $(($weight as u32, $crate::strategy::boxed($strat))),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $((1u32, $crate::strategy::boxed($strat))),+
+        ])
+    };
+}
+
+/// Declares property tests. Each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` that samples the strategies `cases` times and runs
+/// the body on each sample.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!{ @cfg ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!{
+            @cfg ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (@cfg ($cfg:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $cfg;
+            let mut rng = $crate::test_runner::rng_for_test(stringify!($name));
+            for _case in 0..config.cases {
+                $(let $arg =
+                    $crate::strategy::Strategy::sample(&($strat), &mut rng);)+
+                // The body may bail out early with `?`, as in real proptest.
+                let outcome: ::std::result::Result<
+                    (),
+                    $crate::test_runner::TestCaseError,
+                > = (|| {
+                    $body
+                    ::std::result::Result::Ok(())
+                })();
+                if let ::std::result::Result::Err(error) = outcome {
+                    panic!("property test {} failed: {error}", stringify!($name));
+                }
+            }
+        }
+    )*};
+}

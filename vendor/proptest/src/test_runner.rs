@@ -1,0 +1,55 @@
+//! Test-runner configuration and deterministic per-test seeding.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Configuration accepted by `#![proptest_config(...)]`.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of sampled cases each property test runs.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` samples per test.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 256 }
+    }
+}
+
+/// Error a property-test body may return early with `?`, mirroring
+/// `proptest::test_runner::TestCaseError` (the reject/fail distinction is
+/// dropped — every error fails the test).
+#[derive(Debug, Clone)]
+pub struct TestCaseError(String);
+
+impl TestCaseError {
+    /// Wraps any displayable reason as a test failure.
+    pub fn fail(reason: impl std::fmt::Display) -> Self {
+        Self(reason.to_string())
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// Deterministic generator for a named test: same name, same stream, so
+/// failures reproduce across runs.
+pub fn rng_for_test(name: &str) -> StdRng {
+    // FNV-1a over the test name.
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in name.bytes() {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    StdRng::seed_from_u64(hash)
+}

@@ -1,0 +1,291 @@
+//! Offline stand-in for the crates.io [`rand`](https://crates.io/crates/rand)
+//! crate, implementing the 0.8-era API subset this workspace uses:
+//!
+//! * [`rngs::StdRng`] seeded via [`SeedableRng::seed_from_u64`],
+//! * [`Rng::gen_range`] over half-open and inclusive integer/float ranges,
+//! * [`Rng::gen`] for `f32`/`f64`/`u32`/`u64`/`bool`,
+//! * [`seq::SliceRandom::shuffle`].
+//!
+//! The generator is xoshiro256++ seeded through SplitMix64 — deterministic
+//! given a seed, statistically solid for test workloads, but **not** a
+//! drop-in stream-compatible replacement for the real `StdRng` (which is
+//! ChaCha12-based). Workload seeds reproduce within this workspace only.
+//!
+//! The workspace builds in network-isolated environments; this crate exists
+//! so `cargo build` needs no registry access. To use the real dependency,
+//! repoint the `rand` entry in the root `Cargo.toml`'s
+//! `[workspace.dependencies]` at crates.io.
+
+pub mod rngs;
+pub mod seq;
+
+use std::ops::{Range, RangeInclusive};
+
+/// Low-level source of random 64-bit words.
+pub trait RngCore {
+    /// Returns the next random `u64`.
+    fn next_u64(&mut self) -> u64;
+
+    /// Returns the next random `u32`.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// Rngs constructible from an integer seed.
+pub trait SeedableRng: Sized {
+    /// Builds the generator from a 64-bit seed (deterministic).
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// User-facing sampling methods, blanket-implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Samples a value uniformly from the given range.
+    ///
+    /// Panics if the range is empty, matching `rand 0.8` behavior.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        T: SampleUniform,
+        R: SampleRange<T>,
+        Self: Sized,
+    {
+        range.sample_single(self)
+    }
+
+    /// Samples a value of a [`Standard`]-distributed type.
+    fn gen<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        let x: f64 = self.gen();
+        x < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Types samplable uniformly from the unit distribution (`rand`'s
+/// `Standard`).
+pub trait Standard: Sized {
+    /// Draws one value from the given generator.
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for f64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // 53 high bits -> [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for f32 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // 24 high bits -> [0, 1).
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+    }
+}
+
+impl Standard for u64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Standard for u32 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32()
+    }
+}
+
+impl Standard for bool {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Types with a uniform sampler over an `[lo, hi)` / `[lo, hi]` range.
+pub trait SampleUniform: Copy + PartialOrd {
+    /// Uniform sample from `[lo, hi)`, or `[lo, hi]` when `inclusive`.
+    fn sample_in<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self, inclusive: bool) -> Self;
+}
+
+macro_rules! uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_in<R: RngCore + ?Sized>(
+                rng: &mut R,
+                lo: Self,
+                hi: Self,
+                inclusive: bool,
+            ) -> Self {
+                assert!(
+                    lo < hi || (inclusive && lo == hi),
+                    "cannot sample from an empty range"
+                );
+                let span = (hi as u64) - (lo as u64) + u64::from(inclusive);
+                lo + (rng.next_u64() % span) as $t
+            }
+        }
+    )*};
+}
+
+uniform_int!(u8, u16, u32, usize);
+
+impl SampleUniform for u64 {
+    fn sample_in<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self, inclusive: bool) -> Self {
+        assert!(
+            lo < hi || (inclusive && lo == hi),
+            "cannot sample from an empty range"
+        );
+        if inclusive && lo == u64::MIN && hi == u64::MAX {
+            return rng.next_u64();
+        }
+        let span = hi - lo + u64::from(inclusive);
+        lo + rng.next_u64() % span
+    }
+}
+
+macro_rules! uniform_signed {
+    ($($t:ty => $u:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_in<R: RngCore + ?Sized>(
+                rng: &mut R,
+                lo: Self,
+                hi: Self,
+                inclusive: bool,
+            ) -> Self {
+                assert!(
+                    lo < hi || (inclusive && lo == hi),
+                    "cannot sample from an empty range"
+                );
+                let span = (hi as $u).wrapping_sub(lo as $u) as u64 + u64::from(inclusive);
+                lo.wrapping_add((rng.next_u64() % span) as $t)
+            }
+        }
+    )*};
+}
+
+uniform_signed!(i32 => u32, i64 => u64, isize => usize);
+
+macro_rules! uniform_float {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_in<R: RngCore + ?Sized>(
+                rng: &mut R,
+                lo: Self,
+                hi: Self,
+                inclusive: bool,
+            ) -> Self {
+                assert!(
+                    lo < hi || (inclusive && lo == hi),
+                    "cannot sample from an empty range"
+                );
+                let unit = <$t as Standard>::sample(rng); // [0, 1)
+                let v = lo + (hi - lo) * unit;
+                // Guard against rounding past the upper bound.
+                if v >= hi && !inclusive { lo } else { v.min(hi) }
+            }
+        }
+    )*};
+}
+
+uniform_float!(f32, f64);
+
+/// Range types accepted by [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Draws one value from the range.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_in(rng, self.start, self.end, false)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_in(rng, *self.start(), *self.end(), true)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rngs::StdRng;
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn distinct_seeds_distinct_streams() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(42);
+        for _ in 0..10_000 {
+            let x: f32 = rng.gen_range(0.25..=0.75);
+            assert!((0.25..=0.75).contains(&x));
+            let y: usize = rng.gen_range(3..10);
+            assert!((3..10).contains(&y));
+            let z: f64 = rng.gen_range(-1.0..1.0);
+            assert!((-1.0..1.0).contains(&z));
+        }
+    }
+
+    #[test]
+    fn gen_range_accepts_degenerate_inclusive_range() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let x: f32 = rng.gen_range(0.5..=0.5);
+        assert_eq!(x, 0.5);
+        let k: usize = rng.gen_range(4..=4);
+        assert_eq!(k, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn inverted_int_range_panics() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let (hi, lo) = (5u32, 2u32); // inverted bounds, opaque to lints
+        let _ = rng.gen_range(hi..lo);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_exclusive_int_range_panics() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let _: usize = rng.gen_range(4..4);
+    }
+
+    #[test]
+    fn unit_floats_cover_domain() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut lo = 1.0f64;
+        let mut hi = 0.0f64;
+        for _ in 0..10_000 {
+            let x: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&x));
+            lo = lo.min(x);
+            hi = hi.max(x);
+        }
+        assert!(lo < 0.01 && hi > 0.99, "poor coverage: [{lo}, {hi}]");
+    }
+}
