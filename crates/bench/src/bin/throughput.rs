@@ -1,0 +1,169 @@
+//! Serving throughput of the concurrent read path: queries/sec of
+//! `AdaptiveClusterIndex::execute_batch` for 1..=N threads against
+//! `SeqScan::execute_parallel` and the R*-tree baseline, on the paper's
+//! pub/sub notification workload (§1) and on the skewed workload (§7.3).
+//!
+//! Usage:
+//! ```text
+//! cargo run --release -p acx_bench --bin throughput
+//!     [--objects 50000] [--events 2000] [--warmup 600]
+//!     [--max-threads 8] [--flexibility 0.0] [--seed 24141]
+//! ```
+
+use std::time::Instant;
+
+use acx_bench::args::Flags;
+use acx_bench::{build_ac, build_rs, build_ss, run_ac_batch, MethodReport};
+use acx_geom::{HyperRect, SpatialQuery};
+use acx_storage::StorageScenario;
+use acx_workloads::{
+    EventStream, PubSubGenerator, SkewedWorkload, Workload, WorkloadConfig,
+};
+
+fn thread_counts(max: usize) -> Vec<usize> {
+    let mut counts = vec![1usize];
+    while let Some(&last) = counts.last() {
+        if last * 2 > max {
+            break;
+        }
+        counts.push(last * 2);
+    }
+    if counts.last() != Some(&max) && max > 1 {
+        counts.push(max);
+    }
+    counts
+}
+
+/// Queries/sec of one timed run.
+fn qps(queries: usize, elapsed_secs: f64) -> f64 {
+    queries as f64 / elapsed_secs.max(1e-9)
+}
+
+/// Measures the adaptive index through the shared runner: fresh build +
+/// warm-up per thread count so every measurement starts from the same
+/// adapted clustering (the batch path reaches the identical state
+/// regardless of `threads`).
+fn measure_ac(
+    dims: usize,
+    objects: &[HyperRect],
+    warmup: &[SpatialQuery],
+    measured: &[SpatialQuery],
+    threads: usize,
+) -> MethodReport {
+    let mut index = build_ac(dims, StorageScenario::Memory, objects);
+    run_ac_batch(&mut index, warmup, measured, threads, objects.len())
+}
+
+fn main() {
+    let flags = Flags::from_env();
+    let objects: usize = flags.get("objects", 50_000);
+    let events: usize = flags.get("events", 2_000);
+    let warmup_n: usize = flags.get("warmup", 600);
+    let max_threads: usize = flags.get("max-threads", 8).max(1);
+    let flexibility: f32 = flags.get("flexibility", 0.0);
+    let seed: u64 = flags.get("seed", 0x5E41);
+
+    println!("== Serving throughput: concurrent read path vs baselines ==");
+    println!(
+        "objects={objects} events={events} warmup={warmup_n} max_threads={max_threads}"
+    );
+
+    // Workload 1: pub/sub — subscriptions as objects, offers as queries.
+    let generator = PubSubGenerator::apartments();
+    let dims = generator.dims();
+    let mut rng = WorkloadConfig::new(dims, objects, seed).rng();
+    let subscriptions: Vec<HyperRect> = (0..objects as u32)
+        .map(|i| generator.subscription(i, &mut rng).ranges)
+        .collect();
+    let mut stream = EventStream::with_flexibility(generator, seed ^ 0xF00D, flexibility);
+    let warmup = stream.next_batch(warmup_n);
+    let measured = stream.next_batch(events);
+    run_workload("pub/sub", dims, &subscriptions, &warmup, &measured, max_threads);
+
+    // Workload 2: skewed objects, point-enclosing events.
+    let dims = 16;
+    let workload = SkewedWorkload::new(WorkloadConfig::new(dims, objects, seed), 0.3);
+    let data = workload.generate_objects();
+    let mut qrng = WorkloadConfig::new(dims, objects, seed ^ 0xF1E1D).rng();
+    let make = |rng: &mut rand::rngs::StdRng, n: usize| -> Vec<SpatialQuery> {
+        (0..n)
+            .map(|_| SpatialQuery::point_enclosing(workload.sample_point(rng)))
+            .collect()
+    };
+    let warmup = make(&mut qrng, warmup_n);
+    let measured = make(&mut qrng, events);
+    run_workload("skewed", dims, &data, &warmup, &measured, max_threads);
+}
+
+fn run_workload(
+    name: &str,
+    dims: usize,
+    objects: &[HyperRect],
+    warmup: &[SpatialQuery],
+    measured: &[SpatialQuery],
+    max_threads: usize,
+) {
+    println!("\n-- {name} workload (dims={dims}) --");
+
+    let counts = thread_counts(max_threads);
+    let mut ac_base = 0.0f64;
+    let mut clusters = 0usize;
+    for &t in &counts {
+        let report = measure_ac(dims, objects, warmup, measured, t);
+        let rate = 1000.0 / report.wall_ms.max(1e-12); // wall_ms is per query
+        if t == 1 {
+            ac_base = rate;
+            clusters = report.total_units;
+        }
+        println!(
+            "AC  t={t}: {rate:>12.0} q/s  (speedup {:.2}x vs t=1)",
+            rate / ac_base.max(1e-9)
+        );
+    }
+    println!("    adapted to {clusters} clusters");
+
+    // Sequential scan: the paper's robust baseline, parallelized *within*
+    // each query over disjoint chunks.
+    let ss = build_ss(dims, objects);
+    let mut ss_base = 0.0f64;
+    for &t in &counts {
+        let started = Instant::now();
+        for q in measured {
+            ss.execute_parallel(q, t);
+        }
+        let rate = qps(measured.len(), started.elapsed().as_secs_f64());
+        if t == 1 {
+            ss_base = rate;
+        }
+        println!(
+            "SS  t={t}: {rate:>12.0} q/s  (speedup {:.2}x vs t=1)",
+            rate / ss_base.max(1e-9)
+        );
+    }
+
+    // R*-tree: query-level parallelism over shared `&tree`.
+    let rs = build_rs(dims, objects);
+    let mut rs_base = 0.0f64;
+    for &t in &counts {
+        let started = Instant::now();
+        let chunk = measured.len().div_ceil(t);
+        std::thread::scope(|scope| {
+            for qs in measured.chunks(chunk) {
+                let rs = &rs;
+                scope.spawn(move || {
+                    for q in qs {
+                        rs.execute(q);
+                    }
+                });
+            }
+        });
+        let rate = qps(measured.len(), started.elapsed().as_secs_f64());
+        if t == 1 {
+            rs_base = rate;
+        }
+        println!(
+            "RS  t={t}: {rate:>12.0} q/s  (speedup {:.2}x vs t=1)",
+            rate / rs_base.max(1e-9)
+        );
+    }
+}

@@ -12,5 +12,6 @@ pub mod args;
 pub mod runner;
 
 pub use runner::{
-    build_ac, build_rs, build_ss, run_ac, run_baseline, ExperimentScale, MethodReport,
+    build_ac, build_rs, build_ss, run_ac, run_ac_batch, run_baseline, ExperimentScale,
+    MethodReport,
 };

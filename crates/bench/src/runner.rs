@@ -158,6 +158,44 @@ pub fn run_ac(
     )
 }
 
+/// Warm up an AC index to its stable clustering state, then measure the
+/// **batched parallel** read path on the stream.
+///
+/// The adaptive state after a batch is identical to sequential execution
+/// (deltas are merged at reorganization boundaries), so reports are
+/// comparable with [`run_ac`] — only wall-clock changes with `threads`.
+pub fn run_ac_batch(
+    index: &mut AdaptiveClusterIndex,
+    warmup: &[SpatialQuery],
+    measured: &[SpatialQuery],
+    threads: usize,
+    n_objects: usize,
+) -> MethodReport {
+    index.execute_batch(warmup, threads);
+    let mem_model = IndexConfig::memory(index.dims()).cost_model();
+    let disk_model = IndexConfig::disk(index.dims()).cost_model();
+    let started = std::time::Instant::now();
+    let results = index.execute_batch(measured, threads);
+    let wall_ns = started.elapsed().as_nanos();
+    let mut agg = AccessStats::new();
+    let mut matches = 0u64;
+    for r in &results {
+        agg.merge(&r.metrics.stats);
+        matches += r.matches.len() as u64;
+    }
+    summarize(
+        "AC",
+        index.cluster_count(),
+        n_objects,
+        measured.len(),
+        agg,
+        wall_ns,
+        matches,
+        &mem_model,
+        &disk_model,
+    )
+}
+
 /// Measures a baseline (RS or SS) on the query stream.
 pub fn run_baseline<F>(
     method: &'static str,

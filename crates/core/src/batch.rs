@@ -1,0 +1,210 @@
+//! Recorded statistics of read-only query execution — the "write half"
+//! of the split read path.
+//!
+//! [`crate::AdaptiveClusterIndex::execute`] interleaved matching with
+//! statistics bookkeeping in the seed, which forced `&mut self` onto the
+//! hottest path of the system. The split read path instead *records* what
+//! an execution would have written — per-cluster matching-query counts,
+//! per-candidate matching-query counts, and the epoch byte counters
+//! feeding the early-exit verification fraction — into a [`StatsDelta`]
+//! that is applied to the index afterwards, under the exclusive borrow.
+//!
+//! Deltas are pure sums of integers, so merging them is associative and
+//! commutative: a batch fanned across worker threads (one delta each,
+//! merged serially afterwards) leaves the index with *exactly* the same
+//! statistics as executing the same queries sequentially, and therefore
+//! with identical reorganization decisions.
+
+use std::collections::HashMap;
+
+/// Statistics recorded by [`crate::AdaptiveClusterIndex::query_recorded`]
+/// and applied by [`crate::AdaptiveClusterIndex::apply_stats`].
+///
+/// A delta is only meaningful against the clustering state it was
+/// recorded from, so the index stamps it with its structural epoch at
+/// the first recorded query: recording into the same delta after a
+/// reorganization changed the clustering panics, and applying a stale
+/// delta drops the per-cluster increments (slots may have been recycled
+/// for unrelated clusters) while still counting the global query and
+/// byte totals. [`crate::AdaptiveClusterIndex::execute_batch`] never
+/// produces stale deltas — it splits batches at reorganization
+/// boundaries.
+#[derive(Debug, Clone, Default)]
+pub struct StatsDelta {
+    /// Structural epoch of the index when recording started (`None`
+    /// until the first query is recorded).
+    pub(crate) epoch: Option<u64>,
+    /// Queries recorded into this delta.
+    pub(crate) queries: u64,
+    /// Early-exit-accounted bytes verified by the recorded queries.
+    pub(crate) verified_bytes: u64,
+    /// Full-object bytes of the objects the recorded queries verified.
+    pub(crate) full_bytes: u64,
+    /// Per-cluster increments, keyed by cluster slot.
+    pub(crate) clusters: HashMap<u32, ClusterDelta>,
+}
+
+/// Increments destined for one cluster's statistics.
+///
+/// Candidate increments are a dense counter vector indexed by candidate
+/// position (sized to the cluster's candidate count on first use), so
+/// recording a match is one add — no hashing — and a delta's size stays
+/// O(explored clusters × candidates) regardless of how many queries it
+/// accumulates.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct ClusterDelta {
+    /// Queries whose signature matched the cluster.
+    pub(crate) q_count: u64,
+    /// Matching-query increments, indexed by candidate position.
+    pub(crate) cand_q: Vec<u32>,
+}
+
+impl StatsDelta {
+    /// An empty delta.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of queries recorded so far.
+    pub fn queries(&self) -> u64 {
+        self.queries
+    }
+
+    /// Whether no query has been recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.queries == 0
+    }
+
+    /// Accumulates `other` into `self`. Merging is commutative, so
+    /// per-worker deltas of a parallel batch can be merged in any order.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the deltas were recorded against different structural
+    /// epochs of the index (i.e. across a reorganization that changed
+    /// the clustering).
+    pub fn merge(&mut self, other: &StatsDelta) {
+        match (self.epoch, other.epoch) {
+            (Some(a), Some(b)) => assert_eq!(
+                a, b,
+                "merging StatsDelta recorded against a different clustering state"
+            ),
+            (None, Some(b)) => self.epoch = Some(b),
+            _ => {}
+        }
+        self.queries += other.queries;
+        self.verified_bytes += other.verified_bytes;
+        self.full_bytes += other.full_bytes;
+        for (&slot, delta) in &other.clusters {
+            let mine = self.clusters.entry(slot).or_default();
+            mine.q_count += delta.q_count;
+            if mine.cand_q.len() < delta.cand_q.len() {
+                mine.cand_q.resize(delta.cand_q.len(), 0);
+            }
+            for (acc, &q) in mine.cand_q.iter_mut().zip(&delta.cand_q) {
+                *acc += q;
+            }
+        }
+    }
+
+    /// The increment slot for one cluster, with its counter vector sized
+    /// for `candidates` entries.
+    pub(crate) fn cluster_mut(&mut self, slot: u32, candidates: usize) -> &mut ClusterDelta {
+        let delta = self.clusters.entry(slot).or_default();
+        if delta.cand_q.len() < candidates {
+            delta.cand_q.resize(candidates, 0);
+        }
+        delta
+    }
+}
+
+impl ClusterDelta {
+    pub(crate) fn bump_candidate(&mut self, cand: u32) {
+        self.cand_q[cand as usize] += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn candidate_total(delta: &StatsDelta, slot: u32, cand: u32) -> u32 {
+        delta.clusters[&slot].cand_q[cand as usize]
+    }
+
+    #[test]
+    fn new_delta_is_empty() {
+        let d = StatsDelta::new();
+        assert!(d.is_empty());
+        assert_eq!(d.queries(), 0);
+        assert_eq!(d.epoch, None);
+    }
+
+    #[test]
+    fn merge_sums_all_counters() {
+        let mut a = StatsDelta::new();
+        a.queries = 2;
+        a.verified_bytes = 100;
+        a.full_bytes = 300;
+        a.cluster_mut(0, 4).q_count = 2;
+        a.cluster_mut(0, 4).bump_candidate(3);
+        let mut b = StatsDelta::new();
+        b.queries = 1;
+        b.verified_bytes = 50;
+        b.full_bytes = 120;
+        b.cluster_mut(0, 4).q_count = 1;
+        b.cluster_mut(0, 4).bump_candidate(3);
+        b.cluster_mut(7, 4).q_count = 1;
+
+        a.merge(&b);
+        assert_eq!(a.queries, 3);
+        assert_eq!(a.verified_bytes, 150);
+        assert_eq!(a.full_bytes, 420);
+        assert_eq!(a.clusters[&0].q_count, 3);
+        assert_eq!(candidate_total(&a, 0, 3), 2);
+        assert_eq!(a.clusters[&7].q_count, 1);
+    }
+
+    #[test]
+    fn merge_is_commutative() {
+        let mut a = StatsDelta::new();
+        a.queries = 1;
+        a.cluster_mut(1, 4).q_count = 1;
+        a.cluster_mut(1, 4).bump_candidate(0);
+        let mut b = StatsDelta::new();
+        b.queries = 4;
+        b.cluster_mut(1, 4).q_count = 2;
+        b.cluster_mut(2, 4).q_count = 2;
+
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab.queries, ba.queries);
+        assert_eq!(ab.clusters[&1].q_count, ba.clusters[&1].q_count);
+        assert_eq!(ab.clusters[&2].q_count, ba.clusters[&2].q_count);
+        assert_eq!(candidate_total(&ab, 1, 0), candidate_total(&ba, 1, 0));
+    }
+
+    #[test]
+    fn merge_adopts_and_keeps_matching_epochs() {
+        let mut a = StatsDelta::new();
+        let mut b = StatsDelta::new();
+        b.epoch = Some(3);
+        b.queries = 1;
+        a.merge(&b);
+        assert_eq!(a.epoch, Some(3));
+        a.merge(&b); // same epoch merges fine
+        assert_eq!(a.queries, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "different clustering state")]
+    fn merge_rejects_mismatched_epochs() {
+        let mut a = StatsDelta::new();
+        a.epoch = Some(1);
+        let mut b = StatsDelta::new();
+        b.epoch = Some(2);
+        a.merge(&b);
+    }
+}

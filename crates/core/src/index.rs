@@ -14,6 +14,7 @@ use std::time::Instant;
 use acx_geom::{HyperRect, ObjectId, Scalar, SpatialQuery, OBJECT_ID_BYTES};
 use acx_storage::{AccessStats, ClusterRecord, CostModel, FileStore, SegmentId, SegmentStore};
 
+use crate::batch::StatsDelta;
 use crate::candidates::{generate_candidates, Candidate};
 use crate::cost::{materialization_benefit, merging_benefit};
 use crate::metrics::{ClusterSnapshot, QueryMetrics, QueryResult, ReorgReport};
@@ -21,6 +22,19 @@ use crate::signature::Signature;
 use crate::{IndexConfig, IndexError};
 
 const NO_PARENT: u32 = u32::MAX;
+
+/// Relative tolerance under which two access probabilities count as tied
+/// during insertion (paper §3.5: ties prefer the most specific cluster).
+/// Exact float equality almost never holds once probabilities are nonzero
+/// — decayed counters accumulate rounding — so the preference would
+/// otherwise never fire in a warmed-up index.
+const PROB_TIE_RELATIVE_EPS: f64 = 1e-9;
+
+/// Whether two access probabilities are equal up to accumulated float
+/// rounding (relative epsilon; exact zeros tie).
+pub(crate) fn probabilities_tie(a: f64, b: f64) -> bool {
+    (a - b).abs() <= PROB_TIE_RELATIVE_EPS * a.abs().max(b.abs())
+}
 
 /// One materialized cluster (paper §3.1).
 #[derive(Debug)]
@@ -67,6 +81,10 @@ pub struct AdaptiveClusterIndex {
     object_cluster: HashMap<u32, u32>,
     total_queries: u64,
     queries_since_reorg: u64,
+    /// Bumped whenever a reorganization changes the clustering (merges
+    /// may recycle cluster slots); stamps [`StatsDelta`]s so stale
+    /// per-cluster increments are never misattributed.
+    structure_epoch: u64,
     reorganizations: u64,
     total_merges: u64,
     total_splits: u64,
@@ -111,6 +129,7 @@ impl AdaptiveClusterIndex {
             object_cluster: HashMap::new(),
             total_queries: 0,
             queries_since_reorg: 0,
+            structure_epoch: 0,
             reorganizations: 0,
             total_merges: 0,
             total_splits: 0,
@@ -273,7 +292,13 @@ impl AdaptiveClusterIndex {
             let p = self.access_probability(cluster);
             let better = match best {
                 None => true,
-                Some((_, bp, bd)) => p < bp || (p == bp && depth > bd),
+                Some((_, bp, bd)) => {
+                    if probabilities_tie(p, bp) {
+                        depth > bd
+                    } else {
+                        p < bp
+                    }
+                }
             };
             if better {
                 best = Some((slot, p, depth));
@@ -297,21 +322,21 @@ impl AdaptiveClusterIndex {
         Ok(())
     }
 
-    /// Removes an object, returning its rectangle.
+    /// Removes an object, returning its rectangle. The object is located
+    /// through the store's position map in O(1) — no segment scan.
     pub fn remove(&mut self, id: ObjectId) -> Result<HyperRect, IndexError> {
         let slot = *self
             .object_cluster
             .get(&id.raw())
             .ok_or(IndexError::UnknownObject(id.raw()))?;
+        let (segment, idx) = self
+            .store
+            .position_of(id.raw())
+            .expect("object map and position map agree");
         let cluster = self.clusters[slot as usize]
             .as_mut()
             .expect("cluster slot is live");
-        let idx = self
-            .store
-            .ids(cluster.segment)
-            .iter()
-            .position(|&o| o == id.raw())
-            .expect("object map and segment agree");
+        debug_assert_eq!(cluster.segment, segment);
         let width = 2 * self.config.dims;
         let flat: Vec<Scalar> =
             self.store.coords(cluster.segment)[idx * width..(idx + 1) * width].to_vec();
@@ -326,18 +351,13 @@ impl AdaptiveClusterIndex {
         Ok(HyperRect::from_flat(&flat)?)
     }
 
-    /// Returns the rectangle of an indexed object.
+    /// Returns the rectangle of an indexed object, located through the
+    /// store's position map in O(1) — no per-object work at any index
+    /// size.
     pub fn get(&self, id: ObjectId) -> Option<HyperRect> {
-        let slot = *self.object_cluster.get(&id.raw())?;
-        let cluster = self.cluster(slot);
-        let idx = self
-            .store
-            .ids(cluster.segment)
-            .iter()
-            .position(|&o| o == id.raw())?;
+        let (segment, idx) = self.store.position_of(id.raw())?;
         let width = 2 * self.config.dims;
-        HyperRect::from_flat(&self.store.coords(cluster.segment)[idx * width..(idx + 1) * width])
-            .ok()
+        HyperRect::from_flat(&self.store.coords(segment)[idx * width..(idx + 1) * width]).ok()
     }
 
     /// Replaces the rectangle of an existing object.
@@ -353,46 +373,54 @@ impl AdaptiveClusterIndex {
         Ok(old)
     }
 
-    /// Executes a spatial selection (paper §3.6, Fig. 5): explores every
-    /// materialized cluster whose signature matches the query, verifies
-    /// its members individually, and maintains the statistics of explored
-    /// clusters and their candidate subclusters.
-    ///
-    /// When `reorg_period` is non-zero, a cluster reorganization pass runs
-    /// automatically every `reorg_period` executed queries.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the query dimensionality differs from the index's.
-    pub fn execute(&mut self, query: &SpatialQuery) -> QueryResult {
-        assert_eq!(
-            query.dims(),
-            self.config.dims,
-            "query dimensionality {} != index dimensionality {}",
-            query.dims(),
-            self.config.dims
-        );
+    fn check_query_dims(&self, query: &SpatialQuery) -> Result<(), IndexError> {
+        if query.dims() != self.config.dims {
+            return Err(IndexError::DimensionMismatch {
+                expected: self.config.dims,
+                actual: query.dims(),
+            });
+        }
+        Ok(())
+    }
+
+    /// The read-only matching phase shared by every query entry point
+    /// (paper §3.6, Fig. 5): explores every materialized cluster whose
+    /// signature matches the query and verifies its members individually.
+    /// When `delta` is given, the statistics the execution would have
+    /// written — per-cluster and per-candidate matching-query counts,
+    /// epoch byte counters — are recorded into it instead of mutating the
+    /// index, so the matching phase needs only `&self`.
+    fn explore(&self, query: &SpatialQuery, mut delta: Option<&mut StatsDelta>) -> QueryResult {
         let started = Instant::now();
         let mut stats = AccessStats::new();
         let mut matches = Vec::new();
         let width = 2 * self.config.dims;
         let object_bytes = self.store.object_bytes() as u64;
 
-        self.total_queries += 1;
+        if let Some(delta) = delta.as_deref_mut() {
+            match delta.epoch {
+                None => delta.epoch = Some(self.structure_epoch),
+                Some(e) => assert_eq!(
+                    e, self.structure_epoch,
+                    "StatsDelta was recorded against a different clustering state"
+                ),
+            }
+        }
         let mut stack = vec![self.root];
         while let Some(slot) = stack.pop() {
             stats.signature_checks += 1;
-            let cluster = self.clusters[slot as usize]
-                .as_mut()
-                .expect("cluster slot is live");
+            let cluster = self.cluster(slot);
             if !cluster.signature.matches_query(query) {
                 continue;
             }
             // Explore: sequential verification of every member.
-            cluster.q_count += 1;
-            for cand in cluster.candidates.iter_mut() {
-                if cand.matches_query(query) {
-                    cand.q += 1;
+            if let Some(delta) = delta.as_deref_mut() {
+                let recorded = delta.cluster_mut(slot, cluster.candidates.len());
+                recorded.q_count += 1;
+                for (ci, cand) in cluster.candidates.iter().enumerate() {
+                    if cand.matches_query(query) {
+                        recorded.bump_candidate(ci as u32);
+                    }
                 }
             }
             let n = self.store.segment_len(cluster.segment) as u64;
@@ -413,25 +441,256 @@ impl AdaptiveClusterIndex {
             stack.extend_from_slice(&cluster.children);
         }
 
-        self.epoch_verified_bytes += stats.verified_bytes;
-        self.epoch_full_bytes += stats.objects_verified * object_bytes;
-
-        let priced_ms = self.model.price(&stats);
-        let wall = started.elapsed();
-
-        self.queries_since_reorg += 1;
-        if self.config.reorg_period > 0 && self.queries_since_reorg >= self.config.reorg_period {
-            self.reorganize();
+        if let Some(delta) = delta {
+            delta.queries += 1;
+            delta.verified_bytes += stats.verified_bytes;
+            delta.full_bytes += stats.objects_verified * object_bytes;
         }
 
+        let priced_ms = self.model.price(&stats);
         QueryResult {
             matches,
             metrics: QueryMetrics {
                 stats,
                 priced_ms,
-                wall,
+                wall: started.elapsed(),
             },
         }
+    }
+
+    /// Executes a spatial selection **read-only**: identical match set and
+    /// access metrics to [`AdaptiveClusterIndex::execute`], but no
+    /// statistics are recorded and no reorganization can trigger. Because
+    /// it takes `&self`, any number of `query` calls may run concurrently
+    /// from threads sharing the index.
+    ///
+    /// ```
+    /// use acx_core::{AdaptiveClusterIndex, IndexConfig};
+    /// use acx_geom::{HyperRect, ObjectId, SpatialQuery};
+    ///
+    /// let mut index = AdaptiveClusterIndex::new(IndexConfig::memory(2)).unwrap();
+    /// index.insert(ObjectId(1), HyperRect::unit(2)).unwrap();
+    /// let q = SpatialQuery::point_enclosing(vec![0.5, 0.5]);
+    /// let (a, b) = std::thread::scope(|s| {
+    ///     let (shared, q) = (&index, &q); // no `mut`: readers share the index
+    ///     let a = s.spawn(move || shared.query(q).matches);
+    ///     let b = s.spawn(move || shared.query(q).matches);
+    ///     (a.join().unwrap(), b.join().unwrap())
+    /// });
+    /// assert_eq!(a, vec![ObjectId(1)]);
+    /// assert_eq!(a, b);
+    /// ```
+    ///
+    /// # Panics
+    ///
+    /// Panics if the query dimensionality differs from the index's; use
+    /// [`AdaptiveClusterIndex::try_query`] for a fallible variant.
+    pub fn query(&self, query: &SpatialQuery) -> QueryResult {
+        self.try_query(query).unwrap_or_else(|e| panic!("{}", Self::dims_panic(&e)))
+    }
+
+    /// Fallible variant of [`AdaptiveClusterIndex::query`]: returns
+    /// [`IndexError::DimensionMismatch`] instead of panicking.
+    pub fn try_query(&self, query: &SpatialQuery) -> Result<QueryResult, IndexError> {
+        self.check_query_dims(query)?;
+        Ok(self.explore(query, None))
+    }
+
+    /// Read-only execution that additionally records the statistics the
+    /// query would have written into `delta`. Apply the delta later with
+    /// [`AdaptiveClusterIndex::apply_stats`] to make the adaptive
+    /// reorganization see the queries exactly as if they had been run via
+    /// [`AdaptiveClusterIndex::execute`].
+    ///
+    /// The first recorded query stamps the delta with the index's current
+    /// structural epoch, so one delta never mixes queries recorded across
+    /// a reorganization that changed the clustering.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the query dimensionality differs from the index's, or if
+    /// `delta` already holds queries recorded against a different
+    /// clustering state.
+    pub fn query_recorded(&self, query: &SpatialQuery, delta: &mut StatsDelta) -> QueryResult {
+        self.check_query_dims(query)
+            .unwrap_or_else(|e| panic!("{}", Self::dims_panic(&e)));
+        self.explore(query, Some(delta))
+    }
+
+    /// Applies statistics recorded by
+    /// [`AdaptiveClusterIndex::query_recorded`], then runs a
+    /// reorganization pass if the configured `reorg_period` has elapsed.
+    ///
+    /// Apply a delta before the next reorganization. If a reorganization
+    /// *changed* the clustering in between, the delta is stale: its
+    /// per-cluster increments are dropped (merges recycle cluster slots,
+    /// so applying them could credit unrelated clusters), while the
+    /// global query and byte totals — which stay meaningful — are still
+    /// counted.
+    pub fn apply_stats(&mut self, delta: &StatsDelta) {
+        self.total_queries += delta.queries;
+        self.epoch_verified_bytes += delta.verified_bytes;
+        self.epoch_full_bytes += delta.full_bytes;
+        let current = delta.epoch.is_none_or(|e| e == self.structure_epoch);
+        if current {
+            for (&slot, recorded) in &delta.clusters {
+                let cluster = self
+                    .clusters
+                    .get_mut(slot as usize)
+                    .and_then(|c| c.as_mut())
+                    .expect("delta epoch matches, so its cluster slots are live");
+                cluster.q_count += recorded.q_count;
+                for (ci, &q) in recorded.cand_q.iter().enumerate() {
+                    if q > 0 {
+                        cluster.candidates[ci].q += q;
+                    }
+                }
+            }
+        }
+        self.queries_since_reorg += delta.queries;
+        if self.config.reorg_period > 0 && self.queries_since_reorg >= self.config.reorg_period {
+            self.reorganize();
+        }
+    }
+
+    fn dims_panic(e: &IndexError) -> String {
+        match e {
+            IndexError::DimensionMismatch { expected, actual } => format!(
+                "query dimensionality {actual} != index dimensionality {expected}"
+            ),
+            other => other.to_string(),
+        }
+    }
+
+    /// Executes a spatial selection (paper §3.6, Fig. 5) and maintains
+    /// the statistics of explored clusters and their candidate
+    /// subclusters: a thin wrapper that runs the read-only matching phase
+    /// and applies the recorded [`StatsDelta`].
+    ///
+    /// When `reorg_period` is non-zero, a cluster reorganization pass runs
+    /// automatically every `reorg_period` executed queries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the query dimensionality differs from the index's; use
+    /// [`AdaptiveClusterIndex::try_execute`] for a fallible variant.
+    pub fn execute(&mut self, query: &SpatialQuery) -> QueryResult {
+        self.try_execute(query)
+            .unwrap_or_else(|e| panic!("{}", Self::dims_panic(&e)))
+    }
+
+    /// Fallible variant of [`AdaptiveClusterIndex::execute`]: returns
+    /// [`IndexError::DimensionMismatch`] instead of panicking.
+    pub fn try_execute(&mut self, query: &SpatialQuery) -> Result<QueryResult, IndexError> {
+        self.check_query_dims(query)?;
+        let mut delta = StatsDelta::new();
+        let result = self.explore(query, Some(&mut delta));
+        self.apply_stats(&delta);
+        Ok(result)
+    }
+
+    /// Executes a batch of queries, fanning the read-only matching phase
+    /// across `threads` scoped worker threads.
+    ///
+    /// Results come back in query order, and the index ends up in
+    /// **exactly** the state sequential [`AdaptiveClusterIndex::execute`]
+    /// calls would have produced: the batch is processed in windows that
+    /// end at reorganization boundaries, each worker records one
+    /// [`StatsDelta`], and the deltas (commutative integer sums) are
+    /// merged serially before being applied. Only per-query wall-clock
+    /// times differ.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads == 0` or on query dimensionality mismatch; use
+    /// [`AdaptiveClusterIndex::try_execute_batch`] for a fallible variant.
+    pub fn execute_batch(&mut self, queries: &[SpatialQuery], threads: usize) -> Vec<QueryResult> {
+        self.try_execute_batch(queries, threads)
+            .unwrap_or_else(|e| panic!("{}", Self::dims_panic(&e)))
+    }
+
+    /// Fallible variant of [`AdaptiveClusterIndex::execute_batch`]:
+    /// returns [`IndexError::DimensionMismatch`] (before executing
+    /// anything) instead of panicking.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads == 0`.
+    pub fn try_execute_batch(
+        &mut self,
+        queries: &[SpatialQuery],
+        threads: usize,
+    ) -> Result<Vec<QueryResult>, IndexError> {
+        assert!(threads > 0, "need at least one thread");
+        for query in queries {
+            self.check_query_dims(query)?;
+        }
+        let mut results = Vec::with_capacity(queries.len());
+        let mut rest = queries;
+        while !rest.is_empty() {
+            // A window never crosses a reorganization boundary, so the
+            // cluster tree is frozen while workers read it and the pass
+            // triggered by `apply_stats` sees sequential statistics.
+            let window = if self.config.reorg_period == 0 {
+                rest.len()
+            } else {
+                let until_reorg = self
+                    .config
+                    .reorg_period
+                    .saturating_sub(self.queries_since_reorg)
+                    .max(1) as usize;
+                until_reorg.min(rest.len())
+            };
+            let (head, tail) = rest.split_at(window);
+            let delta = self.query_window(head, threads, &mut results);
+            self.apply_stats(&delta);
+            rest = tail;
+        }
+        Ok(results)
+    }
+
+    /// Runs one reorganization-free window of queries read-only, with one
+    /// worker thread (and one [`StatsDelta`]) per chunk, appending results
+    /// in query order and returning the merged delta.
+    fn query_window(
+        &self,
+        queries: &[SpatialQuery],
+        threads: usize,
+        results: &mut Vec<QueryResult>,
+    ) -> StatsDelta {
+        // Threading pays off only when every worker gets a few queries.
+        let workers = threads.min(queries.len().div_ceil(4)).max(1);
+        if workers == 1 {
+            let mut delta = StatsDelta::new();
+            results.extend(queries.iter().map(|q| self.explore(q, Some(&mut delta))));
+            return delta;
+        }
+        let chunk = queries.len().div_ceil(workers);
+        let per_worker: Vec<(Vec<QueryResult>, StatsDelta)> = std::thread::scope(|scope| {
+            let handles: Vec<_> = queries
+                .chunks(chunk)
+                .map(|chunk_queries| {
+                    scope.spawn(move || {
+                        let mut delta = StatsDelta::new();
+                        let chunk_results: Vec<QueryResult> = chunk_queries
+                            .iter()
+                            .map(|q| self.explore(q, Some(&mut delta)))
+                            .collect();
+                        (chunk_results, delta)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("query worker panicked"))
+                .collect()
+        });
+        let mut delta = StatsDelta::new();
+        for (chunk_results, worker_delta) in per_worker {
+            results.extend(chunk_results);
+            delta.merge(&worker_delta);
+        }
+        delta
     }
 
     /// Runs one cluster reorganization pass (paper Fig. 1): for every
@@ -466,6 +725,9 @@ impl AdaptiveClusterIndex {
         self.reorganizations += 1;
         self.queries_since_reorg = 0;
         report.clusters_after = self.cluster_count();
+        if report.changed() {
+            self.structure_epoch += 1;
+        }
         self.total_merges += report.merges;
         self.total_splits += report.splits;
         report
@@ -842,6 +1104,7 @@ impl AdaptiveClusterIndex {
             object_cluster,
             total_queries: 0,
             queries_since_reorg: 0,
+            structure_epoch: 0,
             reorganizations: 0,
             total_merges: 0,
             total_splits: 0,
@@ -917,6 +1180,52 @@ impl AdaptiveClusterIndex {
                 self.object_cluster.len()
             ));
         }
+        for (&oid, &slot) in &self.object_cluster {
+            match self.store.position_of(oid) {
+                None => return Err(format!("object #{oid} missing from the position map")),
+                Some((segment, idx)) => {
+                    let cluster = self
+                        .clusters
+                        .get(slot as usize)
+                        .and_then(|c| c.as_ref())
+                        .ok_or_else(|| format!("object #{oid} maps to dead cluster {slot}"))?;
+                    if cluster.segment != segment || self.store.ids(segment)[idx] != oid {
+                        return Err(format!("position map misplaces object #{oid}"));
+                    }
+                }
+            }
+        }
         Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::probabilities_tie;
+
+    #[test]
+    fn exact_equality_ties() {
+        assert!(probabilities_tie(0.0, 0.0));
+        assert!(probabilities_tie(0.25, 0.25));
+        assert!(probabilities_tie(1.0, 1.0));
+    }
+
+    #[test]
+    fn rounding_noise_ties_but_real_differences_do_not() {
+        // One-ulp discrepancies, as produced by decayed counters that
+        // accumulate the same history along different float paths.
+        let p = 1.0 / 3.0;
+        assert!(probabilities_tie(p, p + f64::EPSILON / 3.0));
+        assert!(probabilities_tie(0.9f64.mul_add(10.0, 10.0) / 19.0, 1.0));
+        // Genuine probability differences must still order clusters.
+        assert!(!probabilities_tie(0.5, 0.500001));
+        assert!(!probabilities_tie(0.0, 0.01));
+        assert!(!probabilities_tie(1e-3, 2e-3));
+    }
+
+    #[test]
+    fn tie_is_symmetric() {
+        let (a, b) = (0.7, 0.7 + 1e-13);
+        assert_eq!(probabilities_tie(a, b), probabilities_tie(b, a));
     }
 }

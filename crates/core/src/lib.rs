@@ -26,6 +26,7 @@
 //! a sequential scan: when exploration is not worth avoiding, the index
 //! degenerates to a single root cluster scanned sequentially.
 
+mod batch;
 pub mod candidates;
 mod config;
 pub mod cost;
@@ -34,6 +35,7 @@ mod index;
 mod metrics;
 pub mod signature;
 
+pub use batch::StatsDelta;
 pub use config::IndexConfig;
 pub use error::IndexError;
 pub use index::AdaptiveClusterIndex;

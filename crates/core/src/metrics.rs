@@ -21,8 +21,9 @@ impl ReorgReport {
 }
 
 /// A read-only view of one materialized cluster, for inspection, tests
-/// and the experiment harness.
-#[derive(Debug, Clone)]
+/// and the experiment harness. Comparable with `==` so tests can assert
+/// that two execution strategies leave identical clustering state.
+#[derive(Debug, Clone, PartialEq)]
 pub struct ClusterSnapshot {
     /// Dense identifier of the cluster within the index.
     pub id: u32,

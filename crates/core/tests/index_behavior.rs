@@ -568,3 +568,77 @@ fn priced_cost_drops_after_adaptation() {
         "priced cost should drop: {cost_before:.4} -> {cost_after:.4}"
     );
 }
+
+#[test]
+fn fresh_child_cluster_beats_root_at_equal_probability() {
+    // Paper §3.5: insertion breaks access-probability ties towards the
+    // most specific cluster. Build a root + child tree directly through
+    // the persistence layer (statistics restart empty after a load, so
+    // both clusters sit at identical access probability).
+    use acx_core::Signature;
+    use acx_storage::{ClusterRecord, FileStore};
+
+    let dims = 2;
+    let root_sig = Signature::root(dims);
+    // Child: dim-0 interval starts and ends both in [0, 0.25).
+    let child_sig = root_sig.specialize(0, 4, 0, 0);
+    let records = [
+        ClusterRecord {
+            signature: [u32::MAX.to_le_bytes().as_slice(), &root_sig.to_bytes()].concat(),
+            ids: vec![1],
+            coords: vec![0.5, 0.9, 0.5, 0.9],
+        },
+        ClusterRecord {
+            signature: [0u32.to_le_bytes().as_slice(), &child_sig.to_bytes()].concat(),
+            ids: vec![2],
+            coords: vec![0.1, 0.2, 0.3, 0.8],
+        },
+    ];
+    let mut path = std::env::temp_dir();
+    path.push(format!("acx-tie-break-{}.acx", std::process::id()));
+    FileStore::save(&path, dims, &records).unwrap();
+    let mut config = IndexConfig::memory(dims);
+    config.reorg_period = 0;
+    let mut index = AdaptiveClusterIndex::load(&path, config).unwrap();
+    std::fs::remove_file(&path).unwrap();
+    assert_eq!(index.cluster_count(), 2);
+
+    let child_objects = |index: &AdaptiveClusterIndex| -> usize {
+        index
+            .snapshots()
+            .iter()
+            .filter(|s| s.depth == 1)
+            .map(|s| s.objects)
+            .sum()
+    };
+
+    // Equal (zero) probability: both clusters accept the object, the
+    // fresh child is more specific and must host it.
+    let before = child_objects(&index);
+    index
+        .insert(ObjectId(10), rect(&[0.05, 0.4], &[0.15, 0.6]))
+        .unwrap();
+    assert_eq!(
+        child_objects(&index),
+        before + 1,
+        "fresh child cluster must beat the root at equal probability"
+    );
+
+    // Equal *nonzero* probability: point queries with the dim-0
+    // coordinate inside the child's variation interval match both
+    // signatures, keeping both access probabilities at exactly 1.
+    for k in 0..40 {
+        let v = 0.01 + (k as f32) * 0.005; // stays below 0.25
+        index.execute(&SpatialQuery::point_enclosing(vec![v, 0.5]));
+    }
+    let before = child_objects(&index);
+    index
+        .insert(ObjectId(11), rect(&[0.02, 0.3], &[0.2, 0.7]))
+        .unwrap();
+    assert_eq!(
+        child_objects(&index),
+        before + 1,
+        "the deeper cluster must win nonzero probability ties"
+    );
+    index.check_invariants().unwrap();
+}

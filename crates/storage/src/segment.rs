@@ -1,3 +1,5 @@
+use std::collections::HashMap;
+
 use acx_geom::{object_size_bytes, Scalar};
 
 /// Handle to one cluster's sequential object segment.
@@ -30,6 +32,14 @@ struct Segment {
 /// The store also maintains a *virtual byte layout* (bump allocation +
 /// relocation) so the disk scenario can reason about segment offsets, and
 /// counts relocations so tests can assert they stay rare.
+///
+/// Object ids must be unique across the whole store: the store keeps an
+/// id → (segment, position) map so [`SegmentStore::position_of`] answers
+/// in O(1) instead of scanning a segment, and the map is maintained
+/// through [`SegmentStore::push`], [`SegmentStore::swap_remove`],
+/// [`SegmentStore::remove`], [`SegmentStore::merge_into`] and segment
+/// relocations (a relocation changes a segment's layout offset, never the
+/// positions of its members).
 #[derive(Debug)]
 pub struct SegmentStore {
     dims: usize,
@@ -40,6 +50,8 @@ pub struct SegmentStore {
     next_offset: u64,
     relocations: u64,
     live_objects: usize,
+    /// object id → (segment slot, index within the segment).
+    positions: HashMap<u32, (u32, u32)>,
 }
 
 impl SegmentStore {
@@ -65,6 +77,7 @@ impl SegmentStore {
             next_offset: 0,
             relocations: 0,
             live_objects: 0,
+            positions: HashMap::new(),
         }
     }
 
@@ -158,6 +171,10 @@ impl SegmentStore {
 
     /// Appends one object; relocates the segment (with fresh reserve) when
     /// the reservation is exhausted.
+    ///
+    /// `object_id` must not already be stored anywhere in the store
+    /// (checked by a debug assertion): the position map keeps exactly one
+    /// location per id.
     pub fn push(&mut self, id: SegmentId, object_id: u32, flat: &[Scalar]) {
         assert_eq!(flat.len(), 2 * self.dims, "coordinate arity mismatch");
         let dims = self.dims;
@@ -183,24 +200,39 @@ impl SegmentStore {
         seg.ids.push(object_id);
         seg.coords.extend_from_slice(flat);
         debug_assert_eq!(seg.coords.len(), seg.ids.len() * 2 * dims);
+        let index = (seg.ids.len() - 1) as u32;
+        let previous = self.positions.insert(object_id, (id.0, index));
+        debug_assert!(
+            previous.is_none(),
+            "object id #{object_id} pushed twice into the store"
+        );
         self.live_objects += 1;
     }
 
     /// Removes the object at `index` by swapping in the last member.
     /// Returns the removed object id.
     pub fn swap_remove(&mut self, id: SegmentId, index: usize) -> u32 {
-        let dims = self.dims;
-        let seg = self.segment_mut(id);
-        let removed = seg.ids.swap_remove(index);
-        let last = seg.ids.len(); // after removal, old last index
-        let width = 2 * dims;
-        if index < last {
-            let (from, to) = (last * width, index * width);
-            for k in 0..width {
-                seg.coords[to + k] = seg.coords[from + k];
-            }
+        let width = 2 * self.dims;
+        let (removed, moved) = {
+            let seg = self.segment_mut(id);
+            let removed = seg.ids.swap_remove(index);
+            let last = seg.ids.len(); // after removal, old last index
+            let moved = if index < last {
+                let (from, to) = (last * width, index * width);
+                for k in 0..width {
+                    seg.coords[to + k] = seg.coords[from + k];
+                }
+                Some(seg.ids[index])
+            } else {
+                None
+            };
+            seg.coords.truncate(last * width);
+            (removed, moved)
+        };
+        if let Some(moved) = moved {
+            self.positions.insert(moved, (id.0, index as u32));
         }
-        seg.coords.truncate(last * width);
+        self.positions.remove(&removed);
         self.live_objects -= 1;
         removed
     }
@@ -220,6 +252,19 @@ impl SegmentStore {
         self.segment(id).ids.len()
     }
 
+    /// Segment and in-segment position currently holding `object_id`, in
+    /// O(1) via the position map (no segment scan).
+    pub fn position_of(&self, object_id: u32) -> Option<(SegmentId, usize)> {
+        self.positions
+            .get(&object_id)
+            .map(|&(slot, index)| (SegmentId(slot), index as usize))
+    }
+
+    /// Whether the store holds an object with this id.
+    pub fn contains_object(&self, object_id: u32) -> bool {
+        self.positions.contains_key(&object_id)
+    }
+
     /// Byte offset of the segment in the virtual layout.
     pub fn offset(&self, id: SegmentId) -> u64 {
         self.segment(id).offset
@@ -237,6 +282,9 @@ impl SegmentStore {
             .expect("segment was removed");
         self.free_slots.push(id.0);
         self.live_objects -= seg.ids.len();
+        for object_id in &seg.ids {
+            self.positions.remove(object_id);
+        }
         (seg.ids, seg.coords)
     }
 
@@ -379,6 +427,61 @@ mod tests {
         let s = SegmentStore::new(16);
         assert_eq!(s.object_bytes(), 132);
     }
+
+    #[test]
+    fn position_of_tracks_push_and_swap_remove() {
+        let mut s = SegmentStore::new(2);
+        let a = s.create(4);
+        let b = s.create(4);
+        s.push(a, 1, &flat(0.1, 0.15));
+        s.push(a, 2, &flat(0.2, 0.25));
+        s.push(a, 3, &flat(0.3, 0.35));
+        s.push(b, 4, &flat(0.4, 0.45));
+        assert_eq!(s.position_of(1), Some((a, 0)));
+        assert_eq!(s.position_of(3), Some((a, 2)));
+        assert_eq!(s.position_of(4), Some((b, 0)));
+        assert_eq!(s.position_of(9), None);
+        assert!(s.contains_object(2));
+        // Removing the first member swaps the last one into its place.
+        s.swap_remove(a, 0);
+        assert_eq!(s.position_of(1), None);
+        assert_eq!(s.position_of(3), Some((a, 0)));
+        assert_eq!(s.position_of(2), Some((a, 1)));
+    }
+
+    #[test]
+    fn position_of_survives_relocation_and_merge() {
+        let mut s = SegmentStore::with_reserve(2, 0.25);
+        let a = s.create(2); // capacity 3: fourth push relocates
+        for i in 0..6 {
+            s.push(a, i, &flat(0.0, 1.0));
+        }
+        assert!(s.relocations() > 0);
+        for i in 0..6 {
+            assert_eq!(s.position_of(i), Some((a, i as usize)));
+        }
+        let b = s.create(2);
+        s.push(b, 10, &flat(0.5, 0.6));
+        s.merge_into(a, b);
+        for i in 0..6 {
+            let (seg, idx) = s.position_of(i).expect("merged member is mapped");
+            assert_eq!(seg, b);
+            assert_eq!(s.ids(b)[idx], i);
+        }
+        assert_eq!(s.position_of(10), Some((b, 0)));
+    }
+
+    #[test]
+    fn removing_a_segment_unmaps_its_members() {
+        let mut s = SegmentStore::new(1);
+        let a = s.create(2);
+        s.push(a, 1, &[0.0, 1.0]);
+        s.push(a, 2, &[0.2, 0.4]);
+        s.remove(a);
+        assert_eq!(s.position_of(1), None);
+        assert_eq!(s.position_of(2), None);
+        assert!(!s.contains_object(1));
+    }
 }
 
 #[cfg(test)]
@@ -389,7 +492,7 @@ mod proptests {
     #[derive(Debug, Clone)]
     enum Op {
         Create(u8),
-        Push(u8, u32),
+        Push(u8),
         SwapRemove(u8, u8),
         Merge(u8, u8),
     }
@@ -397,7 +500,7 @@ mod proptests {
     fn op() -> impl Strategy<Value = Op> {
         prop_oneof![
             1 => (1u8..8).prop_map(Op::Create),
-            5 => (0u8..6, 0u32..1000).prop_map(|(s, id)| Op::Push(s, id)),
+            5 => (0u8..6).prop_map(Op::Push),
             2 => (0u8..6, 0u8..16).prop_map(|(s, k)| Op::SwapRemove(s, k)),
             1 => (0u8..6, 0u8..6).prop_map(|(a, b)| Op::Merge(a, b)),
         ]
@@ -406,22 +509,26 @@ mod proptests {
     proptest! {
         /// The segment store behaves like a vector of (id, coords) lists
         /// under arbitrary create/push/remove/merge sequences, and its
-        /// id and coordinate arrays never fall out of sync.
+        /// id and coordinate arrays never fall out of sync. Object ids
+        /// are drawn from a counter: the store requires them unique.
         #[test]
         fn store_matches_model(ops in prop::collection::vec(op(), 1..80)) {
             let dims = 2;
             let mut store = SegmentStore::new(dims);
             let mut live: Vec<SegmentId> = Vec::new();
             let mut model: Vec<Vec<(u32, Vec<Scalar>)>> = Vec::new();
+            let mut next_id = 0u32;
             for op in ops {
                 match op {
                     Op::Create(expected) => {
                         live.push(store.create(expected as usize));
                         model.push(Vec::new());
                     }
-                    Op::Push(s, id) => {
+                    Op::Push(s) => {
                         if live.is_empty() { continue; }
                         let k = s as usize % live.len();
+                        let id = next_id;
+                        next_id += 1;
                         let flat = vec![id as f32 / 1000.0, 1.0, 0.25, 0.75];
                         store.push(live[k], id, &flat);
                         model[k].push((id, flat));
@@ -464,6 +571,66 @@ mod proptests {
                         model[k].len() * 2 * store.dims()
                     );
                 }
+            }
+        }
+
+        /// The O(1) position map agrees with a linear scan of every
+        /// segment after arbitrary push/swap_remove/relocation/merge
+        /// sequences (tiny initial reservations force relocations).
+        #[test]
+        fn position_map_agrees_with_linear_scan(ops in prop::collection::vec(op(), 1..120)) {
+            let mut store = SegmentStore::with_reserve(1, 0.25);
+            let mut live: Vec<SegmentId> = Vec::new();
+            let mut lens: Vec<usize> = Vec::new();
+            let mut next_id = 0u32;
+            for op in ops {
+                match op {
+                    Op::Create(_) => {
+                        // Reserve a single slot so growth relocates early.
+                        live.push(store.create(1));
+                        lens.push(0);
+                    }
+                    Op::Push(s) => {
+                        if live.is_empty() { continue; }
+                        let k = s as usize % live.len();
+                        store.push(live[k], next_id, &[0.25, 0.75]);
+                        next_id += 1;
+                        lens[k] += 1;
+                    }
+                    Op::SwapRemove(s, idx) => {
+                        if live.is_empty() { continue; }
+                        let k = s as usize % live.len();
+                        if lens[k] == 0 { continue; }
+                        store.swap_remove(live[k], idx as usize % lens[k]);
+                        lens[k] -= 1;
+                    }
+                    Op::Merge(a, b) => {
+                        if live.len() < 2 { continue; }
+                        let ka = a as usize % live.len();
+                        let mut kb = b as usize % live.len();
+                        if ka == kb { kb = (kb + 1) % live.len(); }
+                        store.merge_into(live[ka], live[kb]);
+                        lens[kb] += lens[ka];
+                        live.remove(ka);
+                        lens.remove(ka);
+                    }
+                }
+                // The map and a linear scan must name the same position
+                // for every stored object, and map nothing else.
+                let mut mapped = 0usize;
+                for seg in &live {
+                    for (idx, id) in store.ids(*seg).iter().enumerate() {
+                        prop_assert_eq!(
+                            store.position_of(*id),
+                            Some((*seg, idx)),
+                            "map disagrees with scan for object #{}",
+                            id
+                        );
+                        mapped += 1;
+                    }
+                }
+                prop_assert_eq!(mapped, store.len());
+                prop_assert_eq!(store.position_of(next_id), None);
             }
         }
 

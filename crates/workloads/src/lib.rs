@@ -12,15 +12,20 @@
 //!   price, rooms, baths, …) mapped onto the normalized data space.
 //! * [`ShiftingHotspot`] — a query stream whose focus region jumps
 //!   periodically, exercising the index's merge-based adaptation.
+//! * [`EventStream`] — batched event-stream driver rendering pub/sub
+//!   offers as ready-to-execute queries, feeding the index's concurrent
+//!   batch read path.
 //!
 //! All generators are deterministic given a seed.
 
 pub mod calibrate;
+mod events;
 mod pubsub;
 mod skewed;
 mod streams;
 mod uniform;
 
+pub use events::EventStream;
 pub use pubsub::{Attribute, PubSubGenerator, Subscription};
 pub use skewed::SkewedWorkload;
 pub use streams::ShiftingHotspot;

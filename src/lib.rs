@@ -48,13 +48,13 @@ pub mod prelude {
     pub use acx_baselines::{RStarConfig, RStarTree, SeqScan};
     pub use acx_core::{
         AdaptiveClusterIndex, ClusterSnapshot, IndexConfig, IndexError, QueryMetrics, QueryResult,
-        ReorgReport,
+        ReorgReport, StatsDelta,
     };
     pub use acx_geom::{
         HyperRect, Interval, ObjectId, Scalar, SpatialQuery, SpatialRelation,
     };
     pub use acx_storage::{AccessStats, CostModel, DeviceProfile, StorageScenario};
     pub use acx_workloads::{
-        SkewedWorkload, UniformWorkload, Workload, WorkloadConfig,
+        EventStream, SkewedWorkload, UniformWorkload, Workload, WorkloadConfig,
     };
 }
