@@ -15,6 +15,7 @@ mod split;
 
 use std::time::Instant;
 
+use acx_geom::scan::{scan_interleaved, ScanScratch};
 use acx_geom::{object_size_bytes, HyperRect, ObjectId, Scalar, SpatialQuery, OBJECT_ID_BYTES};
 use acx_storage::{
     AccessStats, CostModel, DeviceProfile, QueryMetrics, QueryResult, StorageScenario,
@@ -573,6 +574,28 @@ impl RStarTree {
     ///
     /// Panics if the query dimensionality differs from the tree's.
     pub fn execute(&self, query: &SpatialQuery) -> QueryResult {
+        let mut scratch = ScanScratch::new();
+        self.execute_with(query, &mut scratch)
+    }
+
+    /// [`RStarTree::execute`] through a reusable kernel scratch.
+    ///
+    /// Leaf entries are verified by the same columnar batch kernel as the
+    /// adaptive index and the sequential scan
+    /// ([`acx_geom::scan::scan_interleaved`]): each visited leaf page is
+    /// scanned one dimension at a time over a survivors mask, gathering
+    /// dimension tiles lazily from the row-major page — a block of
+    /// entries rejected in its first dimensions never pays for the
+    /// remaining ones, so the early-exit economics of the previous
+    /// per-entry loop are preserved. Match sets and access counters are
+    /// bit-identical to per-entry verification. Internal nodes keep the
+    /// scalar MBB pruning checks (those are signature checks, not object
+    /// verification).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the query dimensionality differs from the tree's.
+    pub fn execute_with(&self, query: &SpatialQuery, scratch: &mut ScanScratch) -> QueryResult {
         assert_eq!(query.dims(), self.config.dims, "dimensionality mismatch");
         let started = Instant::now();
         let width = self.width();
@@ -595,14 +618,12 @@ impl RStarTree {
             stats.seeks += 1;
             stats.transfer_bytes += self.config.page_size as u64;
             if node.is_leaf() {
-                for k in 0..node.len() {
-                    let outcome = query.matches_flat(node.entry(k, width));
-                    stats.objects_verified += 1;
-                    stats.verified_bytes +=
-                        OBJECT_ID_BYTES as u64 + 8 * outcome.dims_checked as u64;
-                    if outcome.matched {
-                        matches.push(ObjectId(node.ptrs[k]));
-                    }
+                let n = node.len();
+                let outcome = scan_interleaved(query, &node.mbbs[..n * width], scratch);
+                stats.objects_verified += n as u64;
+                stats.verified_bytes += outcome.verified_bytes();
+                for &k in scratch.matches() {
+                    matches.push(ObjectId(node.ptrs[k as usize]));
                 }
             } else {
                 for k in 0..node.len() {

@@ -1,0 +1,81 @@
+//! Micro-benchmark of the columnar verification kernel against the
+//! scalar oracle (object-at-a-time `matches_flat`), across database
+//! sizes and dimensionalities. Point-enclosing queries are the
+//! scan-dominated case the adaptive index optimizes for (§7.2);
+//! intersection windows add a lower-selectivity shape.
+
+use acx_geom::scan::{scan_columns, PairedColumns, ScanScratch};
+use acx_geom::{Scalar, SpatialQuery, OBJECT_ID_BYTES};
+use acx_workloads::{UniformWorkload, Workload, WorkloadConfig};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+const SIZES: [usize; 3] = [1_000, 10_000, 100_000];
+const DIMS: [usize; 3] = [2, 4, 8];
+
+/// Interleaved flats plus the equivalent dimension-major columns.
+fn build(dims: usize, n: usize) -> (Vec<Scalar>, Vec<Vec<Scalar>>, Vec<SpatialQuery>) {
+    let workload = UniformWorkload::with_max_length(WorkloadConfig::new(dims, n, 0x5CA7), 0.3);
+    let mut rng = WorkloadConfig::new(dims, n, 0x5CA7).rng();
+    let width = 2 * dims;
+    let mut flat = Vec::with_capacity(n * width);
+    for _ in 0..n {
+        workload.sample_object(&mut rng).write_flat(&mut flat);
+    }
+    let mut cols = vec![Vec::with_capacity(n); width];
+    for row in flat.chunks_exact(width) {
+        for (k, &v) in row.iter().enumerate() {
+            cols[k].push(v);
+        }
+    }
+    let queries = (0..64)
+        .map(|_| SpatialQuery::point_enclosing(workload.sample_point(&mut rng)))
+        .collect();
+    (flat, cols, queries)
+}
+
+/// The scalar oracle: per-object verification with early exit, summing
+/// the same byte accounting the access methods report.
+fn scalar_scan(query: &SpatialQuery, flat: &[Scalar], width: usize) -> (usize, u64) {
+    let mut matched = 0usize;
+    let mut verified_bytes = 0u64;
+    for row in flat.chunks_exact(width) {
+        let out = query.matches_flat(row);
+        verified_bytes += OBJECT_ID_BYTES as u64 + 8 * out.dims_checked as u64;
+        matched += out.matched as usize;
+    }
+    (matched, verified_bytes)
+}
+
+fn bench_scan_kernel(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scan_kernel");
+    group.sample_size(15);
+    for &dims in &DIMS {
+        for &n in &SIZES {
+            let (flat, cols, queries) = build(dims, n);
+            let width = 2 * dims;
+            let mut scratch = ScanScratch::new();
+            let mut k = 0usize;
+            group.bench_function(format!("columnar/d{dims}/n{n}"), |b| {
+                b.iter(|| {
+                    k = (k + 1) % queries.len();
+                    let out = scan_columns(
+                        black_box(&queries[k]),
+                        &PairedColumns::new(&cols),
+                        &mut scratch,
+                    );
+                    black_box((out.matched, out.verified_bytes()))
+                })
+            });
+            group.bench_function(format!("scalar/d{dims}/n{n}"), |b| {
+                b.iter(|| {
+                    k = (k + 1) % queries.len();
+                    black_box(scalar_scan(black_box(&queries[k]), &flat, width))
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scan_kernel);
+criterion_main!(benches);

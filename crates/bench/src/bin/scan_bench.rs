@@ -1,0 +1,201 @@
+//! Snapshot benchmark of the columnar scan kernel vs the scalar oracle,
+//! recorded to `BENCH_scan.json` so the repository's perf trajectory is
+//! tracked across PRs.
+//!
+//! Two layers are measured single-threaded:
+//!
+//! * **kernel** — `scan_columns` against per-object `matches_flat` over
+//!   one flat segment, for every (objects, dims) in the matrix.
+//! * **index** — `AdaptiveClusterIndex` point-enclosing queries (§7.2,
+//!   the scan-dominated workload) with `ScanMode::Columnar` vs
+//!   `ScanMode::ScalarOracle` on identically adapted indexes.
+//!
+//! Usage:
+//! ```text
+//! cargo run --release -p acx_bench --bin scan_bench
+//!     [--quick] [--out BENCH_scan.json]
+//! ```
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use acx_bench::args::Flags;
+use acx_geom::scan::{scan_columns, PairedColumns, ScanScratch};
+use acx_geom::{ObjectId, Scalar, SpatialQuery, OBJECT_ID_BYTES};
+use acx_core::{AdaptiveClusterIndex, IndexConfig, QueryScratch, ScanMode};
+use acx_workloads::{UniformWorkload, Workload, WorkloadConfig};
+
+/// Median-of-repeats nanoseconds per query for one closure.
+fn time_per_query<F: FnMut(usize) -> u64>(queries: usize, repeats: usize, mut run: F) -> f64 {
+    let mut samples: Vec<f64> = (0..repeats)
+        .map(|_| {
+            let started = Instant::now();
+            let mut guard = 0u64;
+            for k in 0..queries {
+                guard = guard.wrapping_add(run(k));
+            }
+            std::hint::black_box(guard);
+            started.elapsed().as_nanos() as f64 / queries as f64
+        })
+        .collect();
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    samples[samples.len() / 2]
+}
+
+struct KernelRow {
+    dims: usize,
+    objects: usize,
+    columnar_ns: f64,
+    scalar_ns: f64,
+}
+
+fn kernel_matrix(sizes: &[usize], dims_list: &[usize], repeats: usize) -> Vec<KernelRow> {
+    let mut rows = Vec::new();
+    for &dims in dims_list {
+        for &n in sizes {
+            let workload =
+                UniformWorkload::with_max_length(WorkloadConfig::new(dims, n, 0x5CA7), 0.3);
+            let mut rng = WorkloadConfig::new(dims, n, 0x5CA7).rng();
+            let width = 2 * dims;
+            let mut flat: Vec<Scalar> = Vec::with_capacity(n * width);
+            for _ in 0..n {
+                workload.sample_object(&mut rng).write_flat(&mut flat);
+            }
+            let mut cols = vec![Vec::with_capacity(n); width];
+            for row in flat.chunks_exact(width) {
+                for (k, &v) in row.iter().enumerate() {
+                    cols[k].push(v);
+                }
+            }
+            let queries: Vec<SpatialQuery> = (0..64)
+                .map(|_| SpatialQuery::point_enclosing(workload.sample_point(&mut rng)))
+                .collect();
+
+            let mut scratch = ScanScratch::new();
+            let columnar_ns = time_per_query(queries.len(), repeats, |k| {
+                let out = scan_columns(&queries[k], &PairedColumns::new(&cols), &mut scratch);
+                out.verified_bytes() + out.matched as u64
+            });
+            let scalar_ns = time_per_query(queries.len(), repeats, |k| {
+                let mut acc = 0u64;
+                for row in flat.chunks_exact(width) {
+                    let out = queries[k].matches_flat(row);
+                    acc += OBJECT_ID_BYTES as u64
+                        + 8 * out.dims_checked as u64
+                        + out.matched as u64;
+                }
+                acc
+            });
+            println!(
+                "kernel  d={dims} n={n:>6}: columnar {columnar_ns:>12.0} ns/q  scalar {scalar_ns:>12.0} ns/q  speedup {:.2}x",
+                scalar_ns / columnar_ns
+            );
+            rows.push(KernelRow {
+                dims,
+                objects: n,
+                columnar_ns,
+                scalar_ns,
+            });
+        }
+    }
+    rows
+}
+
+struct IndexRow {
+    mode: &'static str,
+    ns_per_query: f64,
+}
+
+/// The acceptance workload: §7.2 point-enclosing queries on an adapted
+/// 16-d index, columnar kernel vs scalar oracle.
+fn index_point_enclosing(objects: usize, repeats: usize) -> Vec<IndexRow> {
+    let dims = 16;
+    let workload =
+        UniformWorkload::with_max_length(WorkloadConfig::new(dims, objects, 0x5EED), 0.3);
+    let data = workload.generate_objects();
+    let mut rng = WorkloadConfig::new(dims, objects, 17).rng();
+    let queries: Vec<SpatialQuery> = (0..256)
+        .map(|_| SpatialQuery::point_enclosing(workload.sample_point(&mut rng)))
+        .collect();
+
+    let mut rows = Vec::new();
+    for (mode, label) in [
+        (ScanMode::Columnar, "columnar"),
+        (ScanMode::ScalarOracle, "scalar_oracle"),
+    ] {
+        let mut config = IndexConfig::memory(dims);
+        config.scan_mode = mode;
+        let mut index = AdaptiveClusterIndex::new(config).expect("valid config");
+        for (i, rect) in data.iter().enumerate() {
+            index.insert(ObjectId(i as u32), rect.clone()).unwrap();
+        }
+        for q in &queries {
+            index.execute(q); // adapt to the stable clustering
+        }
+        let mut scratch = QueryScratch::new();
+        let ns = time_per_query(queries.len(), repeats, |k| {
+            let metrics = index.query_with(&queries[k], &mut scratch);
+            metrics.stats.verified_bytes + scratch.matches().len() as u64
+        });
+        println!(
+            "index   point_enclosing d={dims} n={objects} [{label}]: {ns:>10.0} ns/q  ({} clusters)",
+            index.cluster_count()
+        );
+        rows.push(IndexRow {
+            mode: label,
+            ns_per_query: ns,
+        });
+    }
+    println!(
+        "index   speedup columnar over oracle: {:.2}x",
+        rows[1].ns_per_query / rows[0].ns_per_query
+    );
+    rows
+}
+
+fn main() {
+    let flags = Flags::from_env();
+    let quick = flags.has("quick");
+    let out: String = flags.get("out", "BENCH_scan.json".to_string());
+
+    let (sizes, repeats, index_objects): (Vec<usize>, usize, usize) = if quick {
+        (vec![1_000, 4_000], 3, 2_000)
+    } else {
+        (vec![1_000, 10_000, 100_000], 7, 10_000)
+    };
+    let dims_list = [2usize, 4, 8];
+
+    println!("== scan kernel snapshot (columnar vs scalar oracle, single thread) ==");
+    let kernel = kernel_matrix(&sizes, &dims_list, repeats);
+    let index = index_point_enclosing(index_objects, repeats);
+
+    // Hand-rolled JSON: the workspace is offline, no serde available.
+    let mut json = String::from("{\n  \"bench\": \"scan_kernel\",\n");
+    let _ = writeln!(json, "  \"quick\": {quick},");
+    json.push_str("  \"kernel_point_enclosing\": [\n");
+    for (i, r) in kernel.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{\"dims\": {}, \"objects\": {}, \"columnar_ns_per_query\": {:.0}, \"scalar_ns_per_query\": {:.0}, \"speedup\": {:.3}}}",
+            r.dims,
+            r.objects,
+            r.columnar_ns,
+            r.scalar_ns,
+            r.scalar_ns / r.columnar_ns
+        );
+        json.push_str(if i + 1 == kernel.len() { "\n" } else { ",\n" });
+    }
+    json.push_str("  ],\n  \"index_point_enclosing_16d\": {\n");
+    let _ = writeln!(json, "    \"objects\": {index_objects},");
+    for r in &index {
+        let _ = writeln!(json, "    \"{}_ns_per_query\": {:.0},", r.mode, r.ns_per_query);
+    }
+    let _ = writeln!(
+        json,
+        "    \"speedup\": {:.3}",
+        index[1].ns_per_query / index[0].ns_per_query
+    );
+    json.push_str("  }\n}\n");
+    std::fs::write(&out, &json).expect("write benchmark snapshot");
+    println!("wrote {out}");
+}

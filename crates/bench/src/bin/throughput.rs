@@ -1,7 +1,10 @@
 //! Serving throughput of the concurrent read path: queries/sec of
-//! `AdaptiveClusterIndex::execute_batch` for 1..=N threads against
-//! `SeqScan::execute_parallel` and the R*-tree baseline, on the paper's
-//! pub/sub notification workload (§1) and on the skewed workload (§7.3).
+//! `AdaptiveClusterIndex::execute_batch` for 1..=N threads against the
+//! baselines' shared `BatchExecute::execute_batch` API (`SeqScan` and
+//! the R*-tree), on the paper's pub/sub notification workload (§1) and
+//! on the skewed workload (§7.3). All three methods batch at the API
+//! level — one call per measured stream — so the comparison is
+//! apples-to-apples in both verification kernel and interface.
 //!
 //! Usage:
 //! ```text
@@ -12,6 +15,7 @@
 
 use std::time::Instant;
 
+use acx_baselines::BatchExecute;
 use acx_bench::args::Flags;
 use acx_bench::{build_ac, build_rs, build_ss, run_ac_batch, MethodReport};
 use acx_geom::{HyperRect, SpatialQuery};
@@ -122,48 +126,32 @@ fn run_workload(
     }
     println!("    adapted to {clusters} clusters");
 
-    // Sequential scan: the paper's robust baseline, parallelized *within*
-    // each query over disjoint chunks.
+    // Baselines through the shared batch API: one `execute_batch` call
+    // per measured stream, query-level parallelism over shared `&self`.
     let ss = build_ss(dims, objects);
-    let mut ss_base = 0.0f64;
-    for &t in &counts {
-        let started = Instant::now();
-        for q in measured {
-            ss.execute_parallel(q, t);
-        }
-        let rate = qps(measured.len(), started.elapsed().as_secs_f64());
-        if t == 1 {
-            ss_base = rate;
-        }
-        println!(
-            "SS  t={t}: {rate:>12.0} q/s  (speedup {:.2}x vs t=1)",
-            rate / ss_base.max(1e-9)
-        );
-    }
-
-    // R*-tree: query-level parallelism over shared `&tree`.
+    measure_batch("SS", &ss, measured, &counts);
     let rs = build_rs(dims, objects);
-    let mut rs_base = 0.0f64;
-    for &t in &counts {
+    measure_batch("RS", &rs, measured, &counts);
+}
+
+/// Times `BatchExecute::execute_batch` over the stream per thread count.
+fn measure_batch<B: BatchExecute>(
+    label: &str,
+    method: &B,
+    measured: &[SpatialQuery],
+    counts: &[usize],
+) {
+    let mut base = 0.0f64;
+    for &t in counts {
         let started = Instant::now();
-        let chunk = measured.len().div_ceil(t);
-        std::thread::scope(|scope| {
-            for qs in measured.chunks(chunk) {
-                let rs = &rs;
-                scope.spawn(move || {
-                    for q in qs {
-                        rs.execute(q);
-                    }
-                });
-            }
-        });
-        let rate = qps(measured.len(), started.elapsed().as_secs_f64());
+        let results = method.execute_batch(measured, t);
+        let rate = qps(results.len(), started.elapsed().as_secs_f64());
         if t == 1 {
-            rs_base = rate;
+            base = rate;
         }
         println!(
-            "RS  t={t}: {rate:>12.0} q/s  (speedup {:.2}x vs t=1)",
-            rate / rs_base.max(1e-9)
+            "{label}  t={t}: {rate:>12.0} q/s  (speedup {:.2}x vs t=1)",
+            rate / base.max(1e-9)
         );
     }
 }

@@ -29,7 +29,13 @@ use std::collections::HashMap;
 /// byte totals. [`crate::AdaptiveClusterIndex::execute_batch`] never
 /// produces stale deltas — it splits batches at reorganization
 /// boundaries.
-#[derive(Debug, Clone, Default)]
+/// Two deltas compare equal when they hold the same totals and the same
+/// per-cluster increments — used by tests proving that different
+/// execution strategies (columnar vs. scalar verification, parallel vs.
+/// sequential batches) record identical statistics. A cleared, reused
+/// delta may retain zeroed per-cluster entries, so compare freshly
+/// recorded deltas.
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct StatsDelta {
     /// Structural epoch of the index when recording started (`None`
     /// until the first query is recorded).
@@ -51,7 +57,7 @@ pub struct StatsDelta {
 /// recording a match is one add — no hashing — and a delta's size stays
 /// O(explored clusters × candidates) regardless of how many queries it
 /// accumulates.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub(crate) struct ClusterDelta {
     /// Queries whose signature matched the cluster.
     pub(crate) q_count: u64,
@@ -73,6 +79,23 @@ impl StatsDelta {
     /// Whether no query has been recorded yet.
     pub fn is_empty(&self) -> bool {
         self.queries == 0
+    }
+
+    /// Resets the delta for reuse while keeping its allocations: the
+    /// per-cluster map and its dense candidate counter vectors are zeroed
+    /// in place, so a scratch delta reused across sequential queries
+    /// stops allocating once it has seen every explored cluster.
+    /// [`crate::AdaptiveClusterIndex::apply_stats`] skips zeroed entries,
+    /// so retained keys whose cluster was since merged away are harmless.
+    pub fn clear(&mut self) {
+        self.epoch = None;
+        self.queries = 0;
+        self.verified_bytes = 0;
+        self.full_bytes = 0;
+        for delta in self.clusters.values_mut() {
+            delta.q_count = 0;
+            delta.cand_q.iter_mut().for_each(|q| *q = 0);
+        }
     }
 
     /// Accumulates `other` into `self`. Merging is commutative, so
@@ -121,6 +144,12 @@ impl StatsDelta {
 impl ClusterDelta {
     pub(crate) fn bump_candidate(&mut self, cand: u32) {
         self.cand_q[cand as usize] += 1;
+    }
+
+    /// Whether the entry records nothing — true for entries zeroed by
+    /// [`StatsDelta::clear`] and never touched since.
+    pub(crate) fn is_noop(&self) -> bool {
+        self.q_count == 0 && self.cand_q.iter().all(|&q| q == 0)
     }
 }
 
@@ -196,6 +225,28 @@ mod tests {
         assert_eq!(a.epoch, Some(3));
         a.merge(&b); // same epoch merges fine
         assert_eq!(a.queries, 2);
+    }
+
+    #[test]
+    fn clear_zeroes_but_keeps_capacity() {
+        let mut d = StatsDelta::new();
+        d.epoch = Some(4);
+        d.queries = 3;
+        d.verified_bytes = 10;
+        d.full_bytes = 20;
+        d.cluster_mut(2, 4).q_count = 3;
+        d.cluster_mut(2, 4).bump_candidate(1);
+        d.clear();
+        assert!(d.is_empty());
+        assert_eq!(d.epoch, None);
+        assert_eq!(d.verified_bytes, 0);
+        assert_eq!(d.full_bytes, 0);
+        // The per-cluster entry survives, zeroed, with its counter vector.
+        assert!(d.clusters[&2].is_noop());
+        assert_eq!(d.clusters[&2].cand_q.len(), 4);
+        // Reuse records into the retained storage.
+        d.cluster_mut(2, 4).q_count = 1;
+        assert!(!d.clusters[&2].is_noop());
     }
 
     #[test]

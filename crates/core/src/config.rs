@@ -1,6 +1,27 @@
 use acx_geom::object_size_bytes;
 use acx_storage::{CostModel, DeviceProfile, StorageScenario};
 
+/// How cluster exploration verifies the members of a matched cluster.
+///
+/// Both modes perform the same comparisons in the same dimension order
+/// and are bit-identical in match sets, access statistics
+/// (`dims_checked`-derived byte counters included) and therefore in
+/// every reorganization decision; only the memory access pattern and
+/// speed differ. The scalar mode is kept as the correctness and
+/// metrics *oracle* for equivalence tests and benchmarks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ScanMode {
+    /// Dimension-major batch kernel over the store's coordinate columns
+    /// ([`acx_geom::scan::scan_columns`]): branch-light blocked loops
+    /// over a survivors bitmask that the compiler auto-vectorizes.
+    #[default]
+    Columnar,
+    /// Object-at-a-time verification via
+    /// [`acx_geom::SpatialQuery::matches_flat`] — the seed's original
+    /// loop, gathering each object from the columns before checking it.
+    ScalarOracle,
+}
+
 /// Configuration of an [`crate::AdaptiveClusterIndex`].
 #[derive(Debug, Clone, PartialEq)]
 pub struct IndexConfig {
@@ -43,6 +64,10 @@ pub struct IndexConfig {
     /// the first split at reduced database scale is marginal and a two-
     /// standard-error gate never lets clustering start.
     pub confidence_z: f64,
+    /// Member verification strategy of cluster exploration. Defaults to
+    /// [`ScanMode::Columnar`]; [`ScanMode::ScalarOracle`] selects the
+    /// bit-identical object-at-a-time reference path.
+    pub scan_mode: ScanMode,
 }
 
 impl IndexConfig {
@@ -60,6 +85,7 @@ impl IndexConfig {
             stats_decay: 0.5,
             reorg_cost_horizon: 400.0,
             confidence_z: 2.0,
+            scan_mode: ScanMode::Columnar,
         }
     }
 

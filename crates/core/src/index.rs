@@ -11,15 +11,52 @@ use std::collections::HashMap;
 use std::path::Path;
 use std::time::Instant;
 
+use acx_geom::scan::{scan_columns, ScanScratch};
 use acx_geom::{HyperRect, ObjectId, Scalar, SpatialQuery, OBJECT_ID_BYTES};
 use acx_storage::{AccessStats, ClusterRecord, CostModel, FileStore, SegmentId, SegmentStore};
 
 use crate::batch::StatsDelta;
 use crate::candidates::{generate_candidates, Candidate};
+use crate::config::ScanMode;
 use crate::cost::{materialization_benefit, merging_benefit};
 use crate::metrics::{ClusterSnapshot, QueryMetrics, QueryResult, ReorgReport};
 use crate::signature::Signature;
 use crate::{IndexConfig, IndexError};
+
+/// Reusable per-query scratch arena for the read-only matching phase:
+/// the scan kernel's survivors bitmask and match buffer, the result
+/// buffer, the cluster traversal stack, and the scalar oracle's gather
+/// buffer. Buffers grow to the workload's high-water mark and are then
+/// reused, so a warmed-up scratch lets
+/// [`AdaptiveClusterIndex::query_with`] execute without allocating.
+///
+/// One scratch serves one thread: batch execution gives each worker its
+/// own, and the sequential [`AdaptiveClusterIndex::execute`] path keeps
+/// one inside the index.
+#[derive(Debug, Default)]
+pub struct QueryScratch {
+    /// Columnar kernel state (bitmask + per-segment match indices).
+    scan: ScanScratch,
+    /// Matches of the last query, across all explored clusters.
+    matches: Vec<ObjectId>,
+    /// DFS stack over cluster slots.
+    stack: Vec<u32>,
+    /// Interleaved gather buffer for the scalar oracle mode.
+    flat: Vec<Scalar>,
+}
+
+impl QueryScratch {
+    /// An empty scratch; buffers are sized lazily by the first queries.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Identifiers of the objects matched by the most recent query run
+    /// through this scratch (cluster exploration order).
+    pub fn matches(&self) -> &[ObjectId] {
+        &self.matches
+    }
+}
 
 const NO_PARENT: u32 = u32::MAX;
 
@@ -96,6 +133,10 @@ pub struct AdaptiveClusterIndex {
     hist_verified_bytes: f64,
     /// Exponentially decayed full-byte history.
     hist_full_bytes: f64,
+    /// Scratch arena reused by the sequential `execute` path.
+    query_scratch: QueryScratch,
+    /// Statistics delta reused by the sequential `execute` path.
+    delta_scratch: StatsDelta,
 }
 
 impl AdaptiveClusterIndex {
@@ -137,6 +178,8 @@ impl AdaptiveClusterIndex {
             epoch_full_bytes: 0,
             hist_verified_bytes: 0.0,
             hist_full_bytes: 0.0,
+            query_scratch: QueryScratch::new(),
+            delta_scratch: StatsDelta::new(),
         })
     }
 
@@ -333,13 +376,11 @@ impl AdaptiveClusterIndex {
             .store
             .position_of(id.raw())
             .expect("object map and position map agree");
+        let flat: Vec<Scalar> = self.store.object_flat(segment, idx);
         let cluster = self.clusters[slot as usize]
             .as_mut()
             .expect("cluster slot is live");
         debug_assert_eq!(cluster.segment, segment);
-        let width = 2 * self.config.dims;
-        let flat: Vec<Scalar> =
-            self.store.coords(cluster.segment)[idx * width..(idx + 1) * width].to_vec();
         for cand in cluster.candidates.iter_mut() {
             if cand.accepts_member(&flat) {
                 debug_assert!(cand.n > 0);
@@ -356,8 +397,7 @@ impl AdaptiveClusterIndex {
     /// size.
     pub fn get(&self, id: ObjectId) -> Option<HyperRect> {
         let (segment, idx) = self.store.position_of(id.raw())?;
-        let width = 2 * self.config.dims;
-        HyperRect::from_flat(&self.store.coords(segment)[idx * width..(idx + 1) * width]).ok()
+        HyperRect::from_flat(&self.store.object_flat(segment, idx)).ok()
     }
 
     /// Replaces the rectangle of an existing object.
@@ -385,17 +425,28 @@ impl AdaptiveClusterIndex {
 
     /// The read-only matching phase shared by every query entry point
     /// (paper §3.6, Fig. 5): explores every materialized cluster whose
-    /// signature matches the query and verifies its members individually.
-    /// When `delta` is given, the statistics the execution would have
-    /// written — per-cluster and per-candidate matching-query counts,
-    /// epoch byte counters — are recorded into it instead of mutating the
-    /// index, so the matching phase needs only `&self`.
-    fn explore(&self, query: &SpatialQuery, mut delta: Option<&mut StatsDelta>) -> QueryResult {
+    /// signature matches the query and verifies its members sequentially,
+    /// leaving the matches in `scratch`. When `delta` is given, the
+    /// statistics the execution would have written — per-cluster and
+    /// per-candidate matching-query counts, epoch byte counters — are
+    /// recorded into it instead of mutating the index, so the matching
+    /// phase needs only `&self`.
+    ///
+    /// Member verification follows `config.scan_mode`: the columnar batch
+    /// kernel over the store's dimension-major columns, or the scalar
+    /// object-at-a-time oracle. Both are bit-identical in matches, match
+    /// order, and every statistic. Nothing is allocated once the
+    /// scratch's buffers have grown to the workload's high-water mark.
+    fn explore(
+        &self,
+        query: &SpatialQuery,
+        mut delta: Option<&mut StatsDelta>,
+        scratch: &mut QueryScratch,
+    ) -> QueryMetrics {
         let started = Instant::now();
         let mut stats = AccessStats::new();
-        let mut matches = Vec::new();
-        let width = 2 * self.config.dims;
         let object_bytes = self.store.object_bytes() as u64;
+        scratch.matches.clear();
 
         if let Some(delta) = delta.as_deref_mut() {
             match delta.epoch {
@@ -406,8 +457,9 @@ impl AdaptiveClusterIndex {
                 ),
             }
         }
-        let mut stack = vec![self.root];
-        while let Some(slot) = stack.pop() {
+        scratch.stack.clear();
+        scratch.stack.push(self.root);
+        while let Some(slot) = scratch.stack.pop() {
             stats.signature_checks += 1;
             let cluster = self.cluster(slot);
             if !cluster.signature.matches_query(query) {
@@ -423,22 +475,35 @@ impl AdaptiveClusterIndex {
                     }
                 }
             }
-            let n = self.store.segment_len(cluster.segment) as u64;
+            let n = self.store.segment_len(cluster.segment);
             stats.clusters_explored += 1;
             stats.seeks += 1;
-            stats.transfer_bytes += n * object_bytes;
-            stats.objects_verified += n;
+            stats.transfer_bytes += n as u64 * object_bytes;
+            stats.objects_verified += n as u64;
             let ids = self.store.ids(cluster.segment);
-            let coords = self.store.coords(cluster.segment);
-            for (idx, flat) in coords.chunks_exact(width).enumerate() {
-                let outcome = query.matches_flat(flat);
-                stats.verified_bytes +=
-                    OBJECT_ID_BYTES as u64 + 8 * outcome.dims_checked as u64;
-                if outcome.matched {
-                    matches.push(ObjectId(ids[idx]));
+            match self.config.scan_mode {
+                ScanMode::Columnar => {
+                    let columns = self.store.columns(cluster.segment);
+                    let outcome = scan_columns(query, &columns, &mut scratch.scan);
+                    stats.verified_bytes += outcome.verified_bytes();
+                    for &idx in scratch.scan.matches() {
+                        scratch.matches.push(ObjectId(ids[idx as usize]));
+                    }
+                }
+                ScanMode::ScalarOracle => {
+                    for (idx, &oid) in ids.iter().enumerate() {
+                        self.store
+                            .read_object_into(cluster.segment, idx, &mut scratch.flat);
+                        let outcome = query.matches_flat(&scratch.flat);
+                        stats.verified_bytes +=
+                            OBJECT_ID_BYTES as u64 + 8 * outcome.dims_checked as u64;
+                        if outcome.matched {
+                            scratch.matches.push(ObjectId(oid));
+                        }
+                    }
                 }
             }
-            stack.extend_from_slice(&cluster.children);
+            scratch.stack.extend_from_slice(&cluster.children);
         }
 
         if let Some(delta) = delta {
@@ -448,13 +513,10 @@ impl AdaptiveClusterIndex {
         }
 
         let priced_ms = self.model.price(&stats);
-        QueryResult {
-            matches,
-            metrics: QueryMetrics {
-                stats,
-                priced_ms,
-                wall: started.elapsed(),
-            },
+        QueryMetrics {
+            stats,
+            priced_ms,
+            wall: started.elapsed(),
         }
     }
 
@@ -493,7 +555,42 @@ impl AdaptiveClusterIndex {
     /// [`IndexError::DimensionMismatch`] instead of panicking.
     pub fn try_query(&self, query: &SpatialQuery) -> Result<QueryResult, IndexError> {
         self.check_query_dims(query)?;
-        Ok(self.explore(query, None))
+        let mut scratch = QueryScratch::new();
+        let metrics = self.explore(query, None, &mut scratch);
+        Ok(QueryResult {
+            matches: std::mem::take(&mut scratch.matches),
+            metrics,
+        })
+    }
+
+    /// Zero-allocation variant of [`AdaptiveClusterIndex::query`]: the
+    /// matching phase runs entirely inside the caller-provided scratch
+    /// arena and the matches are read back through
+    /// [`QueryScratch::matches`]. Once the scratch's buffers have grown
+    /// to the workload's high-water mark, repeated calls allocate
+    /// nothing — the hot serving loop for callers that do not need owned
+    /// results.
+    ///
+    /// ```
+    /// use acx_core::{AdaptiveClusterIndex, IndexConfig, QueryScratch};
+    /// use acx_geom::{HyperRect, ObjectId, SpatialQuery};
+    ///
+    /// let mut index = AdaptiveClusterIndex::new(IndexConfig::memory(2)).unwrap();
+    /// index.insert(ObjectId(1), HyperRect::unit(2)).unwrap();
+    /// let mut scratch = QueryScratch::new();
+    /// let q = SpatialQuery::point_enclosing(vec![0.5, 0.5]);
+    /// let metrics = index.query_with(&q, &mut scratch);
+    /// assert_eq!(scratch.matches(), &[ObjectId(1)]);
+    /// assert_eq!(metrics.stats.objects_verified, 1);
+    /// ```
+    ///
+    /// # Panics
+    ///
+    /// Panics if the query dimensionality differs from the index's.
+    pub fn query_with(&self, query: &SpatialQuery, scratch: &mut QueryScratch) -> QueryMetrics {
+        self.check_query_dims(query)
+            .unwrap_or_else(|e| panic!("{}", Self::dims_panic(&e)));
+        self.explore(query, None, scratch)
     }
 
     /// Read-only execution that additionally records the statistics the
@@ -512,9 +609,31 @@ impl AdaptiveClusterIndex {
     /// `delta` already holds queries recorded against a different
     /// clustering state.
     pub fn query_recorded(&self, query: &SpatialQuery, delta: &mut StatsDelta) -> QueryResult {
+        let mut scratch = QueryScratch::new();
+        let metrics = self.query_recorded_with(query, delta, &mut scratch);
+        QueryResult {
+            matches: std::mem::take(&mut scratch.matches),
+            metrics,
+        }
+    }
+
+    /// [`AdaptiveClusterIndex::query_recorded`] through a reusable
+    /// scratch arena: matches land in [`QueryScratch::matches`] and a
+    /// warmed-up (scratch, delta) pair records queries without
+    /// allocating. Batch workers drive one such pair per thread.
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`AdaptiveClusterIndex::query_recorded`].
+    pub fn query_recorded_with(
+        &self,
+        query: &SpatialQuery,
+        delta: &mut StatsDelta,
+        scratch: &mut QueryScratch,
+    ) -> QueryMetrics {
         self.check_query_dims(query)
             .unwrap_or_else(|e| panic!("{}", Self::dims_panic(&e)));
-        self.explore(query, Some(delta))
+        self.explore(query, Some(delta), scratch)
     }
 
     /// Applies statistics recorded by
@@ -534,6 +653,12 @@ impl AdaptiveClusterIndex {
         let current = delta.epoch.is_none_or(|e| e == self.structure_epoch);
         if current {
             for (&slot, recorded) in &delta.clusters {
+                // A reused delta (see [`StatsDelta::clear`]) may retain
+                // zeroed entries for clusters of earlier epochs whose
+                // slots were since recycled or freed; they carry nothing.
+                if recorded.is_noop() {
+                    continue;
+                }
                 let cluster = self
                     .clusters
                     .get_mut(slot as usize)
@@ -581,12 +706,23 @@ impl AdaptiveClusterIndex {
 
     /// Fallible variant of [`AdaptiveClusterIndex::execute`]: returns
     /// [`IndexError::DimensionMismatch`] instead of panicking.
+    ///
+    /// The matching phase runs through the index-owned scratch arena and
+    /// a reused [`StatsDelta`] (cleared in place, keeping capacity), so
+    /// the only per-query allocation left is the returned match vector.
     pub fn try_execute(&mut self, query: &SpatialQuery) -> Result<QueryResult, IndexError> {
         self.check_query_dims(query)?;
-        let mut delta = StatsDelta::new();
-        let result = self.explore(query, Some(&mut delta));
+        // Move the scratch pair out so `explore` can borrow `self`
+        // immutably; both moves are pointer swaps, not allocations.
+        let mut delta = std::mem::take(&mut self.delta_scratch);
+        let mut scratch = std::mem::take(&mut self.query_scratch);
+        delta.clear();
+        let metrics = self.explore(query, Some(&mut delta), &mut scratch);
         self.apply_stats(&delta);
-        Ok(result)
+        let matches = scratch.matches.clone();
+        self.delta_scratch = delta;
+        self.query_scratch = scratch;
+        Ok(QueryResult { matches, metrics })
     }
 
     /// Executes a batch of queries, fanning the read-only matching phase
@@ -627,6 +763,10 @@ impl AdaptiveClusterIndex {
         }
         let mut results = Vec::with_capacity(queries.len());
         let mut rest = queries;
+        // Reuse the index-owned scratch pair across windows, exactly as
+        // the sequential path does per query.
+        let mut delta = std::mem::take(&mut self.delta_scratch);
+        let mut scratch = std::mem::take(&mut self.query_scratch);
         while !rest.is_empty() {
             // A window never crosses a reorganization boundary, so the
             // cluster tree is frozen while workers read it and the pass
@@ -642,28 +782,41 @@ impl AdaptiveClusterIndex {
                 until_reorg.min(rest.len())
             };
             let (head, tail) = rest.split_at(window);
-            let delta = self.query_window(head, threads, &mut results);
+            delta.clear();
+            self.query_window(head, threads, &mut results, &mut delta, &mut scratch);
             self.apply_stats(&delta);
             rest = tail;
         }
+        self.delta_scratch = delta;
+        self.query_scratch = scratch;
         Ok(results)
     }
 
     /// Runs one reorganization-free window of queries read-only, with one
-    /// worker thread (and one [`StatsDelta`]) per chunk, appending results
-    /// in query order and returning the merged delta.
+    /// worker thread (and one [`StatsDelta`] + [`QueryScratch`]) per
+    /// chunk, appending results in query order and accumulating the
+    /// merged statistics into `delta` (pre-cleared by the caller).
     fn query_window(
         &self,
         queries: &[SpatialQuery],
         threads: usize,
         results: &mut Vec<QueryResult>,
-    ) -> StatsDelta {
+        delta: &mut StatsDelta,
+        scratch: &mut QueryScratch,
+    ) {
         // Threading pays off only when every worker gets a few queries.
         let workers = threads.min(queries.len().div_ceil(4)).max(1);
         if workers == 1 {
-            let mut delta = StatsDelta::new();
-            results.extend(queries.iter().map(|q| self.explore(q, Some(&mut delta))));
-            return delta;
+            // Single worker: record straight into the caller's reusable
+            // pair — no per-window allocations.
+            for q in queries {
+                let metrics = self.explore(q, Some(&mut *delta), &mut *scratch);
+                results.push(QueryResult {
+                    matches: scratch.matches.clone(),
+                    metrics,
+                });
+            }
+            return;
         }
         let chunk = queries.len().div_ceil(workers);
         let per_worker: Vec<(Vec<QueryResult>, StatsDelta)> = std::thread::scope(|scope| {
@@ -671,10 +824,20 @@ impl AdaptiveClusterIndex {
                 .chunks(chunk)
                 .map(|chunk_queries| {
                     scope.spawn(move || {
+                        // One delta and one scratch per worker, reused
+                        // across its whole chunk.
                         let mut delta = StatsDelta::new();
+                        let mut scratch = QueryScratch::new();
                         let chunk_results: Vec<QueryResult> = chunk_queries
                             .iter()
-                            .map(|q| self.explore(q, Some(&mut delta)))
+                            .map(|q| {
+                                let metrics =
+                                    self.explore(q, Some(&mut delta), &mut scratch);
+                                QueryResult {
+                                    matches: scratch.matches.clone(),
+                                    metrics,
+                                }
+                            })
                             .collect();
                         (chunk_results, delta)
                     })
@@ -685,12 +848,10 @@ impl AdaptiveClusterIndex {
                 .map(|h| h.join().expect("query worker panicked"))
                 .collect()
         });
-        let mut delta = StatsDelta::new();
         for (chunk_results, worker_delta) in per_worker {
             results.extend(chunk_results);
             delta.merge(&worker_delta);
         }
-        delta
     }
 
     /// Runs one cluster reorganization pass (paper Fig. 1): for every
@@ -862,14 +1023,14 @@ impl AdaptiveClusterIndex {
         let parent_segment = parent_cluster.segment;
         let cand = parent_cluster.candidates[cand_idx];
         let mut moved: Vec<(u32, Vec<Scalar>)> = Vec::with_capacity(expected);
+        let mut flat = Vec::with_capacity(width);
         let mut idx = 0;
         while idx < self.store.segment_len(parent_segment) {
-            let flat = &self.store.coords(parent_segment)[idx * width..(idx + 1) * width];
-            if cand.accepts_member(flat) {
-                let flat_copy = flat.to_vec();
+            self.store.read_object_into(parent_segment, idx, &mut flat);
+            if cand.accepts_member(&flat) {
                 let oid = self.store.ids(parent_segment)[idx];
                 self.store.swap_remove(parent_segment, idx);
-                moved.push((oid, flat_copy));
+                moved.push((oid, flat.clone()));
             } else {
                 idx += 1;
             }
@@ -989,7 +1150,7 @@ impl AdaptiveClusterIndex {
             records.push(ClusterRecord {
                 signature,
                 ids: self.store.ids(cluster.segment).to_vec(),
-                coords: self.store.coords(cluster.segment).to_vec(),
+                coords: self.store.interleaved_coords(cluster.segment),
             });
         }
         FileStore::save(path, self.config.dims, &records)?;
@@ -1112,6 +1273,8 @@ impl AdaptiveClusterIndex {
             epoch_full_bytes: 0,
             hist_verified_bytes: 0.0,
             hist_full_bytes: 0.0,
+            query_scratch: QueryScratch::new(),
+            delta_scratch: StatsDelta::new(),
         })
     }
 
@@ -1122,24 +1285,23 @@ impl AdaptiveClusterIndex {
     /// members, that parent/child links are consistent, and that the
     /// object map matches segment contents.
     pub fn check_invariants(&self) -> Result<(), String> {
-        let width = 2 * self.config.dims;
         let mut seen_objects = 0usize;
+        let mut flat = Vec::new();
         for (slot, cluster) in self.clusters.iter().enumerate() {
             let Some(cluster) = cluster else { continue };
             let ids = self.store.ids(cluster.segment);
-            let coords = self.store.coords(cluster.segment);
             seen_objects += ids.len();
             let mut expected_n = vec![0u32; cluster.candidates.len()];
             for (k, &oid) in ids.iter().enumerate() {
-                let flat = &coords[k * width..(k + 1) * width];
-                if !cluster.signature.accepts_flat(flat) {
+                self.store.read_object_into(cluster.segment, k, &mut flat);
+                if !cluster.signature.accepts_flat(&flat) {
                     return Err(format!("object #{oid} violates signature of cluster {slot}"));
                 }
                 if self.object_cluster.get(&oid) != Some(&(slot as u32)) {
                     return Err(format!("object #{oid} map entry disagrees with cluster {slot}"));
                 }
                 for (ci, cand) in cluster.candidates.iter().enumerate() {
-                    if cand.accepts_member(flat) {
+                    if cand.accepts_member(&flat) {
                         expected_n[ci] += 1;
                     }
                 }

@@ -1,0 +1,123 @@
+//! Regression test: once its scratch buffers are warm, the read-only
+//! matching phase (`query_with` / `query_recorded_with` with a reused
+//! [`StatsDelta`]) performs **zero heap allocations per query**.
+//!
+//! A counting global allocator wraps the system allocator; the test
+//! warms the (scratch, delta) pair over the full query set, then asserts
+//! the allocation counter does not move across a second pass.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use acx_core::{AdaptiveClusterIndex, IndexConfig, QueryScratch, StatsDelta};
+use acx_geom::{HyperRect, ObjectId, SpatialQuery};
+
+/// Counts every allocation (alloc, alloc_zeroed, realloc) delegated to
+/// the system allocator.
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAllocator = CountingAllocator;
+
+/// Deterministic pseudo-random scalar in `[0, 1]` on a coarse grid
+/// (avoids pulling the `rand` dev-dependency into this binary: setup
+/// allocations don't matter, but determinism of the measured loop does).
+fn coord(state: &mut u64) -> f32 {
+    *state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+    ((*state >> 33) % 33) as f32 / 32.0
+}
+
+#[test]
+fn warmed_up_read_path_allocates_nothing_per_query() {
+    let dims = 6;
+    let mut state = 0x5EED_u64;
+    let mut index = AdaptiveClusterIndex::new(IndexConfig::memory(dims)).unwrap();
+    for i in 0..3000u32 {
+        let (lo, hi): (Vec<f32>, Vec<f32>) = (0..dims)
+            .map(|_| {
+                let a = coord(&mut state);
+                let b = coord(&mut state);
+                (a.min(b), a.max(b))
+            })
+            .unzip();
+        index
+            .insert(ObjectId(i), HyperRect::from_bounds(&lo, &hi).unwrap())
+            .unwrap();
+    }
+    let queries: Vec<SpatialQuery> = (0..64)
+        .map(|k| {
+            if k % 2 == 0 {
+                SpatialQuery::point_enclosing((0..dims).map(|_| coord(&mut state)).collect())
+            } else {
+                let (lo, hi): (Vec<f32>, Vec<f32>) = (0..dims)
+                    .map(|_| {
+                        let a = coord(&mut state);
+                        let b = coord(&mut state);
+                        (a.min(b), a.max(b))
+                    })
+                    .unzip();
+                SpatialQuery::intersection(HyperRect::from_bounds(&lo, &hi).unwrap())
+            }
+        })
+        .collect();
+
+    // Adapt the index so several clusters exist and exploration does
+    // real tree traversal, then warm the scratch pair over every query.
+    for q in &queries {
+        index.execute(q);
+        index.execute(q);
+    }
+    let mut scratch = QueryScratch::new();
+    let mut delta = StatsDelta::new();
+    let mut warm_matches = 0usize;
+    for q in &queries {
+        delta.clear();
+        index.query_recorded_with(q, &mut delta, &mut scratch);
+        warm_matches += scratch.matches().len();
+        index.query_with(q, &mut scratch);
+    }
+
+    // Measured pass: the identical query set through the warm scratch.
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    let mut measured_matches = 0usize;
+    for q in &queries {
+        delta.clear();
+        index.query_recorded_with(q, &mut delta, &mut scratch);
+        measured_matches += scratch.matches().len();
+        index.query_with(q, &mut scratch);
+    }
+    let after = ALLOCATIONS.load(Ordering::Relaxed);
+
+    assert_eq!(measured_matches, warm_matches, "test premise: same work");
+    assert!(warm_matches > 0, "test premise: queries must match objects");
+    assert_eq!(
+        after - before,
+        0,
+        "warmed-up explore allocated {} times across {} queries",
+        after - before,
+        2 * queries.len()
+    );
+}

@@ -1,0 +1,253 @@
+//! The columnar scan kernel must be **bit-identical** to the scalar
+//! oracle — not just in match sets, but in every access counter
+//! (`AccessStats`), every recorded statistic (`StatsDelta`), and every
+//! reorganization decision derived from them. Two indexes differing only
+//! in [`ScanMode`] are driven through identical workloads and compared
+//! query by query.
+
+use acx_core::{AdaptiveClusterIndex, IndexConfig, QueryScratch, ScanMode, StatsDelta};
+use acx_geom::{HyperRect, ObjectId, SpatialQuery};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn pair(config: IndexConfig) -> (AdaptiveClusterIndex, AdaptiveClusterIndex) {
+    let columnar = AdaptiveClusterIndex::new(IndexConfig {
+        scan_mode: ScanMode::Columnar,
+        ..config.clone()
+    })
+    .unwrap();
+    let oracle = AdaptiveClusterIndex::new(IndexConfig {
+        scan_mode: ScanMode::ScalarOracle,
+        ..config
+    })
+    .unwrap();
+    (columnar, oracle)
+}
+
+fn random_rect(rng: &mut StdRng, dims: usize, grid: u32) -> HyperRect {
+    // Snap coordinates to a coarse grid so query edges coincide with
+    // object edges constantly — the boundary cases where `<=` vs `<`
+    // mistakes would show up.
+    let mut lo = Vec::with_capacity(dims);
+    let mut hi = Vec::with_capacity(dims);
+    for _ in 0..dims {
+        let a = rng.gen_range(0..=grid) as f32 / grid as f32;
+        let b = rng.gen_range(0..=grid) as f32 / grid as f32;
+        lo.push(a.min(b));
+        hi.push(a.max(b));
+    }
+    HyperRect::from_bounds(&lo, &hi).unwrap()
+}
+
+fn random_query(rng: &mut StdRng, dims: usize, grid: u32) -> SpatialQuery {
+    match rng.gen_range(0..4u32) {
+        0 => SpatialQuery::intersection(random_rect(rng, dims, grid)),
+        1 => SpatialQuery::containment(random_rect(rng, dims, grid)),
+        2 => SpatialQuery::enclosure(random_rect(rng, dims, grid)),
+        _ => SpatialQuery::point_enclosing(
+            (0..dims)
+                .map(|_| rng.gen_range(0..=grid) as f32 / grid as f32)
+                .collect(),
+        ),
+    }
+}
+
+/// Drives both indexes through the same insert + query stream, asserting
+/// bit-identical results, metrics, and adaptive state at every step.
+fn assert_equivalent(dims: usize, objects: usize, queries: usize, seed: u64) {
+    let mut config = IndexConfig::memory(dims);
+    config.reorg_period = 40; // several reorganizations within the stream
+    let (mut columnar, mut oracle) = pair(config);
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    for i in 0..objects {
+        let rect = random_rect(&mut rng, dims, 8);
+        columnar.insert(ObjectId(i as u32), rect.clone()).unwrap();
+        oracle.insert(ObjectId(i as u32), rect).unwrap();
+    }
+
+    for k in 0..queries {
+        let q = random_query(&mut rng, dims, 8);
+        let a = columnar.execute(&q);
+        let b = oracle.execute(&q);
+        assert_eq!(a.matches, b.matches, "match set/order diverged on query {k}");
+        assert_eq!(
+            a.metrics.stats, b.metrics.stats,
+            "AccessStats diverged on query {k}"
+        );
+        assert_eq!(
+            a.metrics.priced_ms, b.metrics.priced_ms,
+            "priced cost diverged on query {k}"
+        );
+    }
+
+    // The adaptive state — reorganization decisions included — is
+    // bit-identical because every statistic feeding it was.
+    assert_eq!(columnar.reorganizations(), oracle.reorganizations());
+    assert_eq!(columnar.total_merges(), oracle.total_merges());
+    assert_eq!(columnar.total_splits(), oracle.total_splits());
+    assert_eq!(columnar.verify_fraction(), oracle.verify_fraction());
+    assert_eq!(columnar.snapshots(), oracle.snapshots());
+    columnar.check_invariants().unwrap();
+    oracle.check_invariants().unwrap();
+}
+
+#[test]
+fn columnar_equals_oracle_low_dims() {
+    assert_equivalent(2, 800, 260, 0xC01);
+}
+
+#[test]
+fn columnar_equals_oracle_mid_dims() {
+    assert_equivalent(5, 700, 220, 0xC05);
+}
+
+#[test]
+fn columnar_equals_oracle_high_dims() {
+    assert_equivalent(8, 600, 200, 0xC08);
+}
+
+#[test]
+fn recorded_stats_deltas_are_identical() {
+    let dims = 4;
+    let (mut columnar, mut oracle) = pair(IndexConfig::memory(dims));
+    let mut rng = StdRng::seed_from_u64(0xDE17A);
+    for i in 0..500u32 {
+        let rect = random_rect(&mut rng, dims, 8);
+        columnar.insert(ObjectId(i), rect.clone()).unwrap();
+        oracle.insert(ObjectId(i), rect).unwrap();
+    }
+    // Shape both indexes identically first (same stream, reorgs included).
+    for _ in 0..150 {
+        let q = random_query(&mut rng, dims, 8);
+        columnar.execute(&q);
+        oracle.execute(&q);
+    }
+    // Freshly record the same queries on both: the deltas must be equal
+    // field for field (StatsDelta: PartialEq).
+    let mut delta_c = StatsDelta::new();
+    let mut delta_o = StatsDelta::new();
+    let mut scratch = QueryScratch::new();
+    for _ in 0..40 {
+        let q = random_query(&mut rng, dims, 8);
+        let mc = columnar.query_recorded_with(&q, &mut delta_c, &mut scratch);
+        let matches_c = scratch.matches().to_vec();
+        let ro = oracle.query_recorded(&q, &mut delta_o);
+        assert_eq!(matches_c, ro.matches);
+        assert_eq!(mc.stats, ro.metrics.stats);
+    }
+    assert_eq!(delta_c, delta_o, "recorded StatsDelta diverged");
+    assert_eq!(delta_c.queries(), 40);
+}
+
+#[test]
+fn read_only_paths_agree_with_execute() {
+    let dims = 3;
+    let (mut columnar, _) = pair(IndexConfig::memory(dims));
+    let mut rng = StdRng::seed_from_u64(0x0A11);
+    for i in 0..400u32 {
+        let rect = random_rect(&mut rng, dims, 8);
+        columnar.insert(ObjectId(i), rect).unwrap();
+    }
+    for _ in 0..120 {
+        columnar.execute(&random_query(&mut rng, dims, 8));
+    }
+    let mut scratch = QueryScratch::new();
+    for _ in 0..30 {
+        let q = random_query(&mut rng, dims, 8);
+        let read_only = columnar.query(&q);
+        let metrics = columnar.query_with(&q, &mut scratch);
+        assert_eq!(read_only.matches, scratch.matches());
+        assert_eq!(read_only.metrics.stats, metrics.stats);
+        let executed = columnar.execute(&q);
+        assert_eq!(executed.matches, read_only.matches);
+        assert_eq!(executed.metrics.stats, read_only.metrics.stats);
+    }
+}
+
+#[test]
+fn boundary_coincident_edges_agree() {
+    // Objects whose edges coincide exactly with the query window edges
+    // in every combination, including degenerate (zero-width) intervals.
+    let dims = 2;
+    let (mut columnar, mut oracle) = pair(IndexConfig::memory(dims));
+    let coords = [0.0f32, 0.25, 0.5, 0.75, 1.0];
+    let mut id = 0u32;
+    for &a in &coords {
+        for &b in &coords {
+            if b < a {
+                continue;
+            }
+            for &c in &coords {
+                for &d in &coords {
+                    if d < c {
+                        continue;
+                    }
+                    let rect = HyperRect::from_bounds(&[a, c], &[b, d]).unwrap();
+                    columnar.insert(ObjectId(id), rect.clone()).unwrap();
+                    oracle.insert(ObjectId(id), rect).unwrap();
+                    id += 1;
+                }
+            }
+        }
+    }
+    let window = HyperRect::from_bounds(&[0.25, 0.25], &[0.75, 0.75]).unwrap();
+    let queries = [
+        SpatialQuery::intersection(window.clone()),
+        SpatialQuery::containment(window.clone()),
+        SpatialQuery::enclosure(window),
+        SpatialQuery::point_enclosing(vec![0.25, 0.75]),
+        SpatialQuery::point_enclosing(vec![0.0, 1.0]),
+    ];
+    for q in &queries {
+        let a = columnar.execute(q);
+        let b = oracle.execute(q);
+        assert_eq!(a.matches, b.matches);
+        assert_eq!(a.metrics.stats, b.metrics.stats);
+        assert!(!a.matches.is_empty(), "boundary query should match something");
+    }
+}
+
+proptest! {
+    /// Random workloads in 1–8 dimensions, all query kinds, with
+    /// boundary-coincident edges (grid-snapped coordinates): executing
+    /// the same stream under both scan modes leaves identical matches,
+    /// `AccessStats`, recorded `StatsDelta`s and clustering state.
+    #[test]
+    fn prop_columnar_equals_oracle(
+        dims in 1usize..=8,
+        n_objects in 1usize..140,
+        n_queries in 1usize..40,
+        seed in 0u64..1_000_000,
+    ) {
+        let mut config = IndexConfig::memory(dims);
+        config.reorg_period = 25;
+        let (mut columnar, mut oracle) = pair(config);
+        let mut rng = StdRng::seed_from_u64(seed);
+        for i in 0..n_objects {
+            let rect = random_rect(&mut rng, dims, 6);
+            columnar.insert(ObjectId(i as u32), rect.clone()).unwrap();
+            oracle.insert(ObjectId(i as u32), rect).unwrap();
+        }
+        for _ in 0..n_queries {
+            let q = random_query(&mut rng, dims, 6);
+            // Record the query read-only on both indexes first: the
+            // freshly recorded deltas must be equal field for field.
+            // (Fresh deltas per query, so an `execute`-triggered
+            // reorganization between queries never strands an epoch.)
+            let mut delta_c = StatsDelta::new();
+            let mut delta_o = StatsDelta::new();
+            let ra = columnar.query_recorded(&q, &mut delta_c);
+            let rb = oracle.query_recorded(&q, &mut delta_o);
+            prop_assert_eq!(ra.matches, rb.matches);
+            prop_assert_eq!(delta_c, delta_o);
+            let a = columnar.execute(&q);
+            let b = oracle.execute(&q);
+            prop_assert_eq!(&a.matches, &b.matches);
+            prop_assert_eq!(a.metrics.stats, b.metrics.stats);
+        }
+        prop_assert_eq!(columnar.reorganizations(), oracle.reorganizations());
+        prop_assert_eq!(columnar.snapshots(), oracle.snapshots());
+    }
+}

@@ -32,6 +32,7 @@ mod interval;
 mod object;
 mod query;
 mod rect;
+pub mod scan;
 
 pub use error::GeomError;
 pub use interval::Interval;

@@ -1,0 +1,622 @@
+//! Columnar (dimension-major) batch verification kernel.
+//!
+//! Sequential verification of a whole segment is the hot loop of the
+//! system (paper §3.6, Fig. 5): the clustering bet only pays off if
+//! scanning a cluster's members is cheap enough to beat fine-grained
+//! indexing. [`SpatialQuery::matches_flat`] walks one object at a time
+//! over interleaved `[lo0, hi0, lo1, hi1, …]` coordinates; this module
+//! provides the batch counterpart over a *dimension-major* (SoA) layout:
+//! one contiguous `lo` column and one `hi` column per dimension.
+//!
+//! The kernel tests a whole block of objects against one query dimension
+//! at a time, keeping a survivors bitmask (one byte per object) and
+//! updating it in tight branch-free loops the compiler auto-vectorizes.
+//! Objects are processed in blocks of [`BLOCK`] so that a block whose
+//! survivors are exhausted skips its remaining dimensions — the columnar
+//! analogue of the scalar path's per-object early exit.
+//!
+//! ## Metrics are bit-identical to the scalar path
+//!
+//! The scalar loop charges each object `dims_checked` = the index of its
+//! first failing dimension plus one (or the full dimensionality when it
+//! matches). Since an object reaches the check of dimension `d` exactly
+//! when it survived dimensions `0..d`, the total over a segment equals
+//! the sum over dimensions of the number of objects still alive when
+//! that dimension is evaluated — which is precisely what the kernel
+//! accumulates from the mask. Dimensions are evaluated in the same order
+//! (`0, 1, 2, …`) with the same comparisons, so [`ScanOutcome`] totals —
+//! and every byte counter and reorganization decision derived from them —
+//! are bit-identical to object-at-a-time verification.
+
+use crate::{Scalar, SpatialQuery, OBJECT_ID_BYTES};
+
+/// Objects per kernel block: small enough that a block of rejected
+/// objects stops paying for further dimensions quickly, large enough
+/// that the per-dimension loops vectorize and amortize dispatch.
+pub const BLOCK: usize = 64;
+
+/// Read access to a dimension-major coordinate layout: one `lo` and one
+/// `hi` column per dimension, each holding one scalar per object.
+pub trait ColumnAccess {
+    /// Number of objects (every column has exactly this length).
+    fn len(&self) -> usize;
+    /// Whether the column set holds no objects.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+    /// Lower-bound column of dimension `d`.
+    fn lo_col(&self, d: usize) -> &[Scalar];
+    /// Upper-bound column of dimension `d`.
+    fn hi_col(&self, d: usize) -> &[Scalar];
+}
+
+/// Borrowed view over paired columns stored as `[lo0, hi0, lo1, hi1, …]`
+/// — the convention used by `acx_storage::SegmentStore` and the
+/// sequential-scan baseline. Supports sub-ranges so parallel scans can
+/// hand each worker a disjoint slice of every column.
+#[derive(Debug, Clone, Copy)]
+pub struct PairedColumns<'a> {
+    cols: &'a [Vec<Scalar>],
+    start: usize,
+    len: usize,
+}
+
+impl<'a> PairedColumns<'a> {
+    /// View over all objects of the column set. `cols` must hold `2·dims`
+    /// equal-length vectors, lower bounds at even indices.
+    pub fn new(cols: &'a [Vec<Scalar>]) -> Self {
+        let len = cols.first().map_or(0, Vec::len);
+        Self {
+            cols,
+            start: 0,
+            len,
+        }
+    }
+
+    /// View over objects `start..start + len`.
+    pub fn slice(cols: &'a [Vec<Scalar>], start: usize, len: usize) -> Self {
+        debug_assert!(cols.first().map_or(0, Vec::len) >= start + len);
+        Self { cols, start, len }
+    }
+}
+
+impl ColumnAccess for PairedColumns<'_> {
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    fn lo_col(&self, d: usize) -> &[Scalar] {
+        &self.cols[2 * d][self.start..self.start + self.len]
+    }
+
+    fn hi_col(&self, d: usize) -> &[Scalar] {
+        &self.cols[2 * d + 1][self.start..self.start + self.len]
+    }
+}
+
+/// Aggregate outcome of scanning one column set against a query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScanOutcome {
+    /// Objects scanned (every object is verified, as in the scalar path).
+    pub objects: usize,
+    /// Objects that satisfied the query; their indices are in
+    /// [`ScanScratch::matches`].
+    pub matched: usize,
+    /// Total dimensions inspected across all objects, accounting for the
+    /// early exit on the first failing dimension — bit-identical to
+    /// summing [`crate::MatchOutcome::dims_checked`] over the objects.
+    pub dims_checked: u64,
+}
+
+impl ScanOutcome {
+    /// Verified bytes under the paper's accounting (footnote 4): the
+    /// object identifier plus both 4-byte bounds of every inspected
+    /// dimension.
+    pub fn verified_bytes(&self) -> u64 {
+        self.objects as u64 * OBJECT_ID_BYTES as u64 + 8 * self.dims_checked
+    }
+}
+
+/// Reusable scan state: the survivors bitmask, the match index buffer,
+/// per-dimension query bounds, and transpose buffers for interleaved
+/// inputs. Allocations grow to the largest scanned segment and are then
+/// reused, so a warmed-up scratch performs no allocation per scan.
+#[derive(Debug, Default)]
+pub struct ScanScratch {
+    /// Survivors bitmask, one byte per object (1 = still matching).
+    mask: Vec<u8>,
+    /// Indices (ascending) of the objects that matched the last scan.
+    matches: Vec<u32>,
+    /// Per-dimension query bounds (`a` side), see [`Relation`] mapping.
+    qa: Vec<Scalar>,
+    /// Per-dimension query bounds (`b` side).
+    qb: Vec<Scalar>,
+    /// Per-block lower-bound gather tile ([`BLOCK`] scalars) for
+    /// interleaved inputs.
+    t_lo: Vec<Scalar>,
+    /// Per-block upper-bound gather tile for interleaved inputs.
+    t_hi: Vec<Scalar>,
+}
+
+impl ScanScratch {
+    /// An empty scratch; buffers are sized lazily by the first scans.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Indices of the objects that matched the most recent scan, in
+    /// ascending (storage) order.
+    pub fn matches(&self) -> &[u32] {
+        &self.matches
+    }
+}
+
+/// The three comparison shapes; point-enclosing queries reduce to
+/// [`Relation::Enclosure`] with degenerate per-dimension bounds.
+#[derive(Debug, Clone, Copy)]
+enum Relation {
+    /// pass ⇔ `lo ≤ b ∧ hi ≥ a` with `a = q.lo(d)`, `b = q.hi(d)`.
+    Intersection,
+    /// pass ⇔ `lo ≥ a ∧ hi ≤ b`.
+    Containment,
+    /// pass ⇔ `lo ≤ a ∧ hi ≥ b` (point queries: `a = b = p[d]`).
+    Enclosure,
+}
+
+/// Loads the per-dimension bounds of `query` into `qa`/`qb` and returns
+/// the comparison shape.
+fn load_bounds(query: &SpatialQuery, qa: &mut Vec<Scalar>, qb: &mut Vec<Scalar>) -> Relation {
+    qa.clear();
+    qb.clear();
+    match query {
+        SpatialQuery::Intersection(q) | SpatialQuery::Containment(q) | SpatialQuery::Enclosure(q) => {
+            for d in 0..q.dims() {
+                qa.push(q.interval(d).lo());
+                qb.push(q.interval(d).hi());
+            }
+            match query {
+                SpatialQuery::Intersection(_) => Relation::Intersection,
+                SpatialQuery::Containment(_) => Relation::Containment,
+                _ => Relation::Enclosure,
+            }
+        }
+        SpatialQuery::PointEnclosing(p) => {
+            qa.extend_from_slice(p);
+            qb.extend_from_slice(p);
+            Relation::Enclosure
+        }
+    }
+}
+
+/// Scans a dimension-major column set against the query, leaving the
+/// matching indices in `scratch.matches()`.
+///
+/// Match set, match order, and [`ScanOutcome::dims_checked`] are
+/// bit-identical to calling [`SpatialQuery::matches_flat`] on every
+/// object in storage order.
+///
+/// ```
+/// use acx_geom::scan::{scan_columns, PairedColumns, ScanScratch};
+/// use acx_geom::SpatialQuery;
+///
+/// // Two 1-d objects: [0.0, 0.4] and [0.6, 0.9].
+/// let cols = vec![vec![0.0, 0.6], vec![0.4, 0.9]];
+/// let mut scratch = ScanScratch::new();
+/// let q = SpatialQuery::point_enclosing(vec![0.25]);
+/// let outcome = scan_columns(&q, &PairedColumns::new(&cols), &mut scratch);
+/// assert_eq!(outcome.matched, 1);
+/// assert_eq!(scratch.matches(), &[0]);
+/// ```
+pub fn scan_columns<C: ColumnAccess + ?Sized>(
+    query: &SpatialQuery,
+    cols: &C,
+    scratch: &mut ScanScratch,
+) -> ScanOutcome {
+    let rel = load_bounds(query, &mut scratch.qa, &mut scratch.qb);
+    let ScanScratch {
+        mask, matches, qa, qb, ..
+    } = scratch;
+    dispatch(rel, cols, qa, qb, mask, matches)
+}
+
+/// Scans objects stored as interleaved flat `[lo0, hi0, lo1, hi1, …]`
+/// coordinates — used by access methods whose native layout is
+/// row-major (R*-tree leaf pages).
+///
+/// Columns are gathered **lazily**, one [`BLOCK`]-sized tile per
+/// (block, dimension), only while the block still has survivors: a
+/// block rejected in its first dimensions never pays the gather for the
+/// remaining ones, preserving the early-exit economics the scalar
+/// per-entry loop had on row-major data. Accounting is bit-identical to
+/// [`scan_columns`] and to per-object [`SpatialQuery::matches_flat`].
+pub fn scan_interleaved(
+    query: &SpatialQuery,
+    flat: &[Scalar],
+    scratch: &mut ScanScratch,
+) -> ScanOutcome {
+    let width = 2 * query.dims();
+    debug_assert_eq!(flat.len() % width, 0, "coordinate arity mismatch");
+    let rel = load_bounds(query, &mut scratch.qa, &mut scratch.qb);
+    let ScanScratch {
+        mask,
+        matches,
+        qa,
+        qb,
+        t_lo,
+        t_hi,
+    } = scratch;
+    t_lo.resize(BLOCK, 0.0);
+    t_hi.resize(BLOCK, 0.0);
+    match rel {
+        Relation::Intersection => run_interleaved(flat, width, qa, qb, mask, matches, t_lo, t_hi, |l, h, a, b| {
+            ((l <= b) as u8) & ((h >= a) as u8)
+        }),
+        Relation::Containment => run_interleaved(flat, width, qa, qb, mask, matches, t_lo, t_hi, |l, h, a, b| {
+            ((l >= a) as u8) & ((h <= b) as u8)
+        }),
+        Relation::Enclosure => run_interleaved(flat, width, qa, qb, mask, matches, t_lo, t_hi, |l, h, a, b| {
+            ((l <= a) as u8) & ((h >= b) as u8)
+        }),
+    }
+}
+
+/// The blocked kernel over row-major input: per block, gather one
+/// dimension's bounds into the scratch tiles and AND the pass bits into
+/// the survivors mask; a block with no survivors skips the gather and
+/// the check of its remaining dimensions.
+#[allow(clippy::too_many_arguments)]
+fn run_interleaved<P>(
+    flat: &[Scalar],
+    width: usize,
+    qa: &[Scalar],
+    qb: &[Scalar],
+    mask: &mut Vec<u8>,
+    matches: &mut Vec<u32>,
+    t_lo: &mut [Scalar],
+    t_hi: &mut [Scalar],
+    pass: P,
+) -> ScanOutcome
+where
+    P: Fn(Scalar, Scalar, Scalar, Scalar) -> u8,
+{
+    let n = flat.len() / width;
+    let dims = qa.len();
+    mask.clear();
+    mask.resize(n, 1);
+    matches.clear();
+    let mut dims_checked = 0u64;
+    let mut start = 0;
+    while start < n {
+        let end = (start + BLOCK).min(n);
+        let block = &mut mask[start..end];
+        let len = block.len();
+        let mut alive = len;
+        for d in 0..dims {
+            if alive == 0 {
+                break;
+            }
+            dims_checked += alive as u64;
+            let rows = &flat[start * width..end * width];
+            for (i, row) in rows.chunks_exact(width).enumerate() {
+                t_lo[i] = row[2 * d];
+                t_hi[i] = row[2 * d + 1];
+            }
+            let (a, b) = (qa[d], qb[d]);
+            let mut survivors = 0usize;
+            for ((m, &l), &h) in block.iter_mut().zip(&t_lo[..len]).zip(&t_hi[..len]) {
+                *m &= pass(l, h, a, b);
+                survivors += *m as usize;
+            }
+            alive = survivors;
+        }
+        if alive > 0 {
+            for (i, &m) in block.iter().enumerate() {
+                if m != 0 {
+                    matches.push((start + i) as u32);
+                }
+            }
+        }
+        start = end;
+    }
+    ScanOutcome {
+        objects: n,
+        matched: matches.len(),
+        dims_checked,
+    }
+}
+
+fn dispatch<C: ColumnAccess + ?Sized>(
+    rel: Relation,
+    cols: &C,
+    qa: &[Scalar],
+    qb: &[Scalar],
+    mask: &mut Vec<u8>,
+    matches: &mut Vec<u32>,
+) -> ScanOutcome {
+    match rel {
+        Relation::Intersection => run(cols, qa, qb, mask, matches, |l, h, a, b| {
+            ((l <= b) as u8) & ((h >= a) as u8)
+        }),
+        Relation::Containment => run(cols, qa, qb, mask, matches, |l, h, a, b| {
+            ((l >= a) as u8) & ((h <= b) as u8)
+        }),
+        Relation::Enclosure => run(cols, qa, qb, mask, matches, |l, h, a, b| {
+            ((l <= a) as u8) & ((h >= b) as u8)
+        }),
+    }
+}
+
+/// The blocked kernel: per block of [`BLOCK`] objects, AND each
+/// dimension's pass bits into the survivors mask, counting survivors as
+/// it goes; a block with no survivors skips its remaining dimensions.
+fn run<C, P>(
+    cols: &C,
+    qa: &[Scalar],
+    qb: &[Scalar],
+    mask: &mut Vec<u8>,
+    matches: &mut Vec<u32>,
+    pass: P,
+) -> ScanOutcome
+where
+    C: ColumnAccess + ?Sized,
+    P: Fn(Scalar, Scalar, Scalar, Scalar) -> u8,
+{
+    let n = cols.len();
+    let dims = qa.len();
+    mask.clear();
+    mask.resize(n, 1);
+    matches.clear();
+    let mut dims_checked = 0u64;
+    let mut start = 0;
+    while start < n {
+        let end = (start + BLOCK).min(n);
+        let block = &mut mask[start..end];
+        let mut alive = block.len();
+        for d in 0..dims {
+            if alive == 0 {
+                break;
+            }
+            dims_checked += alive as u64;
+            let lo = &cols.lo_col(d)[start..end];
+            let hi = &cols.hi_col(d)[start..end];
+            let (a, b) = (qa[d], qb[d]);
+            let mut survivors = 0usize;
+            for ((m, &l), &h) in block.iter_mut().zip(lo).zip(hi) {
+                *m &= pass(l, h, a, b);
+                survivors += *m as usize;
+            }
+            alive = survivors;
+        }
+        if alive > 0 {
+            for (i, &m) in block.iter().enumerate() {
+                if m != 0 {
+                    matches.push((start + i) as u32);
+                }
+            }
+        }
+        start = end;
+    }
+    ScanOutcome {
+        objects: n,
+        matched: matches.len(),
+        dims_checked,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{HyperRect, SpatialRelation};
+
+    /// Builds paired columns from interleaved flat coordinates.
+    fn columns(flat: &[Scalar], dims: usize) -> Vec<Vec<Scalar>> {
+        let width = 2 * dims;
+        let n = flat.len() / width;
+        let mut cols = vec![Vec::with_capacity(n); width];
+        for row in flat.chunks_exact(width) {
+            for (k, &v) in row.iter().enumerate() {
+                cols[k].push(v);
+            }
+        }
+        cols
+    }
+
+    /// The scalar oracle: per-object `matches_flat` in storage order.
+    fn oracle(query: &SpatialQuery, flat: &[Scalar], dims: usize) -> (Vec<u32>, u64) {
+        let width = 2 * dims;
+        let mut matches = Vec::new();
+        let mut dims_checked = 0u64;
+        for (i, row) in flat.chunks_exact(width).enumerate() {
+            let out = query.matches_flat(row);
+            dims_checked += out.dims_checked as u64;
+            if out.matched {
+                matches.push(i as u32);
+            }
+        }
+        (matches, dims_checked)
+    }
+
+    fn assert_agrees(query: &SpatialQuery, flat: &[Scalar], dims: usize) {
+        let cols = columns(flat, dims);
+        let mut scratch = ScanScratch::new();
+        let got = scan_columns(query, &PairedColumns::new(&cols), &mut scratch);
+        let (want_matches, want_checked) = oracle(query, flat, dims);
+        assert_eq!(scratch.matches(), &want_matches[..], "match set diverged");
+        assert_eq!(got.dims_checked, want_checked, "dims_checked diverged");
+        assert_eq!(got.matched, want_matches.len());
+        assert_eq!(got.objects, flat.len() / (2 * dims));
+
+        let via_rows = scan_interleaved(query, flat, &mut scratch);
+        assert_eq!(via_rows, got, "interleaved adapter diverged");
+        assert_eq!(scratch.matches(), &want_matches[..]);
+    }
+
+    #[test]
+    fn empty_segment_scans_to_nothing() {
+        let cols: Vec<Vec<Scalar>> = vec![Vec::new(); 4];
+        let mut scratch = ScanScratch::new();
+        let q = SpatialQuery::point_enclosing(vec![0.5, 0.5]);
+        let out = scan_columns(&q, &PairedColumns::new(&cols), &mut scratch);
+        assert_eq!(out, ScanOutcome { objects: 0, matched: 0, dims_checked: 0 });
+        assert!(scratch.matches().is_empty());
+    }
+
+    #[test]
+    fn all_relations_agree_with_scalar_on_handpicked_objects() {
+        let dims = 2;
+        // Includes boundary-coincident edges (objects touching the window).
+        let flat = [
+            0.1, 0.3, 0.1, 0.3, // inside
+            0.3, 0.7, 0.3, 0.7, // equals the window
+            0.0, 0.3, 0.0, 0.3, // touches the window corner
+            0.71, 0.9, 0.0, 1.0, // fails dim 0
+            0.3, 0.7, 0.8, 0.9, // fails dim 1
+            0.0, 1.0, 0.0, 1.0, // covers everything
+        ];
+        let w = HyperRect::from_bounds(&[0.3, 0.3], &[0.7, 0.7]).unwrap();
+        for rel in SpatialRelation::ALL {
+            assert_agrees(&SpatialQuery::with_relation(rel, w.clone()), &flat, dims);
+        }
+        assert_agrees(&SpatialQuery::point_enclosing(vec![0.3, 0.3]), &flat, dims);
+    }
+
+    #[test]
+    fn block_boundaries_are_handled() {
+        // Sizes around the BLOCK granularity, one dimension.
+        for n in [1usize, 63, 64, 65, 128, 130] {
+            let flat: Vec<Scalar> = (0..n)
+                .flat_map(|i| {
+                    let x = i as Scalar / n as Scalar;
+                    [x, x + 0.01]
+                })
+                .collect();
+            assert_agrees(&SpatialQuery::point_enclosing(vec![0.5]), &flat, 1);
+            let w = HyperRect::from_bounds(&[0.25], &[0.75]).unwrap();
+            assert_agrees(&SpatialQuery::intersection(w), &flat, 1);
+        }
+    }
+
+    #[test]
+    fn verified_bytes_accounts_id_and_checked_dims() {
+        let out = ScanOutcome { objects: 3, matched: 1, dims_checked: 5 };
+        assert_eq!(out.verified_bytes(), 3 * OBJECT_ID_BYTES as u64 + 40);
+    }
+
+    #[test]
+    fn scratch_is_reusable_across_queries_and_sizes() {
+        let mut scratch = ScanScratch::new();
+        for n in [100usize, 10, 300] {
+            let flat: Vec<Scalar> = (0..n).flat_map(|i| {
+                let x = (i % 17) as Scalar / 17.0;
+                [x, x + 0.1, 0.0, 1.0]
+            }).collect();
+            assert_agrees(&SpatialQuery::point_enclosing(vec![0.2, 0.5]), &flat, 2);
+            let cols = columns(&flat, 2);
+            let q = SpatialQuery::point_enclosing(vec![0.2, 0.5]);
+            let out = scan_columns(&q, &PairedColumns::new(&cols), &mut scratch);
+            assert_eq!(out.objects, n);
+        }
+    }
+
+    #[test]
+    fn paired_columns_subrange_sees_a_window() {
+        let flat = [0.1, 0.2, 0.4, 0.5, 0.7, 0.8];
+        let cols = columns(&flat, 1);
+        let view = PairedColumns::slice(&cols, 1, 2);
+        assert_eq!(view.len(), 2);
+        assert_eq!(view.lo_col(0), &[0.4, 0.7]);
+        assert_eq!(view.hi_col(0), &[0.5, 0.8]);
+        let mut scratch = ScanScratch::new();
+        let q = SpatialQuery::point_enclosing(vec![0.45]);
+        let out = scan_columns(&q, &view, &mut scratch);
+        assert_eq!(out.matched, 1);
+        assert_eq!(scratch.matches(), &[0]); // index relative to the range
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use crate::{HyperRect, Interval, SpatialRelation};
+    use proptest::prelude::*;
+
+    /// A coordinate grid coarse enough that boundary-coincident edges
+    /// (object bound == query bound) occur constantly.
+    fn coord() -> impl Strategy<Value = Scalar> {
+        (0u8..=8).prop_map(|k| k as Scalar / 8.0)
+    }
+
+    fn window(dims: usize) -> impl Strategy<Value = HyperRect> {
+        prop::collection::vec((coord(), coord()), dims).prop_map(|pairs| {
+            let intervals = pairs
+                .into_iter()
+                .map(|(a, b)| {
+                    let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+                    Interval::new_unchecked(lo, hi)
+                })
+                .collect::<Vec<_>>();
+            HyperRect::new(intervals).unwrap()
+        })
+    }
+
+    proptest! {
+        /// The columnar kernel returns the same match set, in the same
+        /// order, with the same total `dims_checked` as object-at-a-time
+        /// `matches_flat`, for every query kind and 1–8 dimensions.
+        #[test]
+        fn kernel_agrees_with_scalar_oracle(
+            dims in 1usize..=8,
+            seed_pairs in prop::collection::vec((coord(), coord()), 0..220),
+            win in window(8),
+            point in prop::collection::vec(coord(), 8),
+            kind in 0usize..4,
+        ) {
+            // Build n complete rows of `2·dims` scalars.
+            let n = seed_pairs.len() / dims;
+            let mut flat = Vec::with_capacity(n * 2 * dims);
+            for row in seed_pairs.chunks_exact(dims) {
+                for &(a, b) in row {
+                    let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+                    flat.push(lo);
+                    flat.push(hi);
+                }
+            }
+            let win = HyperRect::new(
+                (0..dims).map(|d| *win.interval(d)).collect::<Vec<_>>()
+            ).unwrap();
+            let query = match kind {
+                0 => SpatialQuery::with_relation(SpatialRelation::Intersection, win),
+                1 => SpatialQuery::with_relation(SpatialRelation::Containment, win),
+                2 => SpatialQuery::with_relation(SpatialRelation::Enclosure, win),
+                _ => SpatialQuery::point_enclosing(point[..dims].to_vec()),
+            };
+
+            let width = 2 * dims;
+            let mut cols = vec![Vec::with_capacity(n); width];
+            for row in flat.chunks_exact(width) {
+                for (k, &v) in row.iter().enumerate() {
+                    cols[k].push(v);
+                }
+            }
+            let mut scratch = ScanScratch::new();
+            let got = scan_columns(&query, &PairedColumns::new(&cols), &mut scratch);
+
+            let mut want_matches = Vec::new();
+            let mut want_checked = 0u64;
+            for (i, row) in flat.chunks_exact(width).enumerate() {
+                let out = query.matches_flat(row);
+                want_checked += out.dims_checked as u64;
+                if out.matched {
+                    want_matches.push(i as u32);
+                }
+            }
+            prop_assert_eq!(scratch.matches(), &want_matches[..]);
+            prop_assert_eq!(got.dims_checked, want_checked);
+            prop_assert_eq!(got.matched, want_matches.len());
+
+            let via_rows = scan_interleaved(&query, &flat, &mut scratch);
+            prop_assert_eq!(via_rows, got);
+            prop_assert_eq!(scratch.matches(), &want_matches[..]);
+        }
+    }
+}

@@ -1,33 +1,60 @@
 use std::collections::HashMap;
 
+use acx_geom::scan::PairedColumns;
 use acx_geom::{object_size_bytes, Scalar};
 
 /// Handle to one cluster's sequential object segment.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct SegmentId(pub u32);
 
-/// One cluster's members, stored sequentially: parallel id and flat
-/// coordinate arrays, plus the segment's position in the (virtual) disk
-/// layout.
+/// One cluster's members, stored sequentially: a parallel id array plus
+/// dimension-major coordinate columns, and the segment's position in the
+/// (virtual) disk layout.
 #[derive(Debug)]
 struct Segment {
     ids: Vec<u32>,
-    /// Flat `[lo0, hi0, lo1, hi1, …]` coordinates, `2·dims` per object.
-    coords: Vec<Scalar>,
+    /// Dimension-major (SoA) columns: `cols[2d]` holds every member's
+    /// lower bound in dimension `d`, `cols[2d + 1]` the upper bound. All
+    /// `2·dims` columns are exactly `ids.len()` long.
+    cols: Box<[Vec<Scalar>]>,
     /// Reserved capacity in objects (allocation size on the layout).
     capacity: usize,
     /// Byte offset of the segment in the virtual sequential layout.
     offset: u64,
 }
 
+impl Segment {
+    fn new(dims: usize, capacity: usize) -> Self {
+        Self {
+            ids: Vec::with_capacity(capacity),
+            cols: (0..2 * dims)
+                .map(|_| Vec::with_capacity(capacity))
+                .collect(),
+            capacity,
+            offset: 0,
+        }
+    }
+
+    /// Interleaved flat coordinates of member `index`, appended to `out`.
+    fn read_into(&self, index: usize, out: &mut Vec<Scalar>) {
+        for col in self.cols.iter() {
+            out.push(col[index]);
+        }
+    }
+}
+
 /// Sequential cluster storage with reserved slack (paper §6, "Storage
 /// Utilization").
 ///
 /// Each cluster's objects are stored contiguously — in memory for cache
-/// locality, on disk to favour sequential transfer. Because a relocation is
-/// expensive, every created or relocated segment reserves `reserve_fraction`
-/// extra places (the paper uses 20–30 %, guaranteeing ≥ 70 % utilization
-/// right after a relocation).
+/// locality, on disk to favour sequential transfer. Coordinates are kept
+/// in *dimension-major* columns (one contiguous `lo` and `hi` column per
+/// dimension) so the batch verification kernel
+/// ([`acx_geom::scan::scan_columns`]) streams one column at a time at
+/// memory bandwidth; see [`SegmentStore::columns`]. Because a relocation
+/// is expensive, every created or relocated segment reserves
+/// `reserve_fraction` extra places (the paper uses 20–30 %, guaranteeing
+/// ≥ 70 % utilization right after a relocation).
 ///
 /// The store also maintains a *virtual byte layout* (bump allocation +
 /// relocation) so the disk scenario can reason about segment offsets, and
@@ -142,12 +169,8 @@ impl SegmentStore {
     pub fn create(&mut self, expected: usize) -> SegmentId {
         let capacity = self.reserved_capacity(expected.max(1));
         let offset = self.alloc_bytes(capacity);
-        let seg = Segment {
-            ids: Vec::with_capacity(capacity),
-            coords: Vec::with_capacity(capacity * 2 * self.dims),
-            capacity,
-            offset,
-        };
+        let mut seg = Segment::new(self.dims, capacity);
+        seg.offset = offset;
         if let Some(slot) = self.free_slots.pop() {
             self.segments[slot as usize] = Some(seg);
             SegmentId(slot)
@@ -172,12 +195,14 @@ impl SegmentStore {
     /// Appends one object; relocates the segment (with fresh reserve) when
     /// the reservation is exhausted.
     ///
+    /// `flat` is interleaved `[lo0, hi0, lo1, hi1, …]`; the store
+    /// distributes it into the dimension-major columns.
+    ///
     /// `object_id` must not already be stored anywhere in the store
     /// (checked by a debug assertion): the position map keeps exactly one
     /// location per id.
     pub fn push(&mut self, id: SegmentId, object_id: u32, flat: &[Scalar]) {
         assert_eq!(flat.len(), 2 * self.dims, "coordinate arity mismatch");
-        let dims = self.dims;
         let object_bytes = self.object_bytes;
         let needs_relocation = {
             let seg = self.segment(id);
@@ -193,13 +218,18 @@ impl SegmentStore {
             let seg = self.segment_mut(id);
             seg.capacity = new_capacity;
             seg.offset = new_offset;
-            seg.ids.reserve(new_capacity - seg.ids.len());
+            let grow = new_capacity - seg.ids.len();
+            seg.ids.reserve(grow);
+            for col in seg.cols.iter_mut() {
+                col.reserve(grow);
+            }
             self.relocations += 1;
         }
         let seg = self.segment_mut(id);
         seg.ids.push(object_id);
-        seg.coords.extend_from_slice(flat);
-        debug_assert_eq!(seg.coords.len(), seg.ids.len() * 2 * dims);
+        for (col, &v) in seg.cols.iter_mut().zip(flat) {
+            col.push(v);
+        }
         let index = (seg.ids.len() - 1) as u32;
         let previous = self.positions.insert(object_id, (id.0, index));
         debug_assert!(
@@ -212,21 +242,13 @@ impl SegmentStore {
     /// Removes the object at `index` by swapping in the last member.
     /// Returns the removed object id.
     pub fn swap_remove(&mut self, id: SegmentId, index: usize) -> u32 {
-        let width = 2 * self.dims;
         let (removed, moved) = {
             let seg = self.segment_mut(id);
             let removed = seg.ids.swap_remove(index);
-            let last = seg.ids.len(); // after removal, old last index
-            let moved = if index < last {
-                let (from, to) = (last * width, index * width);
-                for k in 0..width {
-                    seg.coords[to + k] = seg.coords[from + k];
-                }
-                Some(seg.ids[index])
-            } else {
-                None
-            };
-            seg.coords.truncate(last * width);
+            for col in seg.cols.iter_mut() {
+                col.swap_remove(index);
+            }
+            let moved = seg.ids.get(index).copied();
             (removed, moved)
         };
         if let Some(moved) = moved {
@@ -242,9 +264,49 @@ impl SegmentStore {
         &self.segment(id).ids
     }
 
-    /// Flat coordinates of a segment (`2·dims` scalars per object).
-    pub fn coords(&self, id: SegmentId) -> &[Scalar] {
-        &self.segment(id).coords
+    /// Dimension-major column view of a segment, ready for the batch
+    /// verification kernel ([`acx_geom::scan::scan_columns`]).
+    pub fn columns(&self, id: SegmentId) -> PairedColumns<'_> {
+        PairedColumns::new(&self.segment(id).cols)
+    }
+
+    /// Lower-bound column of dimension `d`, one scalar per member.
+    pub fn lo_col(&self, id: SegmentId, d: usize) -> &[Scalar] {
+        &self.segment(id).cols[2 * d]
+    }
+
+    /// Upper-bound column of dimension `d`, one scalar per member.
+    pub fn hi_col(&self, id: SegmentId, d: usize) -> &[Scalar] {
+        &self.segment(id).cols[2 * d + 1]
+    }
+
+    /// Interleaved flat coordinates (`[lo0, hi0, …]`) of the member at
+    /// `index`, gathered from the columns into a fresh vector.
+    pub fn object_flat(&self, id: SegmentId, index: usize) -> Vec<Scalar> {
+        let mut out = Vec::with_capacity(2 * self.dims);
+        self.segment(id).read_into(index, &mut out);
+        out
+    }
+
+    /// Gathers the member at `index` into `out` (cleared first) as
+    /// interleaved flat coordinates — the allocation-free variant of
+    /// [`SegmentStore::object_flat`] for loops with a reusable buffer.
+    pub fn read_object_into(&self, id: SegmentId, index: usize, out: &mut Vec<Scalar>) {
+        out.clear();
+        self.segment(id).read_into(index, out);
+    }
+
+    /// All coordinates of a segment as one interleaved flat vector
+    /// (`2·dims` scalars per object, storage order) — the row-major
+    /// serialization used by persistence and bulk moves.
+    pub fn interleaved_coords(&self, id: SegmentId) -> Vec<Scalar> {
+        let seg = self.segment(id);
+        let n = seg.ids.len();
+        let mut out = Vec::with_capacity(n * 2 * self.dims);
+        for index in 0..n {
+            seg.read_into(index, &mut out);
+        }
+        out
     }
 
     /// Number of objects in a segment.
@@ -275,8 +337,10 @@ impl SegmentStore {
         (self.segment(id).ids.len() * self.object_bytes) as u64
     }
 
-    /// Removes a segment entirely, returning its members.
+    /// Removes a segment entirely, returning its members as ids plus
+    /// interleaved flat coordinates (storage order).
     pub fn remove(&mut self, id: SegmentId) -> (Vec<u32>, Vec<Scalar>) {
+        let coords = self.interleaved_coords(id);
         let seg = self.segments[id.0 as usize]
             .take()
             .expect("segment was removed");
@@ -285,7 +349,7 @@ impl SegmentStore {
         for object_id in &seg.ids {
             self.positions.remove(object_id);
         }
-        (seg.ids, seg.coords)
+        (seg.ids, coords)
     }
 
     /// Moves every member of `src` into `dst` (used by cluster merging),
@@ -317,8 +381,39 @@ mod tests {
         s.push(seg, 9, &flat(0.3, 0.4));
         assert_eq!(s.ids(seg), &[7, 9]);
         assert_eq!(s.segment_len(seg), 2);
-        assert_eq!(s.coords(seg).len(), 2 * 4);
+        assert_eq!(s.interleaved_coords(seg).len(), 2 * 4);
+        assert_eq!(s.object_flat(seg, 0), flat(0.1, 0.2));
+        assert_eq!(s.object_flat(seg, 1), flat(0.3, 0.4));
         assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn columns_are_dimension_major() {
+        let mut s = SegmentStore::new(2);
+        let seg = s.create(4);
+        s.push(seg, 1, &[0.1, 0.2, 0.3, 0.4]);
+        s.push(seg, 2, &[0.5, 0.6, 0.7, 0.8]);
+        assert_eq!(s.lo_col(seg, 0), &[0.1, 0.5]);
+        assert_eq!(s.hi_col(seg, 0), &[0.2, 0.6]);
+        assert_eq!(s.lo_col(seg, 1), &[0.3, 0.7]);
+        assert_eq!(s.hi_col(seg, 1), &[0.4, 0.8]);
+        use acx_geom::scan::ColumnAccess;
+        let cols = s.columns(seg);
+        assert_eq!(cols.len(), 2);
+        assert_eq!(cols.lo_col(1), &[0.3, 0.7]);
+    }
+
+    #[test]
+    fn read_object_into_reuses_the_buffer() {
+        let mut s = SegmentStore::new(2);
+        let seg = s.create(2);
+        s.push(seg, 1, &flat(0.1, 0.15));
+        s.push(seg, 2, &flat(0.2, 0.25));
+        let mut buf = Vec::new();
+        s.read_object_into(seg, 1, &mut buf);
+        assert_eq!(buf, flat(0.2, 0.25));
+        s.read_object_into(seg, 0, &mut buf);
+        assert_eq!(buf, flat(0.1, 0.15));
     }
 
     #[test]
@@ -357,9 +452,8 @@ mod tests {
         let removed = s.swap_remove(seg, 0);
         assert_eq!(removed, 1);
         assert_eq!(s.ids(seg), &[3, 2]);
-        let c = s.coords(seg);
-        assert_eq!(c[0], 0.3); // object 3's coords moved to slot 0
-        assert_eq!(c[4], 0.2); // object 2 untouched
+        assert_eq!(s.object_flat(seg, 0), flat(0.3, 0.35)); // object 3 moved to slot 0
+        assert_eq!(s.object_flat(seg, 1), flat(0.2, 0.25)); // object 2 untouched
         assert_eq!(s.len(), 2);
     }
 
@@ -371,7 +465,7 @@ mod tests {
         s.push(seg, 2, &[0.3, 0.4]);
         assert_eq!(s.swap_remove(seg, 1), 2);
         assert_eq!(s.ids(seg), &[1]);
-        assert_eq!(s.coords(seg), &[0.1, 0.2]);
+        assert_eq!(s.interleaved_coords(seg), vec![0.1, 0.2]);
     }
 
     #[test]
@@ -509,8 +603,8 @@ mod proptests {
     proptest! {
         /// The segment store behaves like a vector of (id, coords) lists
         /// under arbitrary create/push/remove/merge sequences, and its
-        /// id and coordinate arrays never fall out of sync. Object ids
-        /// are drawn from a counter: the store requires them unique.
+        /// id array and coordinate columns never fall out of sync. Object
+        /// ids are drawn from a counter: the store requires them unique.
         #[test]
         fn store_matches_model(ops in prop::collection::vec(op(), 1..80)) {
             let dims = 2;
@@ -555,7 +649,8 @@ mod proptests {
                         model.remove(ka);
                     }
                 }
-                // Global consistency.
+                // Global consistency: the store mirrors the model, and
+                // the per-object flat gather agrees with the columns.
                 let total: usize = model.iter().map(|m| m.len()).sum();
                 prop_assert_eq!(store.len(), total);
                 prop_assert_eq!(store.segment_count(), live.len());
@@ -567,9 +662,21 @@ mod proptests {
                     want.sort_unstable();
                     prop_assert_eq!(got, want);
                     prop_assert_eq!(
-                        store.coords(*seg).len(),
+                        store.interleaved_coords(*seg).len(),
                         model[k].len() * 2 * store.dims()
                     );
+                    for (idx, id) in store.ids(*seg).iter().enumerate() {
+                        let flat = store.object_flat(*seg, idx);
+                        let (_, expected) = model[k]
+                            .iter()
+                            .find(|(mid, _)| mid == id)
+                            .expect("model holds every stored id");
+                        prop_assert_eq!(&flat, expected, "columns diverged for #{}", id);
+                        for d in 0..store.dims() {
+                            prop_assert_eq!(store.lo_col(*seg, d)[idx], flat[2 * d]);
+                            prop_assert_eq!(store.hi_col(*seg, d)[idx], flat[2 * d + 1]);
+                        }
+                    }
                 }
             }
         }

@@ -45,10 +45,10 @@ pub use acx_workloads as workloads;
 
 /// Commonly used types, importable in one line.
 pub mod prelude {
-    pub use acx_baselines::{RStarConfig, RStarTree, SeqScan};
+    pub use acx_baselines::{BatchExecute, RStarConfig, RStarTree, SeqScan};
     pub use acx_core::{
         AdaptiveClusterIndex, ClusterSnapshot, IndexConfig, IndexError, QueryMetrics, QueryResult,
-        ReorgReport, StatsDelta,
+        QueryScratch, ReorgReport, ScanMode, StatsDelta,
     };
     pub use acx_geom::{
         HyperRect, Interval, ObjectId, Scalar, SpatialQuery, SpatialRelation,
