@@ -3,6 +3,8 @@
 
 use std::collections::HashMap;
 
+use acx_core::{IndexConfig, ScanMode};
+
 /// Parsed `--key value` flags.
 pub struct Flags {
     values: HashMap<String, String>,
@@ -43,5 +45,67 @@ impl Flags {
     /// Whether a bare flag was passed.
     pub fn has(&self, name: &str) -> bool {
         self.present.iter().any(|p| p == name) || self.values.contains_key(name)
+    }
+
+    /// Boolean flag accepting `on`/`off`, `true`/`false`, `1`/`0`
+    /// (case-insensitive).
+    ///
+    /// # Panics
+    ///
+    /// Panics on any other value: a kernel-ablation flag that silently
+    /// fell back to its default would mislabel the measurement.
+    pub fn get_bool(&self, name: &str, default: bool) -> bool {
+        match self.values.get(name) {
+            None => default,
+            Some(v) => match v.to_ascii_lowercase().as_str() {
+                "on" | "true" | "1" | "yes" => true,
+                "off" | "false" | "0" | "no" => false,
+                other => panic!("--{name}: expected on/off, got {other:?}"),
+            },
+        }
+    }
+
+    /// Typed lookup that **panics** on a present-but-unparseable value
+    /// (with the parser's own error message) instead of silently using
+    /// the default — for flags where a typo must not change which
+    /// experiment runs.
+    pub fn get_strict<T>(&self, name: &str, default: T) -> T
+    where
+        T: std::str::FromStr,
+        T::Err: std::fmt::Display,
+    {
+        match self.values.get(name) {
+            None => default,
+            Some(v) => match v.parse() {
+                Ok(parsed) => parsed,
+                Err(e) => panic!("--{name}: {e}"),
+            },
+        }
+    }
+
+    /// `--scan-mode columnar|oracle`: member verification strategy.
+    pub fn scan_mode(&self) -> ScanMode {
+        self.get_strict("scan-mode", ScanMode::Columnar)
+    }
+
+    /// `--candidate-scan columnar|oracle`: candidate matching strategy.
+    pub fn candidate_scan(&self) -> ScanMode {
+        self.get_strict("candidate-scan", ScanMode::Columnar)
+    }
+
+    /// `--zone-maps on|off`: block skipping in member verification.
+    pub fn zone_maps(&self) -> bool {
+        self.get_bool("zone-maps", true)
+    }
+
+    /// Applies the kernel toggles (`--scan-mode`, `--candidate-scan`,
+    /// `--zone-maps`) to an index configuration, so every experiment
+    /// binary compares oracle vs. columnar vs. bitmask/zone-map
+    /// execution without recompiling.
+    pub fn apply_scan_flags(&self, mut config: IndexConfig) -> IndexConfig {
+        config.scan_mode = self.scan_mode();
+        config.candidate_scan = self.candidate_scan();
+        config.zone_maps = self.zone_maps();
+        config
     }
 }

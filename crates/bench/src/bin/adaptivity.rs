@@ -11,7 +11,7 @@
 //! ```
 
 use acx_bench::args::Flags;
-use acx_bench::build_ac;
+use acx_bench::{ac_config, build_ac_with};
 use acx_geom::SpatialQuery;
 use acx_storage::StorageScenario;
 use acx_workloads::{ShiftingHotspot, UniformWorkload, WorkloadConfig};
@@ -30,7 +30,8 @@ fn main() {
     let workload =
         UniformWorkload::with_max_length(WorkloadConfig::new(dims, objects, seed), 0.4);
     let data = workload.generate_objects();
-    let mut index = build_ac(dims, StorageScenario::Memory, &data);
+    let mut index =
+        build_ac_with(flags.apply_scan_flags(ac_config(dims, StorageScenario::Memory)), &data);
 
     let mut rng = WorkloadConfig::new(dims, objects, seed ^ 0xF1E1D).rng();
     let mut stream = ShiftingHotspot::new(

@@ -10,7 +10,7 @@
 //! ```
 
 use acx_bench::args::Flags;
-use acx_bench::{build_ac, build_rs, build_ss, run_ac, run_baseline, MethodReport};
+use acx_bench::{ac_config, build_ac_with, build_rs, build_ss, run_ac, run_baseline, MethodReport};
 use acx_geom::SpatialQuery;
 use acx_storage::StorageScenario;
 use acx_workloads::{calibrate, SkewedWorkload, WorkloadConfig};
@@ -54,11 +54,13 @@ fn main() {
         let ss = build_ss(dims, &data);
 
         eprintln!("dims={dims}: adaptive clustering (memory) …");
-        let mut ac_mem = build_ac(dims, StorageScenario::Memory, &data);
+        let mut ac_mem =
+            build_ac_with(flags.apply_scan_flags(ac_config(dims, StorageScenario::Memory)), &data);
         let ac_mem_report = run_ac(&mut ac_mem, &warmup, &measured, objects);
 
         eprintln!("dims={dims}: adaptive clustering (disk) …");
-        let mut ac_disk = build_ac(dims, StorageScenario::Disk, &data);
+        let mut ac_disk =
+            build_ac_with(flags.apply_scan_flags(ac_config(dims, StorageScenario::Disk)), &data);
         let ac_disk_report = run_ac(&mut ac_disk, &warmup, &measured, objects);
 
         let rs_report = run_baseline("RS", rs.node_count(), objects, dims, &measured, |q| {

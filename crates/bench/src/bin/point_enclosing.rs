@@ -9,7 +9,7 @@
 //! ```
 
 use acx_bench::args::Flags;
-use acx_bench::{build_ac, build_ss, run_ac, run_baseline};
+use acx_bench::{ac_config, build_ac_with, build_ss, run_ac, run_baseline};
 use acx_geom::SpatialQuery;
 use acx_storage::StorageScenario;
 use acx_workloads::{SkewedWorkload, UniformWorkload, Workload, WorkloadConfig};
@@ -52,9 +52,11 @@ fn main() {
         let ss_report =
             run_baseline("SS", 1, objects, dims, &measured, |q| ss.execute(q));
 
-        let mut ac_mem = build_ac(dims, StorageScenario::Memory, &data);
+        let mut ac_mem =
+            build_ac_with(flags.apply_scan_flags(ac_config(dims, StorageScenario::Memory)), &data);
         let ac_mem_report = run_ac(&mut ac_mem, &warmup, &measured, objects);
-        let mut ac_disk = build_ac(dims, StorageScenario::Disk, &data);
+        let mut ac_disk =
+            build_ac_with(flags.apply_scan_flags(ac_config(dims, StorageScenario::Disk)), &data);
         let ac_disk_report = run_ac(&mut ac_disk, &warmup, &measured, objects);
 
         let mem_speedup = ss_report.priced_memory_ms / ac_mem_report.priced_memory_ms;

@@ -1,28 +1,44 @@
-//! Snapshot benchmark of the columnar scan kernel vs the scalar oracle,
-//! recorded to `BENCH_scan.json` so the repository's perf trajectory is
+//! Snapshot benchmark of the columnar/bitmask scan kernels vs their
+//! scalar oracles, recorded to `BENCH_scan.json` and
+//! `BENCH_candidates.json` so the repository's perf trajectory is
 //! tracked across PRs.
 //!
-//! Two layers are measured single-threaded:
+//! Four layers are measured single-threaded:
 //!
 //! * **kernel** — `scan_columns` against per-object `matches_flat` over
 //!   one flat segment, for every (objects, dims) in the matrix.
+//! * **candidate kernel** — `scan_candidates` against the scalar
+//!   candidate-at-a-time loop over one cluster's candidate set, for
+//!   division factors yielding `f²·Nd` from hundreds to thousands.
 //! * **index** — `AdaptiveClusterIndex` point-enclosing queries (§7.2,
-//!   the scan-dominated workload) with `ScanMode::Columnar` vs
-//!   `ScanMode::ScalarOracle` on identically adapted indexes.
+//!   the scan-dominated workload) through the read-only `query_with`
+//!   path, columnar vs scalar oracle, on identically adapted indexes.
+//! * **recorded execute** — the full `execute` path (statistics
+//!   recording included) under three strategies: the current default
+//!   (bitmask members + bitmask candidates + zone maps), the PR 3
+//!   equivalent (columnar members, scalar candidate loop, no zones),
+//!   and the full scalar oracle.
 //!
 //! Usage:
 //! ```text
 //! cargo run --release -p acx_bench --bin scan_bench
-//!     [--quick] [--out BENCH_scan.json]
+//!     [--quick] [--out BENCH_scan.json] [--cand-out BENCH_candidates.json]
+//!     [--scan-mode columnar|oracle] [--candidate-scan columnar|oracle]
+//!     [--zone-maps on|off]
 //! ```
+//! The kernel toggles apply to the *index* section so oracle vs
+//! columnar vs bitmask/zone-map runs need no recompilation; the
+//! recorded-execute section always measures its three fixed strategies.
 
 use std::fmt::Write as _;
 use std::time::Instant;
 
 use acx_bench::args::Flags;
-use acx_geom::scan::{scan_columns, PairedColumns, ScanScratch};
-use acx_geom::{ObjectId, Scalar, SpatialQuery, OBJECT_ID_BYTES};
-use acx_core::{AdaptiveClusterIndex, IndexConfig, QueryScratch, ScanMode};
+use acx_bench::{adapted_ac, recorded_strategies};
+use acx_core::candidates::CandidateSet;
+use acx_core::{IndexConfig, QueryScratch, ScanMode, Signature, StatsDelta};
+use acx_geom::scan::{scan_candidates, scan_columns, PairedColumns, ScanScratch};
+use acx_geom::{Scalar, SpatialQuery, OBJECT_ID_BYTES};
 use acx_workloads::{UniformWorkload, Workload, WorkloadConfig};
 
 /// Median-of-repeats nanoseconds per query for one closure.
@@ -101,14 +117,77 @@ fn kernel_matrix(sizes: &[usize], dims_list: &[usize], repeats: usize) -> Vec<Ke
     rows
 }
 
+struct CandidateRow {
+    dims: usize,
+    division_factor: u8,
+    candidates: usize,
+    kernel_ns: f64,
+    scalar_ns: f64,
+}
+
+/// One cluster's candidate loop in isolation: the bitmask kernel vs the
+/// candidate-at-a-time scalar oracle, across division factors pushing
+/// `f²·Nd` from the paper's 160 (f = 4, 16 d) past 1k.
+fn candidate_matrix(configs: &[(usize, u8)], repeats: usize) -> Vec<CandidateRow> {
+    let mut rows = Vec::new();
+    for &(dims, f) in configs {
+        let cands = CandidateSet::generate(&Signature::root(dims), f);
+        let workload = UniformWorkload::with_max_length(
+            WorkloadConfig::new(dims, 1024, 0xCA7D),
+            0.3,
+        );
+        let mut rng = WorkloadConfig::new(dims, 1024, 0xCA7D).rng();
+        let queries: Vec<SpatialQuery> = (0..64)
+            .map(|k| match k % 4 {
+                0 => SpatialQuery::intersection(workload.sample_window(&mut rng, 0.3)),
+                1 => SpatialQuery::containment(workload.sample_window(&mut rng, 0.5)),
+                2 => SpatialQuery::enclosure(workload.sample_window(&mut rng, 0.1)),
+                _ => SpatialQuery::point_enclosing(workload.sample_point(&mut rng)),
+            })
+            .collect();
+
+        let mut scratch = ScanScratch::new();
+        let kernel_ns = time_per_query(queries.len(), repeats, |k| {
+            scan_candidates(&queries[k], &cands.columns(), &mut scratch) as u64
+        });
+        let scalar_ns = time_per_query(queries.len(), repeats, |k| {
+            let mut acc = 0u64;
+            for ci in 0..cands.len() {
+                acc += cands.matches_query(ci, &queries[k]) as u64;
+            }
+            acc
+        });
+        println!(
+            "cands   d={dims} f={f} ({:>5} candidates): kernel {kernel_ns:>9.0} ns/q  scalar {scalar_ns:>9.0} ns/q  speedup {:.2}x",
+            cands.len(),
+            scalar_ns / kernel_ns
+        );
+        rows.push(CandidateRow {
+            dims,
+            division_factor: f,
+            candidates: cands.len(),
+            kernel_ns,
+            scalar_ns,
+        });
+    }
+    rows
+}
+
 struct IndexRow {
-    mode: &'static str,
+    mode: String,
     ns_per_query: f64,
 }
 
+struct RecordedRow {
+    mode: &'static str,
+    recorded_ns: f64,
+    execute_ns: f64,
+}
+
 /// The acceptance workload: §7.2 point-enclosing queries on an adapted
-/// 16-d index, columnar kernel vs scalar oracle.
-fn index_point_enclosing(objects: usize, repeats: usize) -> Vec<IndexRow> {
+/// 16-d index through the read-only path, columnar (with the CLI's zone
+/// toggle) vs scalar oracle.
+fn index_point_enclosing(objects: usize, repeats: usize, flags: &Flags) -> Vec<IndexRow> {
     let dims = 16;
     let workload =
         UniformWorkload::with_max_length(WorkloadConfig::new(dims, objects, 0x5EED), 0.3);
@@ -119,19 +198,22 @@ fn index_point_enclosing(objects: usize, repeats: usize) -> Vec<IndexRow> {
         .collect();
 
     let mut rows = Vec::new();
-    for (mode, label) in [
-        (ScanMode::Columnar, "columnar"),
-        (ScanMode::ScalarOracle, "scalar_oracle"),
+    let columnar_cfg = flags.apply_scan_flags(IndexConfig::memory(dims));
+    let columnar_label = match (columnar_cfg.scan_mode, columnar_cfg.zone_maps) {
+        (ScanMode::Columnar, true) => "columnar".to_string(),
+        (ScanMode::Columnar, false) => "columnar_nozones".to_string(),
+        (ScanMode::ScalarOracle, _) => "flagged_oracle".to_string(),
+    };
+    let oracle_cfg = IndexConfig {
+        scan_mode: ScanMode::ScalarOracle,
+        candidate_scan: ScanMode::ScalarOracle,
+        ..IndexConfig::memory(dims)
+    };
+    for (config, label) in [
+        (columnar_cfg, columnar_label),
+        (oracle_cfg, "scalar_oracle".to_string()),
     ] {
-        let mut config = IndexConfig::memory(dims);
-        config.scan_mode = mode;
-        let mut index = AdaptiveClusterIndex::new(config).expect("valid config");
-        for (i, rect) in data.iter().enumerate() {
-            index.insert(ObjectId(i as u32), rect.clone()).unwrap();
-        }
-        for q in &queries {
-            index.execute(q); // adapt to the stable clustering
-        }
+        let index = adapted_ac(config, &data, &queries);
         let mut scratch = QueryScratch::new();
         let ns = time_per_query(queries.len(), repeats, |k| {
             let metrics = index.query_with(&queries[k], &mut scratch);
@@ -153,10 +235,69 @@ fn index_point_enclosing(objects: usize, repeats: usize) -> Vec<IndexRow> {
     rows
 }
 
+/// Recorded execution at 16 dims, two layers per strategy: the
+/// statistics-recording read phase (`query_recorded_with` through a
+/// reused, cleared delta — what batch workers run) and the full
+/// `execute` (recording plus `apply_stats` plus amortized periodic
+/// reorganization). The current default is compared against its own
+/// scalar-candidate/no-zones mode and the full oracle; the committed
+/// JSON additionally carries the numbers measured at the PR 3 commit
+/// with the same harness for the cross-PR trajectory.
+fn recorded_execute(objects: usize, repeats: usize) -> Vec<RecordedRow> {
+    let dims = 16;
+    let workload =
+        UniformWorkload::with_max_length(WorkloadConfig::new(dims, objects, 0x5EED), 0.3);
+    let data = workload.generate_objects();
+    let mut rng = WorkloadConfig::new(dims, objects, 17).rng();
+    let queries: Vec<SpatialQuery> = (0..256)
+        .map(|_| SpatialQuery::point_enclosing(workload.sample_point(&mut rng)))
+        .collect();
+
+    let mut rows = Vec::new();
+    for (label, config) in recorded_strategies(dims) {
+        let mut index = adapted_ac(config, &data, &queries);
+        let mut scratch = QueryScratch::new();
+        let mut delta = StatsDelta::new();
+        let mut explored = 0u64;
+        for q in &queries {
+            delta.clear();
+            explored += index
+                .query_recorded_with(q, &mut delta, &mut scratch)
+                .stats
+                .clusters_explored;
+        }
+        let recorded_ns = time_per_query(queries.len(), repeats, |k| {
+            delta.clear();
+            let metrics = index.query_recorded_with(&queries[k], &mut delta, &mut scratch);
+            metrics.stats.verified_bytes + scratch.matches().len() as u64
+        });
+        let execute_ns = time_per_query(queries.len(), repeats, |k| {
+            index.execute(&queries[k]).matches.len() as u64
+        });
+        println!(
+            "record  d={dims} n={objects} [{label}]: recorded {recorded_ns:>8.0} ns/q  execute {execute_ns:>8.0} ns/q  ({} clusters, {:.1} explored/q)",
+            index.cluster_count(),
+            explored as f64 / queries.len() as f64
+        );
+        rows.push(RecordedRow {
+            mode: label,
+            recorded_ns,
+            execute_ns,
+        });
+    }
+    println!(
+        "record  execute speedup over scalar-candidate mode: {:.2}x   over oracle: {:.2}x",
+        rows[1].execute_ns / rows[0].execute_ns,
+        rows[2].execute_ns / rows[0].execute_ns
+    );
+    rows
+}
+
 fn main() {
     let flags = Flags::from_env();
     let quick = flags.has("quick");
     let out: String = flags.get("out", "BENCH_scan.json".to_string());
+    let cand_out: String = flags.get("cand-out", "BENCH_candidates.json".to_string());
 
     let (sizes, repeats, index_objects): (Vec<usize>, usize, usize) = if quick {
         (vec![1_000, 4_000], 3, 2_000)
@@ -164,10 +305,17 @@ fn main() {
         (vec![1_000, 10_000, 100_000], 7, 10_000)
     };
     let dims_list = [2usize, 4, 8];
+    let cand_configs: &[(usize, u8)] = if quick {
+        &[(16, 4), (16, 12)]
+    } else {
+        &[(8, 4), (16, 4), (16, 8), (16, 12), (32, 12)]
+    };
 
-    println!("== scan kernel snapshot (columnar vs scalar oracle, single thread) ==");
+    println!("== scan kernel snapshot (bitmask vs scalar oracle, single thread) ==");
     let kernel = kernel_matrix(&sizes, &dims_list, repeats);
-    let index = index_point_enclosing(index_objects, repeats);
+    let cands = candidate_matrix(cand_configs, repeats);
+    let index = index_point_enclosing(index_objects, repeats, &flags);
+    let recorded = recorded_execute(index_objects, repeats);
 
     // Hand-rolled JSON: the workspace is offline, no serde available.
     let mut json = String::from("{\n  \"bench\": \"scan_kernel\",\n");
@@ -195,7 +343,54 @@ fn main() {
         "    \"speedup\": {:.3}",
         index[1].ns_per_query / index[0].ns_per_query
     );
+    json.push_str("  },\n  \"recorded_execute_16d\": {\n");
+    let _ = writeln!(json, "    \"objects\": {index_objects},");
+    for r in &recorded {
+        let _ = writeln!(
+            json,
+            "    \"{}\": {{\"recorded_ns_per_query\": {:.0}, \"execute_ns_per_query\": {:.0}}},",
+            r.mode, r.recorded_ns, r.execute_ns
+        );
+    }
+    let _ = writeln!(
+        json,
+        "    \"execute_speedup_vs_scalar_candidates\": {:.3},",
+        recorded[1].execute_ns / recorded[0].execute_ns
+    );
+    let _ = writeln!(
+        json,
+        "    \"execute_speedup_vs_oracle\": {:.3},",
+        recorded[2].execute_ns / recorded[0].execute_ns
+    );
+    // Measured at commit 63cb979 (PR 3) on this container with the same
+    // harness (256 point-enclosing queries, warmed index, min-of-9):
+    // the cross-PR acceptance reference for recorded execution.
+    json.push_str(
+        "    \"pr3_reference\": {\"commit\": \"63cb979\", \
+         \"n2000\": {\"recorded_ns_per_query\": 8199, \"execute_ns_per_query\": 34915}, \
+         \"n10000\": {\"recorded_ns_per_query\": 13540, \"execute_ns_per_query\": 130534}}\n",
+    );
     json.push_str("  }\n}\n");
     std::fs::write(&out, &json).expect("write benchmark snapshot");
     println!("wrote {out}");
+
+    let mut json = String::from("{\n  \"bench\": \"candidate_kernel\",\n");
+    let _ = writeln!(json, "  \"quick\": {quick},");
+    json.push_str("  \"candidate_matching\": [\n");
+    for (i, r) in cands.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{\"dims\": {}, \"division_factor\": {}, \"candidates\": {}, \"kernel_ns_per_query\": {:.0}, \"scalar_ns_per_query\": {:.0}, \"speedup\": {:.3}}}",
+            r.dims,
+            r.division_factor,
+            r.candidates,
+            r.kernel_ns,
+            r.scalar_ns,
+            r.scalar_ns / r.kernel_ns
+        );
+        json.push_str(if i + 1 == cands.len() { "\n" } else { ",\n" });
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write(&cand_out, &json).expect("write candidate snapshot");
+    println!("wrote {cand_out}");
 }

@@ -9,7 +9,7 @@
 //! ```
 
 use acx_bench::args::Flags;
-use acx_bench::build_ac;
+use acx_bench::{ac_config, build_ac_with};
 use acx_geom::SpatialQuery;
 use acx_storage::StorageScenario;
 use acx_workloads::{calibrate, UniformWorkload, Workload, WorkloadConfig};
@@ -28,7 +28,8 @@ fn main() {
     let extent = calibrate::uniform_query_extent(&workload, 5e-4, seed);
     let mut qrng = WorkloadConfig::new(dims, objects, seed ^ 0xF1E1D).rng();
 
-    let mut index = build_ac(dims, StorageScenario::Memory, &data);
+    let mut index =
+        build_ac_with(flags.apply_scan_flags(ac_config(dims, StorageScenario::Memory)), &data);
     println!(
         "{:>5} {:>8} {:>8} {:>10} {:>8}",
         "step", "merges", "splits", "clusters", "churn%"

@@ -17,8 +17,9 @@ use std::time::Instant;
 
 use acx_baselines::BatchExecute;
 use acx_bench::args::Flags;
-use acx_bench::{build_ac, build_rs, build_ss, run_ac_batch, MethodReport};
+use acx_bench::{ac_config, build_ac_with, build_rs, build_ss, run_ac_batch, MethodReport};
 use acx_geom::{HyperRect, SpatialQuery};
+use acx_core::IndexConfig;
 use acx_storage::StorageScenario;
 use acx_workloads::{
     EventStream, PubSubGenerator, SkewedWorkload, Workload, WorkloadConfig,
@@ -48,13 +49,13 @@ fn qps(queries: usize, elapsed_secs: f64) -> f64 {
 /// adapted clustering (the batch path reaches the identical state
 /// regardless of `threads`).
 fn measure_ac(
-    dims: usize,
+    config: IndexConfig,
     objects: &[HyperRect],
     warmup: &[SpatialQuery],
     measured: &[SpatialQuery],
     threads: usize,
 ) -> MethodReport {
-    let mut index = build_ac(dims, StorageScenario::Memory, objects);
+    let mut index = build_ac_with(config, objects);
     run_ac_batch(&mut index, warmup, measured, threads, objects.len())
 }
 
@@ -82,7 +83,8 @@ fn main() {
     let mut stream = EventStream::with_flexibility(generator, seed ^ 0xF00D, flexibility);
     let warmup = stream.next_batch(warmup_n);
     let measured = stream.next_batch(events);
-    run_workload("pub/sub", dims, &subscriptions, &warmup, &measured, max_threads);
+    let ac_cfg = flags.apply_scan_flags(ac_config(dims, StorageScenario::Memory));
+    run_workload("pub/sub", &ac_cfg, &subscriptions, &warmup, &measured, max_threads);
 
     // Workload 2: skewed objects, point-enclosing events.
     let dims = 16;
@@ -96,24 +98,26 @@ fn main() {
     };
     let warmup = make(&mut qrng, warmup_n);
     let measured = make(&mut qrng, events);
-    run_workload("skewed", dims, &data, &warmup, &measured, max_threads);
+    let ac_cfg = flags.apply_scan_flags(ac_config(dims, StorageScenario::Memory));
+    run_workload("skewed", &ac_cfg, &data, &warmup, &measured, max_threads);
 }
 
 fn run_workload(
     name: &str,
-    dims: usize,
+    config: &IndexConfig,
     objects: &[HyperRect],
     warmup: &[SpatialQuery],
     measured: &[SpatialQuery],
     max_threads: usize,
 ) {
+    let dims = config.dims;
     println!("\n-- {name} workload (dims={dims}) --");
 
     let counts = thread_counts(max_threads);
     let mut ac_base = 0.0f64;
     let mut clusters = 0usize;
     for &t in &counts {
-        let report = measure_ac(dims, objects, warmup, measured, t);
+        let report = measure_ac(config.clone(), objects, warmup, measured, t);
         let rate = 1000.0 / report.wall_ms.max(1e-12); // wall_ms is per query
         if t == 1 {
             ac_base = rate;

@@ -12,6 +12,6 @@ pub mod args;
 pub mod runner;
 
 pub use runner::{
-    build_ac, build_rs, build_ss, run_ac, run_ac_batch, run_baseline, ExperimentScale,
-    MethodReport,
+    ac_config, adapted_ac, build_ac, build_ac_with, build_rs, build_ss, recorded_strategies,
+    run_ac, run_ac_batch, run_baseline, ExperimentScale, MethodReport,
 };

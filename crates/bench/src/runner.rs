@@ -55,16 +55,27 @@ pub struct MethodReport {
     pub avg_matches: f64,
 }
 
+/// The paper-default configuration for a storage scenario.
+pub fn ac_config(dims: usize, scenario: StorageScenario) -> IndexConfig {
+    match scenario {
+        StorageScenario::Memory => IndexConfig::memory(dims),
+        StorageScenario::Disk => IndexConfig::disk(dims),
+    }
+}
+
 /// Builds an adaptive clustering index over the objects.
 pub fn build_ac(
     dims: usize,
     scenario: StorageScenario,
     objects: &[HyperRect],
 ) -> AdaptiveClusterIndex {
-    let config = match scenario {
-        StorageScenario::Memory => IndexConfig::memory(dims),
-        StorageScenario::Disk => IndexConfig::disk(dims),
-    };
+    build_ac_with(ac_config(dims, scenario), objects)
+}
+
+/// Builds an adaptive clustering index from an explicit configuration —
+/// the entry point the experiment binaries use to apply CLI kernel
+/// toggles ([`crate::args::Flags::apply_scan_flags`]).
+pub fn build_ac_with(config: IndexConfig, objects: &[HyperRect]) -> AdaptiveClusterIndex {
     let mut index = AdaptiveClusterIndex::new(config).expect("valid config");
     for (i, rect) in objects.iter().enumerate() {
         index
@@ -72,6 +83,52 @@ pub fn build_ac(
             .expect("insertion succeeds");
     }
     index
+}
+
+/// Builds an index and replays `queries` once through `execute` so the
+/// clustering reaches its adapted state before measurement.
+pub fn adapted_ac(
+    config: IndexConfig,
+    objects: &[HyperRect],
+    queries: &[SpatialQuery],
+) -> AdaptiveClusterIndex {
+    let mut index = build_ac_with(config, objects);
+    for q in queries {
+        index.execute(q);
+    }
+    index
+}
+
+/// The three recorded-execution strategies compared by the
+/// `recorded_execute` criterion bench and the `scan_bench` snapshot —
+/// one definition so the two measurements can never drift apart:
+///
+/// * `bitmask_zones` — the default: bitmask member kernel + zone maps +
+///   bitmask candidate kernel;
+/// * `scalar_candidates_nozones` — the PR 3 execution strategy:
+///   columnar members, candidate-at-a-time scalar loop, no zone maps;
+/// * `scalar_oracle` — the all-scalar reference.
+pub fn recorded_strategies(dims: usize) -> [(&'static str, IndexConfig); 3] {
+    let base = IndexConfig::memory(dims);
+    [
+        ("bitmask_zones", base.clone()),
+        (
+            "scalar_candidates_nozones",
+            IndexConfig {
+                candidate_scan: acx_core::ScanMode::ScalarOracle,
+                zone_maps: false,
+                ..base.clone()
+            },
+        ),
+        (
+            "scalar_oracle",
+            IndexConfig {
+                scan_mode: acx_core::ScanMode::ScalarOracle,
+                candidate_scan: acx_core::ScanMode::ScalarOracle,
+                ..base
+            },
+        ),
+    ]
 }
 
 /// Builds an R*-tree over the objects (structure is scenario-independent).

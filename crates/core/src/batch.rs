@@ -16,6 +16,34 @@
 //! with identical reorganization decisions.
 
 use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// A multiplicative hasher for the `u32` cluster-slot keys of
+/// [`StatsDelta::clusters`]: slots are small dense integers, so one
+/// odd-constant multiply (Fibonacci hashing) spreads them perfectly well
+/// and costs a fraction of the default SipHash on the recording hot
+/// path.
+#[derive(Debug, Default, Clone, Copy)]
+pub(crate) struct SlotHasher(u64);
+
+impl Hasher for SlotHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        // Generic fallback (unused by u32 keys, kept for correctness).
+        for &b in bytes {
+            self.0 = (self.0 ^ b as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        }
+    }
+
+    fn write_u32(&mut self, value: u32) {
+        self.0 = (value as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    }
+}
+
+pub(crate) type SlotMap<V> = HashMap<u32, V, BuildHasherDefault<SlotHasher>>;
 
 /// Statistics recorded by [`crate::AdaptiveClusterIndex::query_recorded`]
 /// and applied by [`crate::AdaptiveClusterIndex::apply_stats`].
@@ -30,12 +58,12 @@ use std::collections::HashMap;
 /// produces stale deltas — it splits batches at reorganization
 /// boundaries.
 /// Two deltas compare equal when they hold the same totals and the same
-/// per-cluster increments — used by tests proving that different
-/// execution strategies (columnar vs. scalar verification, parallel vs.
-/// sequential batches) record identical statistics. A cleared, reused
-/// delta may retain zeroed per-cluster entries, so compare freshly
-/// recorded deltas.
-#[derive(Debug, Clone, Default, PartialEq)]
+/// **live** per-cluster increments — used by tests proving that
+/// different execution strategies (columnar vs. scalar verification,
+/// zone maps on or off, parallel vs. sequential batches) record
+/// identical statistics. A cleared, reused delta retains zeroed
+/// per-cluster entries for capacity; they are ignored by equality.
+#[derive(Debug, Clone, Default)]
 pub struct StatsDelta {
     /// Structural epoch of the index when recording started (`None`
     /// until the first query is recorded).
@@ -47,7 +75,46 @@ pub struct StatsDelta {
     /// Full-object bytes of the objects the recorded queries verified.
     pub(crate) full_bytes: u64,
     /// Per-cluster increments, keyed by cluster slot.
-    pub(crate) clusters: HashMap<u32, ClusterDelta>,
+    pub(crate) clusters: SlotMap<ClusterDelta>,
+    /// Slots whose entry has recorded something since the last
+    /// [`StatsDelta::clear`] — the *dirty list*. Clearing and applying a
+    /// delta walk this list instead of the whole map, so a reused delta
+    /// costs O(explored clusters) per query even after it has grown
+    /// entries for every cluster of the index.
+    pub(crate) touched: Vec<u32>,
+}
+
+impl PartialEq for StatsDelta {
+    fn eq(&self, other: &Self) -> bool {
+        if self.epoch != other.epoch
+            || self.queries != other.queries
+            || self.verified_bytes != other.verified_bytes
+            || self.full_bytes != other.full_bytes
+        {
+            return false;
+        }
+        // Dirty entries must agree pairwise; retained zeroed entries and
+        // the order slots were first touched in are capacity, not
+        // content.
+        let mut a = self.touched.clone();
+        let mut b = other.touched.clone();
+        a.sort_unstable();
+        b.sort_unstable();
+        a == b
+            && a.iter().all(|slot| {
+                let (x, y) = (&self.clusters[slot], &other.clusters[slot]);
+                x.q_count == y.q_count && cand_eq(&x.cand_q, &y.cand_q)
+            })
+    }
+}
+
+/// Candidate counter vectors compare equal up to trailing zeros (a
+/// reused delta may have grown its vector beyond another's).
+fn cand_eq(a: &[u32], b: &[u32]) -> bool {
+    let shared = a.len().min(b.len());
+    a[..shared] == b[..shared]
+        && a[shared..].iter().all(|&q| q == 0)
+        && b[shared..].iter().all(|&q| q == 0)
 }
 
 /// Increments destined for one cluster's statistics.
@@ -57,12 +124,15 @@ pub struct StatsDelta {
 /// recording a match is one add — no hashing — and a delta's size stays
 /// O(explored clusters × candidates) regardless of how many queries it
 /// accumulates.
-#[derive(Debug, Clone, Default, PartialEq)]
+#[derive(Debug, Clone, Default)]
 pub(crate) struct ClusterDelta {
     /// Queries whose signature matched the cluster.
     pub(crate) q_count: u64,
     /// Matching-query increments, indexed by candidate position.
     pub(crate) cand_q: Vec<u32>,
+    /// Whether the entry recorded anything since the last clear (its
+    /// slot is then on [`StatsDelta::touched`]).
+    pub(crate) dirty: bool,
 }
 
 impl StatsDelta {
@@ -81,20 +151,28 @@ impl StatsDelta {
         self.queries == 0
     }
 
-    /// Resets the delta for reuse while keeping its allocations: the
-    /// per-cluster map and its dense candidate counter vectors are zeroed
-    /// in place, so a scratch delta reused across sequential queries
-    /// stops allocating once it has seen every explored cluster.
-    /// [`crate::AdaptiveClusterIndex::apply_stats`] skips zeroed entries,
-    /// so retained keys whose cluster was since merged away are harmless.
+    /// Resets the delta for reuse while keeping its allocations: only
+    /// the entries on the dirty list are zeroed (in place, keeping their
+    /// counter vectors), so clearing costs O(explored clusters of the
+    /// recorded queries) — not O(every cluster the delta ever saw) — and
+    /// a scratch delta reused across sequential queries stops allocating
+    /// once it has seen every explored cluster.
+    /// [`crate::AdaptiveClusterIndex::apply_stats`] walks the same dirty
+    /// list, so retained keys whose cluster was since merged away are
+    /// harmless.
     pub fn clear(&mut self) {
         self.epoch = None;
         self.queries = 0;
         self.verified_bytes = 0;
         self.full_bytes = 0;
-        for delta in self.clusters.values_mut() {
+        for slot in self.touched.drain(..) {
+            let delta = self
+                .clusters
+                .get_mut(&slot)
+                .expect("touched slots have entries");
             delta.q_count = 0;
             delta.cand_q.iter_mut().for_each(|q| *q = 0);
+            delta.dirty = false;
         }
     }
 
@@ -118,22 +196,24 @@ impl StatsDelta {
         self.queries += other.queries;
         self.verified_bytes += other.verified_bytes;
         self.full_bytes += other.full_bytes;
-        for (&slot, delta) in &other.clusters {
-            let mine = self.clusters.entry(slot).or_default();
+        for &slot in &other.touched {
+            let delta = &other.clusters[&slot];
+            let mine = self.cluster_mut(slot, delta.cand_q.len());
             mine.q_count += delta.q_count;
-            if mine.cand_q.len() < delta.cand_q.len() {
-                mine.cand_q.resize(delta.cand_q.len(), 0);
-            }
             for (acc, &q) in mine.cand_q.iter_mut().zip(&delta.cand_q) {
-                *acc += q;
+                *acc = acc.saturating_add(q);
             }
         }
     }
 
     /// The increment slot for one cluster, with its counter vector sized
-    /// for `candidates` entries.
+    /// for `candidates` entries; marks the entry dirty.
     pub(crate) fn cluster_mut(&mut self, slot: u32, candidates: usize) -> &mut ClusterDelta {
         let delta = self.clusters.entry(slot).or_default();
+        if !delta.dirty {
+            delta.dirty = true;
+            self.touched.push(slot);
+        }
         if delta.cand_q.len() < candidates {
             delta.cand_q.resize(candidates, 0);
         }
@@ -143,13 +223,27 @@ impl StatsDelta {
 
 impl ClusterDelta {
     pub(crate) fn bump_candidate(&mut self, cand: u32) {
-        self.cand_q[cand as usize] += 1;
+        let q = &mut self.cand_q[cand as usize];
+        *q = q.saturating_add(1);
     }
 
-    /// Whether the entry records nothing — true for entries zeroed by
-    /// [`StatsDelta::clear`] and never touched since.
-    pub(crate) fn is_noop(&self) -> bool {
-        self.q_count == 0 && self.cand_q.iter().all(|&q| q == 0)
+    /// Adds the set bits of a candidate match bitmask (word `k` bit `i`
+    /// = candidate `64·k + i`, as written by
+    /// [`acx_geom::scan::scan_candidates`]) into the counter vector —
+    /// the columnar equivalent of one [`ClusterDelta::bump_candidate`]
+    /// call per set bit, in the same candidate order. Cost is
+    /// proportional to the *matching* candidates (set-bit iteration),
+    /// not the candidate count.
+    pub(crate) fn add_candidate_mask(&mut self, words: &[u64]) {
+        for (chunk, &word) in self.cand_q.chunks_mut(64).zip(words) {
+            let mut bits = word;
+            while bits != 0 {
+                let i = bits.trailing_zeros() as usize;
+                let q = &mut chunk[i];
+                *q = q.saturating_add(1);
+                bits &= bits - 1;
+            }
+        }
     }
 }
 
@@ -241,12 +335,70 @@ mod tests {
         assert_eq!(d.epoch, None);
         assert_eq!(d.verified_bytes, 0);
         assert_eq!(d.full_bytes, 0);
-        // The per-cluster entry survives, zeroed, with its counter vector.
-        assert!(d.clusters[&2].is_noop());
+        // The per-cluster entry survives, zeroed, with its counter
+        // vector, but is off the dirty list.
+        assert!(!d.clusters[&2].dirty);
+        assert!(d.touched.is_empty());
+        assert_eq!(d.clusters[&2].q_count, 0);
+        assert!(d.clusters[&2].cand_q.iter().all(|&q| q == 0));
         assert_eq!(d.clusters[&2].cand_q.len(), 4);
-        // Reuse records into the retained storage.
+        // Reuse records into the retained storage and re-dirties it.
         d.cluster_mut(2, 4).q_count = 1;
-        assert!(!d.clusters[&2].is_noop());
+        assert!(d.clusters[&2].dirty);
+        assert_eq!(d.touched, vec![2]);
+    }
+
+    #[test]
+    fn cleared_delta_compares_equal_to_a_fresh_recording() {
+        // Equality ignores retained zeroed entries: a reused delta that
+        // once saw other clusters equals a fresh delta with the same
+        // live increments.
+        let mut reused = StatsDelta::new();
+        reused.queries = 1;
+        reused.cluster_mut(9, 4).q_count = 1; // later cleared away
+        reused.clear();
+        reused.queries = 2;
+        reused.verified_bytes = 7;
+        reused.cluster_mut(1, 4).q_count = 2;
+        reused.cluster_mut(1, 4).bump_candidate(3);
+        let mut fresh = StatsDelta::new();
+        fresh.queries = 2;
+        fresh.verified_bytes = 7;
+        fresh.cluster_mut(1, 4).q_count = 2;
+        fresh.cluster_mut(1, 4).bump_candidate(3);
+        assert_eq!(reused, fresh);
+        fresh.cluster_mut(1, 4).bump_candidate(0);
+        assert_ne!(reused, fresh);
+    }
+
+    #[test]
+    fn candidate_mask_bits_equal_scalar_bumps() {
+        // 70 candidates: the mask spans two words.
+        let mut via_mask = StatsDelta::new();
+        let mut via_bumps = StatsDelta::new();
+        let words = [0x8000_0000_0000_0401u64, 0b101u64];
+        via_mask.cluster_mut(3, 70).add_candidate_mask(&words);
+        for ci in [0u32, 10, 63, 64, 66] {
+            via_bumps.cluster_mut(3, 70).bump_candidate(ci);
+        }
+        assert_eq!(via_mask.clusters[&3].cand_q, via_bumps.clusters[&3].cand_q);
+    }
+
+    #[test]
+    fn candidate_counters_saturate_not_wrap() {
+        let mut d = StatsDelta::new();
+        d.cluster_mut(0, 2).cand_q[1] = u32::MAX - 1;
+        d.cluster_mut(0, 2).bump_candidate(1);
+        d.cluster_mut(0, 2).bump_candidate(1);
+        assert_eq!(d.clusters[&0].cand_q[1], u32::MAX);
+        d.cluster_mut(0, 2).add_candidate_mask(&[0b10]);
+        assert_eq!(d.clusters[&0].cand_q[1], u32::MAX);
+        // Merging two near-max deltas saturates too.
+        let mut other = StatsDelta::new();
+        other.cluster_mut(0, 2).cand_q[1] = u32::MAX;
+        other.queries = 1;
+        d.merge(&other);
+        assert_eq!(d.clusters[&0].cand_q[1], u32::MAX);
     }
 
     #[test]

@@ -1,108 +1,338 @@
-//! Virtual candidate subclusters (paper §3.2, §4.2).
+//! Virtual candidate subclusters (paper §3.2, §4.2) — stored
+//! column-wise so the candidate loop batches like member verification.
 //!
 //! Every materialized cluster carries a set of *candidate* subclusters —
 //! potential specializations of its signature on a single dimension. Only
 //! their performance indicators (`n` objects, `q` matching queries) are
 //! maintained; a candidate becomes a real cluster only when the
 //! materialization benefit function selects it.
+//!
+//! ## Structure-of-arrays layout
+//!
+//! Per recorded query, every explored cluster checks **all** of its
+//! `≈ f²·Nd` candidates against the query — the same shape as member
+//! verification, and (after the columnar member kernel) the dominant
+//! cost of recorded execution at high dimensionality. [`CandidateSet`]
+//! therefore stores candidates as contiguous columns, grouped by their
+//! specialized dimension:
+//!
+//! * four bound columns (`start_lo`, `start_reach`, `end_lo`,
+//!   `end_reach`) shaped exactly like object coordinate columns, and
+//! * parallel counter columns (`n`, `q`, `q_eff`) addressed by candidate
+//!   index — the `q` counters the survivors bitmask of
+//!   [`acx_geom::scan::scan_candidates`] drives.
+//!
+//! `*_reach` is the variation interval's upper bound pre-adjusted for
+//! open intervals: `hi` when closed, [`f32::next_down`]`(hi)` when open.
+//! For finite `f32` this encodes the half-open semantics losslessly —
+//! `contains(v) ⇔ lo ≤ v ≤ reach` and `can_reach(x) ⇔ reach ≥ x` — so
+//! both the batch kernel and the scalar oracle are single two-sided
+//! comparisons, bit-identical to the [`SigInterval`] predicates.
+//!
+//! Candidate counters saturate instead of wrapping: a `u32` query
+//! counter that hits `u32::MAX` stays pinned there (the benefit
+//! functions only compare magnitudes, so saturation is benign; wrapping
+//! would invert a reorganization decision).
 
+use acx_geom::scan::CandidateColumns;
 use acx_geom::{Scalar, SpatialQuery};
 
 use crate::signature::{SigInterval, Signature};
 
-/// A candidate subcluster: specialization `(i, j)` of dimension `dim`
-/// with cached subintervals, plus its two performance indicators.
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub struct Candidate {
+/// Largest value a [`SigInterval`] contains: its upper bound when
+/// closed, the next `f32` below when open (exact for finite bounds).
+#[inline]
+fn reach_of(iv: &SigInterval) -> Scalar {
+    if iv.hi_open() {
+        iv.hi().next_down()
+    } else {
+        iv.hi()
+    }
+}
+
+/// The identity of one candidate: specialization `(i, j)` of dimension
+/// `dim`, materialized on demand from the [`CandidateSet`] columns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CandidateId {
     /// Specialized dimension.
     pub dim: u16,
     /// Index of the start subinterval (`0..f`).
     pub i: u8,
     /// Index of the end subinterval (`0..f`).
     pub j: u8,
-    /// Cached start variation subinterval.
-    pub start: SigInterval,
-    /// Cached end variation subinterval.
-    pub end: SigInterval,
-    /// Number of member objects of the parent qualifying for the candidate.
-    pub n: u32,
-    /// Number of queries matching the candidate signature since the last
-    /// statistics epoch.
-    pub q: u32,
-    /// Exponentially decayed query count from previous epochs (smooths the
-    /// access-probability estimate across reorganization periods).
-    pub q_eff: f64,
 }
 
-impl Candidate {
+/// The membership bounds of one candidate, copied out of the columns —
+/// used by reorganization while the set itself is mutably borrowed.
+#[derive(Debug, Clone, Copy)]
+pub struct CandidateBounds {
+    dim: usize,
+    start_lo: Scalar,
+    start_reach: Scalar,
+    end_lo: Scalar,
+    end_reach: Scalar,
+}
+
+impl CandidateBounds {
     /// Whether an object *that already satisfies the parent signature*
-    /// also satisfies this candidate (only the specialized dimension needs
-    /// to be checked).
+    /// also satisfies this candidate (only the specialized dimension
+    /// needs to be checked).
     #[inline]
     pub fn accepts_member(&self, flat: &[Scalar]) -> bool {
-        let d = self.dim as usize;
+        let a = flat[2 * self.dim];
+        let b = flat[2 * self.dim + 1];
+        self.start_lo <= a && a <= self.start_reach && self.end_lo <= b && b <= self.end_reach
+    }
+}
+
+/// The candidate subclusters of one materialized cluster, stored as
+/// dimension-grouped columns (see the module docs).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CandidateSet {
+    /// Candidate range per dimension: dimension `d` owns candidates
+    /// `dim_offsets[d] .. dim_offsets[d + 1]`. Length `dims + 1`.
+    dim_offsets: Vec<u32>,
+    /// Specialized dimension per candidate (redundant with the offsets,
+    /// kept for O(1) per-candidate access).
+    dim: Vec<u16>,
+    /// Start subinterval index per candidate.
+    sub_i: Vec<u8>,
+    /// End subinterval index per candidate.
+    sub_j: Vec<u8>,
+    /// Inclusive lower bound of the start variation subinterval.
+    start_lo: Vec<Scalar>,
+    /// Largest value the start variation subinterval contains.
+    start_reach: Vec<Scalar>,
+    /// Inclusive lower bound of the end variation subinterval.
+    end_lo: Vec<Scalar>,
+    /// Largest value the end variation subinterval contains.
+    end_reach: Vec<Scalar>,
+    /// Member objects of the parent qualifying for each candidate.
+    n: Vec<u32>,
+    /// Queries matching each candidate since the last statistics epoch
+    /// (saturating).
+    q: Vec<u32>,
+    /// Exponentially decayed query count from previous epochs (smooths
+    /// the access-probability estimate across reorganization periods).
+    q_eff: Vec<f64>,
+}
+
+impl CandidateSet {
+    /// Generates the candidate set of a cluster signature: for each
+    /// dimension, every feasible `(i, j)` combination of `f` start/end
+    /// subintervals (paper §4.2). Candidate counters start at zero.
+    pub fn generate(sig: &Signature, f: u8) -> Self {
+        let cap = sig.dims() * (f as usize * (f as usize + 1)) / 2;
+        let mut set = Self {
+            dim_offsets: Vec::with_capacity(sig.dims() + 1),
+            dim: Vec::with_capacity(cap),
+            sub_i: Vec::with_capacity(cap),
+            sub_j: Vec::with_capacity(cap),
+            start_lo: Vec::with_capacity(cap),
+            start_reach: Vec::with_capacity(cap),
+            end_lo: Vec::with_capacity(cap),
+            end_reach: Vec::with_capacity(cap),
+            n: Vec::with_capacity(cap),
+            q: Vec::with_capacity(cap),
+            q_eff: Vec::with_capacity(cap),
+        };
+        set.dim_offsets.push(0);
+        for d in 0..sig.dims() {
+            let ds = sig.dim(d);
+            for i in 0..f {
+                for j in 0..f {
+                    if !sig.combination_feasible(d, f, i, j) {
+                        continue;
+                    }
+                    let start = ds.start.subdivide(f, i);
+                    let end = ds.end.subdivide(f, j);
+                    set.dim.push(d as u16);
+                    set.sub_i.push(i);
+                    set.sub_j.push(j);
+                    set.start_lo.push(start.lo());
+                    set.start_reach.push(reach_of(&start));
+                    set.end_lo.push(end.lo());
+                    set.end_reach.push(reach_of(&end));
+                    set.n.push(0);
+                    set.q.push(0);
+                    set.q_eff.push(0.0);
+                }
+            }
+            set.dim_offsets.push(set.dim.len() as u32);
+        }
+        set
+    }
+
+    /// Number of candidates.
+    pub fn len(&self) -> usize {
+        self.dim.len()
+    }
+
+    /// Whether the set holds no candidates.
+    pub fn is_empty(&self) -> bool {
+        self.dim.is_empty()
+    }
+
+    /// Number of dimensions the candidates specialize.
+    pub fn dims(&self) -> usize {
+        self.dim_offsets.len() - 1
+    }
+
+    /// The bound columns as the batch kernel's borrowed view.
+    pub fn columns(&self) -> CandidateColumns<'_> {
+        CandidateColumns::new(
+            &self.start_lo,
+            &self.start_reach,
+            &self.end_lo,
+            &self.end_reach,
+            &self.dim_offsets,
+        )
+    }
+
+    /// The identity of candidate `ci`.
+    pub fn id(&self, ci: usize) -> CandidateId {
+        CandidateId {
+            dim: self.dim[ci],
+            i: self.sub_i[ci],
+            j: self.sub_j[ci],
+        }
+    }
+
+    /// The membership bounds of candidate `ci`, copied out.
+    pub fn bounds(&self, ci: usize) -> CandidateBounds {
+        CandidateBounds {
+            dim: self.dim[ci] as usize,
+            start_lo: self.start_lo[ci],
+            start_reach: self.start_reach[ci],
+            end_lo: self.end_lo[ci],
+            end_reach: self.end_reach[ci],
+        }
+    }
+
+    /// Qualifying-member count of candidate `ci`.
+    pub fn n(&self, ci: usize) -> u32 {
+        self.n[ci]
+    }
+
+    /// Matching-query count of candidate `ci` in the current epoch.
+    pub fn q(&self, ci: usize) -> u32 {
+        self.q[ci]
+    }
+
+    /// Decayed matching-query history of candidate `ci`.
+    pub fn q_eff(&self, ci: usize) -> f64 {
+        self.q_eff[ci]
+    }
+
+    /// Whether an object *that already satisfies the parent signature*
+    /// also satisfies candidate `ci`.
+    #[inline]
+    pub fn accepts_member(&self, ci: usize, flat: &[Scalar]) -> bool {
+        let d = self.dim[ci] as usize;
         let a = flat[2 * d];
         let b = flat[2 * d + 1];
-        self.start.contains(a) && self.end.contains(b)
+        self.start_lo[ci] <= a
+            && a <= self.start_reach[ci]
+            && self.end_lo[ci] <= b
+            && b <= self.end_reach[ci]
     }
 
     /// Whether a query *that already matches the parent signature* also
-    /// matches this candidate (only the specialized dimension is checked).
+    /// matches candidate `ci` (only the specialized dimension is
+    /// checked) — the scalar oracle of
+    /// [`acx_geom::scan::scan_candidates`], same comparisons in the same
+    /// order.
     #[inline]
-    pub fn matches_query(&self, query: &SpatialQuery) -> bool {
-        let d = self.dim as usize;
+    pub fn matches_query(&self, ci: usize, query: &SpatialQuery) -> bool {
+        let d = self.dim[ci] as usize;
         match query {
             SpatialQuery::Intersection(w) => {
                 let q = w.interval(d);
-                self.start.lo() <= q.hi() && self.end.can_reach(q.lo())
+                self.start_lo[ci] <= q.hi() && self.end_reach[ci] >= q.lo()
             }
             SpatialQuery::Containment(w) => {
                 let q = w.interval(d);
-                self.start.can_reach(q.lo()) && self.end.lo() <= q.hi()
+                self.end_lo[ci] <= q.hi() && self.start_reach[ci] >= q.lo()
             }
             SpatialQuery::Enclosure(w) => {
                 let q = w.interval(d);
-                self.start.lo() <= q.lo() && self.end.can_reach(q.hi())
+                self.start_lo[ci] <= q.lo() && self.end_reach[ci] >= q.hi()
             }
             SpatialQuery::PointEnclosing(p) => {
                 let v = p[d];
-                self.start.lo() <= v && self.end.can_reach(v)
+                self.start_lo[ci] <= v && self.end_reach[ci] >= v
             }
         }
     }
 
-    /// Materializes the candidate's full signature.
-    pub fn signature(&self, parent: &Signature, f: u8) -> Signature {
-        parent.specialize(self.dim as usize, f, self.i, self.j)
+    /// Counts a new member of the parent cluster into every candidate
+    /// accepting it.
+    pub fn record_member(&mut self, flat: &[Scalar]) {
+        self.adjust_member(flat, true);
+    }
+
+    /// Removes a departing member of the parent cluster from every
+    /// candidate accepting it.
+    pub fn unrecord_member(&mut self, flat: &[Scalar]) {
+        self.adjust_member(flat, false);
+    }
+
+    fn adjust_member(&mut self, flat: &[Scalar], add: bool) {
+        for d in 0..self.dims() {
+            let a = flat[2 * d];
+            let b = flat[2 * d + 1];
+            let run = self.dim_offsets[d] as usize..self.dim_offsets[d + 1] as usize;
+            for ci in run {
+                let accepts = self.start_lo[ci] <= a
+                    && a <= self.start_reach[ci]
+                    && self.end_lo[ci] <= b
+                    && b <= self.end_reach[ci];
+                if accepts {
+                    if add {
+                        self.n[ci] += 1;
+                    } else {
+                        debug_assert!(self.n[ci] > 0);
+                        self.n[ci] -= 1;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Adds `inc` matching queries to candidate `ci`, saturating at
+    /// `u32::MAX` instead of wrapping.
+    pub fn add_q(&mut self, ci: usize, inc: u32) {
+        self.q[ci] = self.q[ci].saturating_add(inc);
+    }
+
+    /// Adds a whole per-candidate increment vector (saturating) — the
+    /// branch-free bulk form [`crate::StatsDelta`] application uses.
+    /// `incs` may be shorter than the set; missing entries add nothing.
+    pub fn add_q_slice(&mut self, incs: &[u32]) {
+        for (q, &inc) in self.q.iter_mut().zip(incs) {
+            *q = q.saturating_add(inc);
+        }
+    }
+
+    /// Closes the statistics epoch: folds each candidate's `q` into its
+    /// decayed history with weight `gamma` and resets the epoch counter.
+    pub fn decay(&mut self, gamma: f64) {
+        for (q_eff, q) in self.q_eff.iter_mut().zip(self.q.iter_mut()) {
+            *q_eff = gamma * *q_eff + *q as f64;
+            *q = 0;
+        }
+    }
+
+    /// Materializes the full signature of candidate `ci`.
+    pub fn signature(&self, ci: usize, parent: &Signature, f: u8) -> Signature {
+        parent.specialize(self.dim[ci] as usize, f, self.sub_i[ci], self.sub_j[ci])
     }
 }
 
-/// Generates the candidate set of a cluster signature: for each dimension,
-/// every feasible `(i, j)` combination of `f` start/end subintervals
-/// (paper §4.2). Candidate counters start at zero.
-pub fn generate_candidates(sig: &Signature, f: u8) -> Vec<Candidate> {
-    let mut out = Vec::with_capacity(sig.dims() * (f as usize * (f as usize + 1)) / 2);
-    for d in 0..sig.dims() {
-        let ds = sig.dim(d);
-        for i in 0..f {
-            for j in 0..f {
-                if !sig.combination_feasible(d, f, i, j) {
-                    continue;
-                }
-                out.push(Candidate {
-                    dim: d as u16,
-                    i,
-                    j,
-                    start: ds.start.subdivide(f, i),
-                    end: ds.end.subdivide(f, j),
-                    n: 0,
-                    q: 0,
-                    q_eff: 0.0,
-                });
-            }
-        }
-    }
-    out
+/// Generates the candidate set of a cluster signature — see
+/// [`CandidateSet::generate`].
+pub fn generate_candidates(sig: &Signature, f: u8) -> CandidateSet {
+    CandidateSet::generate(sig, f)
 }
 
 #[cfg(test)]
@@ -123,6 +353,7 @@ mod tests {
         assert_eq!(cands.len(), 16 * 10);
         // §6: between 10·Nd and 16·Nd candidates per cluster.
         assert!(cands.len() >= 10 * 16 && cands.len() <= 16 * 16);
+        assert_eq!(cands.dims(), 16);
     }
 
     #[test]
@@ -135,25 +366,62 @@ mod tests {
     }
 
     #[test]
+    fn dim_offsets_partition_the_set() {
+        let sig = Signature::root(3).specialize(1, 4, 0, 3);
+        let cands = generate_candidates(&sig, 4);
+        for d in 0..cands.dims() {
+            let cols = cands.columns();
+            assert_eq!(cols.dims(), 3);
+            for ci in cands.dim_offsets[d] as usize..cands.dim_offsets[d + 1] as usize {
+                assert_eq!(cands.id(ci).dim as usize, d);
+            }
+        }
+        assert_eq!(*cands.dim_offsets.last().unwrap() as usize, cands.len());
+    }
+
+    fn find(cands: &CandidateSet, dim: u16, i: u8, j: u8) -> usize {
+        (0..cands.len())
+            .find(|&ci| {
+                let id = cands.id(ci);
+                id.dim == dim && id.i == i && id.j == j
+            })
+            .expect("candidate exists")
+    }
+
+    #[test]
     fn accepts_member_checks_only_specialized_dimension() {
         let sig = Signature::root(2);
         let cands = generate_candidates(&sig, 4);
         // Candidate: d0, starts in [0,0.25), ends in [0,0.25).
-        let c = cands
-            .iter()
-            .find(|c| c.dim == 0 && c.i == 0 && c.j == 0)
-            .unwrap();
-        assert!(c.accepts_member(&rect(&[0.1, 0.9], &[0.2, 1.0]).to_flat()));
-        assert!(!c.accepts_member(&rect(&[0.1, 0.9], &[0.3, 1.0]).to_flat()));
+        let c = find(&cands, 0, 0, 0);
+        assert!(cands.accepts_member(c, &rect(&[0.1, 0.9], &[0.2, 1.0]).to_flat()));
+        assert!(!cands.accepts_member(c, &rect(&[0.1, 0.9], &[0.3, 1.0]).to_flat()));
+        // The copied-out bounds agree.
+        assert!(cands.bounds(c).accepts_member(&rect(&[0.1, 0.9], &[0.2, 1.0]).to_flat()));
+        assert!(!cands.bounds(c).accepts_member(&rect(&[0.1, 0.9], &[0.3, 1.0]).to_flat()));
+    }
+
+    #[test]
+    fn open_bound_boundary_is_excluded_exactly() {
+        // d0 candidate (0,0): starts and ends vary in [0, 0.25) — an
+        // object touching 0.25 must be rejected despite the closed
+        // `reach` encoding.
+        let sig = Signature::root(1);
+        let cands = generate_candidates(&sig, 4);
+        let c = find(&cands, 0, 0, 0);
+        assert!(cands.accepts_member(c, &[0.0, 0.2499]));
+        assert!(!cands.accepts_member(c, &[0.0, 0.25]));
+        assert!(cands.accepts_member(c, &[0.0, 0.25f32.next_down()]));
     }
 
     #[test]
     fn candidate_signature_equals_specialization() {
         let sig = Signature::root(3);
         let cands = generate_candidates(&sig, 4);
-        for c in cands.iter().take(5) {
-            let expected = sig.specialize(c.dim as usize, 4, c.i, c.j);
-            assert_eq!(c.signature(&sig, 4), expected);
+        for ci in 0..5 {
+            let id = cands.id(ci);
+            let expected = sig.specialize(id.dim as usize, 4, id.i, id.j);
+            assert_eq!(cands.signature(ci, &sig, 4), expected);
         }
     }
 
@@ -167,18 +435,43 @@ mod tests {
             SpatialQuery::enclosure(rect(&[0.4, 0.4], &[0.45, 0.45])),
             SpatialQuery::point_enclosing(vec![0.3, 0.7]),
         ];
-        for c in &cands {
-            let full = c.signature(&sig, 4);
+        for ci in 0..cands.len() {
+            let full = cands.signature(ci, &sig, 4);
             for q in &queries {
                 assert_eq!(
-                    c.matches_query(q),
+                    cands.matches_query(ci, q),
                     full.matches_query(q),
-                    "candidate d{} ({},{}) vs query {q:?}",
-                    c.dim,
-                    c.i,
-                    c.j
+                    "candidate {:?} vs query {q:?}",
+                    cands.id(ci)
                 );
             }
+        }
+    }
+
+    #[test]
+    fn kernel_mask_agrees_with_scalar_oracle() {
+        use acx_geom::scan::{scan_candidates, ScanScratch, BLOCK};
+        // A specialized signature in 3 dims; boundary-coincident query
+        // edges on the f = 4 grid.
+        let sig = Signature::root(3).specialize(2, 4, 1, 3);
+        let cands = generate_candidates(&sig, 4);
+        let queries = [
+            SpatialQuery::intersection(rect(&[0.25, 0.0, 0.5], &[0.5, 0.25, 0.75])),
+            SpatialQuery::containment(rect(&[0.0, 0.25, 0.25], &[0.75, 1.0, 1.0])),
+            SpatialQuery::enclosure(rect(&[0.25, 0.5, 0.6], &[0.25, 0.5, 0.9])),
+            SpatialQuery::point_enclosing(vec![0.25, 0.75, 0.5]),
+            SpatialQuery::point_enclosing(vec![0.0, 1.0, 0.9999]),
+        ];
+        let mut scratch = ScanScratch::new();
+        for q in &queries {
+            let matched = scan_candidates(q, &cands.columns(), &mut scratch);
+            let mut want = 0usize;
+            for ci in 0..cands.len() {
+                let bit = scratch.mask_words()[ci / BLOCK] >> (ci % BLOCK) & 1 == 1;
+                assert_eq!(bit, cands.matches_query(ci, q), "candidate {ci} on {q:?}");
+                want += cands.matches_query(ci, q) as usize;
+            }
+            assert_eq!(matched, want);
         }
     }
 
@@ -190,12 +483,127 @@ mod tests {
     }
 
     #[test]
-    fn counters_start_at_zero() {
+    fn counters_start_at_zero_and_members_roundtrip() {
         let sig = Signature::root(2);
-        for c in generate_candidates(&sig, 4) {
-            assert_eq!(c.n, 0);
-            assert_eq!(c.q, 0);
-            assert_eq!(c.q_eff, 0.0);
+        let mut cands = generate_candidates(&sig, 4);
+        for ci in 0..cands.len() {
+            assert_eq!(cands.n(ci), 0);
+            assert_eq!(cands.q(ci), 0);
+            assert_eq!(cands.q_eff(ci), 0.0);
+        }
+        let flat = rect(&[0.1, 0.6], &[0.2, 0.9]).to_flat();
+        cands.record_member(&flat);
+        let total: u32 = (0..cands.len()).map(|ci| cands.n(ci)).sum();
+        // Exactly one accepting candidate per dimension (§4.2 cells).
+        assert_eq!(total, 2);
+        cands.unrecord_member(&flat);
+        assert!((0..cands.len()).all(|ci| cands.n(ci) == 0));
+    }
+
+    #[test]
+    fn q_counters_saturate_instead_of_wrapping() {
+        let sig = Signature::root(1);
+        let mut cands = generate_candidates(&sig, 2);
+        cands.add_q(0, u32::MAX - 1);
+        cands.add_q(0, 5);
+        assert_eq!(cands.q(0), u32::MAX, "increment must saturate");
+        cands.add_q(0, 1);
+        assert_eq!(cands.q(0), u32::MAX, "saturated counter stays pinned");
+        // Decay folds the saturated value into history and reopens the
+        // epoch counter.
+        cands.decay(0.5);
+        assert_eq!(cands.q(0), 0);
+        assert_eq!(cands.q_eff(0), u32::MAX as f64);
+    }
+
+    #[test]
+    fn decay_folds_and_resets() {
+        let sig = Signature::root(1);
+        let mut cands = generate_candidates(&sig, 2);
+        cands.add_q(1, 10);
+        cands.decay(0.5);
+        assert_eq!(cands.q(1), 0);
+        assert_eq!(cands.q_eff(1), 10.0);
+        cands.add_q(1, 4);
+        cands.decay(0.5);
+        assert_eq!(cands.q_eff(1), 9.0);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use acx_geom::scan::{scan_candidates, ScanScratch, BLOCK};
+    use acx_geom::HyperRect;
+    use proptest::prelude::*;
+
+    /// Grid-snapped coordinate so query edges coincide with the f = 4
+    /// subdivision boundaries constantly.
+    fn coord() -> impl Strategy<Value = Scalar> {
+        (0u8..=8).prop_map(|k| k as Scalar / 8.0)
+    }
+
+    proptest! {
+        /// The candidate bitmask kernel equals the scalar oracle for
+        /// 1–8 dimensions, both division factors, all four query kinds,
+        /// and signatures specialized to produce open and closed
+        /// variation intervals — including boundary-coincident query
+        /// edges.
+        #[test]
+        fn candidate_kernel_equals_scalar_oracle(
+            dims in 1usize..=8,
+            f in prop_oneof![Just(2u8), Just(4u8)],
+            spec_dim in 0usize..8,
+            spec_i in 0u8..4,
+            spec_j in 0u8..4,
+            pairs in prop::collection::vec((coord(), coord()), 8),
+            kind in 0usize..4,
+        ) {
+            let spec_dim = spec_dim % dims;
+            let (spec_i, spec_j) = (spec_i % f, spec_j % f);
+            let sig = if spec_i <= spec_j {
+                Signature::root(dims).specialize(spec_dim, f, spec_i, spec_j)
+            } else {
+                Signature::root(dims)
+            };
+            let cands = CandidateSet::generate(&sig, f);
+            prop_assert!(!cands.is_empty(), "every signature yields candidates");
+
+            let mut lo = Vec::with_capacity(dims);
+            let mut hi = Vec::with_capacity(dims);
+            for &(a, b) in pairs.iter().take(dims) {
+                lo.push(a.min(b));
+                hi.push(a.max(b));
+            }
+            let w = HyperRect::from_bounds(&lo, &hi).unwrap();
+            let query = match kind {
+                0 => SpatialQuery::intersection(w),
+                1 => SpatialQuery::containment(w),
+                2 => SpatialQuery::enclosure(w),
+                _ => SpatialQuery::point_enclosing(lo.clone()),
+            };
+
+            let mut scratch = ScanScratch::new();
+            let matched = scan_candidates(&query, &cands.columns(), &mut scratch);
+            let mut want = 0usize;
+            for ci in 0..cands.len() {
+                let bit = scratch.mask_words()[ci / BLOCK] >> (ci % BLOCK) & 1 == 1;
+                let oracle = cands.matches_query(ci, &query);
+                prop_assert_eq!(bit, oracle, "candidate {} ({:?})", ci, cands.id(ci));
+                // When the parent signature matches the query — the
+                // precondition under which `explore` consults candidates
+                // — the one-dimension check equals full-signature
+                // matching (§3.6 safety).
+                if sig.matches_query(&query) {
+                    prop_assert_eq!(
+                        oracle,
+                        cands.signature(ci, &sig, f).matches_query(&query),
+                        "candidate matching diverged from the full signature"
+                    );
+                }
+                want += oracle as usize;
+            }
+            prop_assert_eq!(matched, want);
         }
     }
 }

@@ -22,6 +22,20 @@ pub enum ScanMode {
     ScalarOracle,
 }
 
+impl std::str::FromStr for ScanMode {
+    type Err = String;
+
+    /// Parses `"columnar"` or `"oracle"`/`"scalar"`/`"scalar-oracle"`
+    /// (case-insensitive) — the spelling used by the bench CLI flags.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "columnar" => Ok(ScanMode::Columnar),
+            "oracle" | "scalar" | "scalar-oracle" | "scalar_oracle" => Ok(ScanMode::ScalarOracle),
+            other => Err(format!("unknown scan mode {other:?}")),
+        }
+    }
+}
+
 /// Configuration of an [`crate::AdaptiveClusterIndex`].
 #[derive(Debug, Clone, PartialEq)]
 pub struct IndexConfig {
@@ -68,6 +82,18 @@ pub struct IndexConfig {
     /// [`ScanMode::Columnar`]; [`ScanMode::ScalarOracle`] selects the
     /// bit-identical object-at-a-time reference path.
     pub scan_mode: ScanMode,
+    /// Candidate-statistics matching strategy of recorded execution:
+    /// [`ScanMode::Columnar`] (default) drives the per-candidate `q`
+    /// increments from the batch kernel's survivors bitmask
+    /// ([`acx_geom::scan::scan_candidates`]);
+    /// [`ScanMode::ScalarOracle`] keeps the candidate-at-a-time loop.
+    /// Bit-identical recorded statistics either way.
+    pub candidate_scan: ScanMode,
+    /// Whether member verification consults the segment store's
+    /// per-block zone maps to skip whole 64-object blocks. Defaults to
+    /// `true`; match sets and every access statistic are identical
+    /// either way (skipped blocks still charge their `dims_checked`).
+    pub zone_maps: bool,
 }
 
 impl IndexConfig {
@@ -86,6 +112,8 @@ impl IndexConfig {
             reorg_cost_horizon: 400.0,
             confidence_z: 2.0,
             scan_mode: ScanMode::Columnar,
+            candidate_scan: ScanMode::Columnar,
+            zone_maps: true,
         }
     }
 

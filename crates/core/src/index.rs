@@ -11,12 +11,12 @@ use std::collections::HashMap;
 use std::path::Path;
 use std::time::Instant;
 
-use acx_geom::scan::{scan_columns, ScanScratch};
+use acx_geom::scan::{scan_candidates, scan_columns, ScanScratch};
 use acx_geom::{HyperRect, ObjectId, Scalar, SpatialQuery, OBJECT_ID_BYTES};
 use acx_storage::{AccessStats, ClusterRecord, CostModel, FileStore, SegmentId, SegmentStore};
 
 use crate::batch::StatsDelta;
-use crate::candidates::{generate_candidates, Candidate};
+use crate::candidates::{generate_candidates, CandidateSet};
 use crate::config::ScanMode;
 use crate::cost::{materialization_benefit, merging_benefit};
 use crate::metrics::{ClusterSnapshot, QueryMetrics, QueryResult, ReorgReport};
@@ -80,7 +80,7 @@ struct Cluster {
     parent: Option<u32>,
     children: Vec<u32>,
     segment: SegmentId,
-    candidates: Vec<Candidate>,
+    candidates: CandidateSet,
     /// Queries whose signature matched this cluster since `epoch_start`.
     q_count: u64,
     /// Global query counter value when this cluster's statistics epoch
@@ -355,11 +355,7 @@ impl AdaptiveClusterIndex {
         let cluster = self.clusters[slot as usize]
             .as_mut()
             .expect("cluster slot is live");
-        for cand in cluster.candidates.iter_mut() {
-            if cand.accepts_member(&flat) {
-                cand.n += 1;
-            }
-        }
+        cluster.candidates.record_member(&flat);
         self.store.push(cluster.segment, id.raw(), &flat);
         self.object_cluster.insert(id.raw(), slot);
         Ok(())
@@ -381,12 +377,7 @@ impl AdaptiveClusterIndex {
             .as_mut()
             .expect("cluster slot is live");
         debug_assert_eq!(cluster.segment, segment);
-        for cand in cluster.candidates.iter_mut() {
-            if cand.accepts_member(&flat) {
-                debug_assert!(cand.n > 0);
-                cand.n -= 1;
-            }
-        }
+        cluster.candidates.unrecord_member(&flat);
         self.store.swap_remove(cluster.segment, idx);
         self.object_cluster.remove(&id.raw());
         Ok(HyperRect::from_flat(&flat)?)
@@ -465,13 +456,24 @@ impl AdaptiveClusterIndex {
             if !cluster.signature.matches_query(query) {
                 continue;
             }
-            // Explore: sequential verification of every member.
+            // Record candidate statistics first: the candidate kernel
+            // and the member kernel share the scratch's bitmask buffer,
+            // so the candidate mask must be consumed into the delta
+            // before member verification overwrites it.
             if let Some(delta) = delta.as_deref_mut() {
                 let recorded = delta.cluster_mut(slot, cluster.candidates.len());
                 recorded.q_count += 1;
-                for (ci, cand) in cluster.candidates.iter().enumerate() {
-                    if cand.matches_query(query) {
-                        recorded.bump_candidate(ci as u32);
+                match self.config.candidate_scan {
+                    ScanMode::Columnar => {
+                        scan_candidates(query, &cluster.candidates.columns(), &mut scratch.scan);
+                        recorded.add_candidate_mask(scratch.scan.mask_words());
+                    }
+                    ScanMode::ScalarOracle => {
+                        for ci in 0..cluster.candidates.len() {
+                            if cluster.candidates.matches_query(ci, query) {
+                                recorded.bump_candidate(ci as u32);
+                            }
+                        }
                     }
                 }
             }
@@ -484,7 +486,11 @@ impl AdaptiveClusterIndex {
             match self.config.scan_mode {
                 ScanMode::Columnar => {
                     let columns = self.store.columns(cluster.segment);
-                    let outcome = scan_columns(query, &columns, &mut scratch.scan);
+                    let outcome = if self.config.zone_maps {
+                        scan_columns(query, &columns, &mut scratch.scan)
+                    } else {
+                        scan_columns(query, &columns.without_zones(), &mut scratch.scan)
+                    };
                     stats.verified_bytes += outcome.verified_bytes();
                     for &idx in scratch.scan.matches() {
                         scratch.matches.push(ObjectId(ids[idx as usize]));
@@ -652,24 +658,19 @@ impl AdaptiveClusterIndex {
         self.epoch_full_bytes += delta.full_bytes;
         let current = delta.epoch.is_none_or(|e| e == self.structure_epoch);
         if current {
-            for (&slot, recorded) in &delta.clusters {
-                // A reused delta (see [`StatsDelta::clear`]) may retain
-                // zeroed entries for clusters of earlier epochs whose
-                // slots were since recycled or freed; they carry nothing.
-                if recorded.is_noop() {
-                    continue;
-                }
+            // Only the dirty list carries increments: a reused delta
+            // (see [`StatsDelta::clear`]) may retain zeroed entries for
+            // clusters of earlier epochs whose slots were since recycled
+            // or freed, but those are not on the list.
+            for &slot in &delta.touched {
+                let recorded = &delta.clusters[&slot];
                 let cluster = self
                     .clusters
                     .get_mut(slot as usize)
                     .and_then(|c| c.as_mut())
                     .expect("delta epoch matches, so its cluster slots are live");
                 cluster.q_count += recorded.q_count;
-                for (ci, &q) in recorded.cand_q.iter().enumerate() {
-                    if q > 0 {
-                        cluster.candidates[ci].q += q;
-                    }
-                }
+                cluster.candidates.add_q_slice(&recorded.cand_q);
             }
         }
         self.queries_since_reorg += delta.queries;
@@ -933,11 +934,7 @@ impl AdaptiveClusterIndex {
             for (i, oid) in ids.iter().enumerate() {
                 let flat = &coords[i * width..(i + 1) * width];
                 debug_assert!(parent.signature.accepts_flat(flat));
-                for cand in parent.candidates.iter_mut() {
-                    if cand.accepts_member(flat) {
-                        cand.n += 1;
-                    }
-                }
+                parent.candidates.record_member(flat);
                 self.store.push(parent.segment, *oid, flat);
                 self.object_cluster.insert(*oid, parent_slot);
             }
@@ -959,18 +956,19 @@ impl AdaptiveClusterIndex {
             let p_c = self.access_probability(cluster);
             let denom = cluster.weight + epoch_len as f64;
             let mut best: Option<(usize, f64)> = None;
-            for (idx, cand) in cluster.candidates.iter().enumerate() {
-                if cand.n == 0 {
+            for idx in 0..cluster.candidates.len() {
+                let n = cluster.candidates.n(idx);
+                if n == 0 {
                     continue;
                 }
                 let p_s = if denom <= 0.0 {
                     0.0
                 } else {
-                    (cand.q_eff + cand.q as f64) / denom
+                    (cluster.candidates.q_eff(idx) + cluster.candidates.q(idx) as f64) / denom
                 };
-                let benefit = materialization_benefit(a, b, c, p_c, p_s, cand.n as usize);
-                let threshold = self.move_margin(cand.n as usize)
-                    + self.confidence_margin(p_s, denom, cand.n as usize);
+                let benefit = materialization_benefit(a, b, c, p_c, p_s, n as usize);
+                let threshold = self.move_margin(n as usize)
+                    + self.confidence_margin(p_s, denom, n as usize);
                 if benefit > threshold && best.is_none_or(|(_, bst)| benefit > bst) {
                     best = Some((idx, benefit));
                 }
@@ -991,12 +989,12 @@ impl AdaptiveClusterIndex {
         let width = 2 * self.config.dims;
         let (new_signature, expected, inherited_q, inherited_q_eff, parent_epoch, parent_weight) = {
             let cluster = self.cluster(slot);
-            let cand = &cluster.candidates[cand_idx];
+            let cands = &cluster.candidates;
             (
-                cand.signature(&cluster.signature, f),
-                cand.n as usize,
-                cand.q as u64,
-                cand.q_eff,
+                cands.signature(cand_idx, &cluster.signature, f),
+                cands.n(cand_idx) as usize,
+                cands.q(cand_idx) as u64,
+                cands.q_eff(cand_idx),
                 cluster.epoch_start,
                 cluster.weight,
             )
@@ -1021,7 +1019,7 @@ impl AdaptiveClusterIndex {
             .as_mut()
             .expect("cluster slot is live");
         let parent_segment = parent_cluster.segment;
-        let cand = parent_cluster.candidates[cand_idx];
+        let cand = parent_cluster.candidates.bounds(cand_idx);
         let mut moved: Vec<(u32, Vec<Scalar>)> = Vec::with_capacity(expected);
         let mut flat = Vec::with_capacity(width);
         let mut idx = 0;
@@ -1036,27 +1034,17 @@ impl AdaptiveClusterIndex {
             }
         }
         for (oid, flat) in &moved {
-            for c in parent_cluster.candidates.iter_mut() {
-                if c.accepts_member(flat) {
-                    debug_assert!(c.n > 0);
-                    c.n -= 1;
-                }
-            }
+            parent_cluster.candidates.unrecord_member(flat);
             self.object_cluster.insert(*oid, new_slot);
-            let _ = oid;
         }
         parent_cluster.children.push(new_slot);
-        debug_assert_eq!(parent_cluster.candidates[cand_idx].n, 0);
+        debug_assert_eq!(parent_cluster.candidates.n(cand_idx), 0);
 
         let new_cluster = self.clusters[new_slot as usize]
             .as_mut()
             .expect("new slot is live");
         for (oid, flat) in &moved {
-            for c in new_cluster.candidates.iter_mut() {
-                if c.accepts_member(flat) {
-                    c.n += 1;
-                }
-            }
+            new_cluster.candidates.record_member(flat);
             self.store.push(new_cluster.segment, *oid, flat);
         }
     }
@@ -1089,10 +1077,7 @@ impl AdaptiveClusterIndex {
             cluster.weight = gamma * cluster.weight + epoch_len;
             cluster.q_count = 0;
             cluster.epoch_start = now;
-            for cand in cluster.candidates.iter_mut() {
-                cand.q_eff = gamma * cand.q_eff + cand.q as f64;
-                cand.q = 0;
-            }
+            cluster.candidates.decay(gamma);
         }
     }
 
@@ -1208,11 +1193,7 @@ impl AdaptiveClusterIndex {
                         format!("object #{oid} appears in two clusters"),
                     )));
                 }
-                for cand in candidates.iter_mut() {
-                    if cand.accepts_member(flat) {
-                        cand.n += 1;
-                    }
-                }
+                candidates.record_member(flat);
             }
             let parent = if parent == NO_PARENT {
                 if root.replace(i as u32).is_some() {
@@ -1300,17 +1281,18 @@ impl AdaptiveClusterIndex {
                 if self.object_cluster.get(&oid) != Some(&(slot as u32)) {
                     return Err(format!("object #{oid} map entry disagrees with cluster {slot}"));
                 }
-                for (ci, cand) in cluster.candidates.iter().enumerate() {
-                    if cand.accepts_member(&flat) {
-                        expected_n[ci] += 1;
+                for (ci, expected) in expected_n.iter_mut().enumerate() {
+                    if cluster.candidates.accepts_member(ci, &flat) {
+                        *expected += 1;
                     }
                 }
             }
-            for (ci, cand) in cluster.candidates.iter().enumerate() {
-                if cand.n != expected_n[ci] {
+            for (ci, &expected) in expected_n.iter().enumerate() {
+                if cluster.candidates.n(ci) != expected {
                     return Err(format!(
                         "cluster {slot} candidate {ci}: n={} but {} members qualify",
-                        cand.n, expected_n[ci]
+                        cluster.candidates.n(ci),
+                        expected
                     ));
                 }
             }

@@ -120,4 +120,23 @@ fn warmed_up_read_path_allocates_nothing_per_query() {
         after - before,
         2 * queries.len()
     );
+
+    // The full recorded `execute` path — candidate matching included —
+    // reuses the index-owned (scratch, delta) pair; once warm, the only
+    // allocation left per query is cloning the returned match vector.
+    // (The warm-up above already ran every query through `execute`.)
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    let mut executed_matches = 0usize;
+    for q in &queries {
+        executed_matches += index.execute(q).matches.len();
+    }
+    let after = ALLOCATIONS.load(Ordering::Relaxed);
+    assert_eq!(executed_matches, warm_matches, "test premise: same work");
+    assert!(
+        (after - before) as usize <= queries.len(),
+        "warmed-up recorded execute allocated {} times across {} queries \
+         (expected at most one match-vector clone each)",
+        after - before,
+        queries.len()
+    );
 }

@@ -1,4 +1,5 @@
-//! Columnar (dimension-major) batch verification kernel.
+//! Columnar (dimension-major) batch verification kernel over `u64`
+//! survivors bitmasks.
 //!
 //! Sequential verification of a whole segment is the hot loop of the
 //! system (paper §3.6, Fig. 5): the clustering bet only pays off if
@@ -8,12 +9,37 @@
 //! provides the batch counterpart over a *dimension-major* (SoA) layout:
 //! one contiguous `lo` column and one `hi` column per dimension.
 //!
-//! The kernel tests a whole block of objects against one query dimension
-//! at a time, keeping a survivors bitmask (one byte per object) and
-//! updating it in tight branch-free loops the compiler auto-vectorizes.
-//! Objects are processed in blocks of [`BLOCK`] so that a block whose
-//! survivors are exhausted skips its remaining dimensions — the columnar
-//! analogue of the scalar path's per-object early exit.
+//! The kernel tests a whole block of [`BLOCK`] = 64 objects against one
+//! query dimension at a time, keeping the survivors of each block as one
+//! `u64` bitmask (bit `i` = object `i` of the block still matches).
+//! Per dimension the pass bits of the block are packed movemask-style
+//! into a word and ANDed into the mask; survivor counting is a single
+//! `popcount`. A block whose mask reaches zero skips its remaining
+//! dimensions — the columnar analogue of the scalar path's per-object
+//! early exit.
+//!
+//! Three layers build on the same mask machinery:
+//!
+//! * [`scan_columns`] — member verification over any [`ColumnAccess`]
+//!   (the adaptive index's segments, the sequential-scan baseline).
+//! * [`scan_interleaved`] — the same kernel over row-major input
+//!   (R*-tree leaf pages), gathering one block-sized tile per
+//!   (block, dimension) lazily.
+//! * [`scan_candidates`] — one query against *all candidate subclusters*
+//!   of a cluster, dimension-major over [`CandidateColumns`]; every
+//!   candidate is a single two-sided comparison on its own specialized
+//!   dimension, so the result is a match bitmask, not a refinement.
+//!
+//! ## Zone maps
+//!
+//! A [`ColumnAccess`] implementation may additionally expose per-block
+//! min/max bounds per dimension ([`ZoneEntry`], one entry per 64-lane
+//! block). When the entry proves that *every* lane of the block fails
+//! the dimension, the kernel zeroes the block without reading the
+//! columns; when it proves every lane passes, it skips the read and
+//! keeps the mask. Both skips charge exactly the `dims_checked` the full
+//! evaluation would have charged (all surviving lanes inspected this
+//! dimension), so byte accounting stays bit-identical — see below.
 //!
 //! ## Metrics are bit-identical to the scalar path
 //!
@@ -22,18 +48,57 @@
 //! matches). Since an object reaches the check of dimension `d` exactly
 //! when it survived dimensions `0..d`, the total over a segment equals
 //! the sum over dimensions of the number of objects still alive when
-//! that dimension is evaluated — which is precisely what the kernel
-//! accumulates from the mask. Dimensions are evaluated in the same order
-//! (`0, 1, 2, …`) with the same comparisons, so [`ScanOutcome`] totals —
-//! and every byte counter and reorganization decision derived from them —
-//! are bit-identical to object-at-a-time verification.
+//! that dimension is evaluated — which is precisely the sum of mask
+//! popcounts the kernel accumulates. Dimensions are evaluated in the
+//! same order (`0, 1, 2, …`) with the same comparisons (a zone skip only
+//! triggers when the per-lane outcome is implied for every lane), so
+//! [`ScanOutcome`] totals — and every byte counter and reorganization
+//! decision derived from them — are bit-identical to object-at-a-time
+//! verification.
+//!
+//! ## SIMD
+//!
+//! The default pass-word packing is portable: a branch-free compare loop
+//! the compiler auto-vectorizes, followed by a multiply-gather of the
+//! 0/1 bytes into mask bits. The `simd` cargo feature swaps in an
+//! explicit `core::arch::x86_64` SSE path (`cmpleps` + `movmskps`,
+//! baseline on every x86_64, so no runtime detection) producing the same
+//! words bit for bit. (`std::simd` would be preferable but is still
+//! nightly-only; the stable intrinsics express the same kernel.)
 
 use crate::{Scalar, SpatialQuery, OBJECT_ID_BYTES};
 
-/// Objects per kernel block: small enough that a block of rejected
-/// objects stops paying for further dimensions quickly, large enough
-/// that the per-dimension loops vectorize and amortize dispatch.
+/// Objects per kernel block — and lanes per survivors-mask word: small
+/// enough that a block of rejected objects stops paying for further
+/// dimensions quickly, large enough that the per-dimension loops
+/// vectorize and survivor counting is one `popcount`.
 pub const BLOCK: usize = 64;
+
+/// Per-block, per-dimension min/max bounds used to skip whole blocks
+/// without reading their columns (zone maps). Entry `k` of dimension `d`
+/// summarizes lanes `64·k .. 64·(k+1)` of that dimension's columns.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ZoneEntry {
+    /// Minimum of the block's lower bounds.
+    pub min_lo: Scalar,
+    /// Maximum of the block's lower bounds.
+    pub max_lo: Scalar,
+    /// Minimum of the block's upper bounds.
+    pub min_hi: Scalar,
+    /// Maximum of the block's upper bounds.
+    pub max_hi: Scalar,
+}
+
+/// What a [`ZoneEntry`] proves about a block for one query dimension.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ZoneVerdict {
+    /// Every lane of the block fails this dimension.
+    AllFail,
+    /// Every lane of the block passes this dimension.
+    AllPass,
+    /// Inconclusive: the columns must be read.
+    Mixed,
+}
 
 /// Read access to a dimension-major coordinate layout: one `lo` and one
 /// `hi` column per dimension, each holding one scalar per object.
@@ -48,12 +113,22 @@ pub trait ColumnAccess {
     fn lo_col(&self, d: usize) -> &[Scalar];
     /// Upper-bound column of dimension `d`.
     fn hi_col(&self, d: usize) -> &[Scalar];
+    /// Zone-map entry for dimension `d`, 64-lane block `block`, when the
+    /// layout maintains one. `None` (the default) always reads columns.
+    ///
+    /// Entries must summarize exactly lanes `64·block ..
+    /// min(64·(block+1), len)` of the dimension's columns; a stale entry
+    /// breaks the kernel's bit-identical accounting guarantee.
+    fn zone(&self, _d: usize, _block: usize) -> Option<ZoneEntry> {
+        None
+    }
 }
 
 /// Borrowed view over paired columns stored as `[lo0, hi0, lo1, hi1, …]`
 /// — the convention used by `acx_storage::SegmentStore` and the
 /// sequential-scan baseline. Supports sub-ranges so parallel scans can
-/// hand each worker a disjoint slice of every column.
+/// hand each worker a disjoint slice of every column. Carries no zone
+/// maps (sub-ranges are not 64-lane aligned).
 #[derive(Debug, Clone, Copy)]
 pub struct PairedColumns<'a> {
     cols: &'a [Vec<Scalar>],
@@ -117,17 +192,19 @@ impl ScanOutcome {
     }
 }
 
-/// Reusable scan state: the survivors bitmask, the match index buffer,
-/// per-dimension query bounds, and transpose buffers for interleaved
-/// inputs. Allocations grow to the largest scanned segment and are then
-/// reused, so a warmed-up scratch performs no allocation per scan.
+/// Reusable scan state: the survivors bitmask (one `u64` word per
+/// [`BLOCK`] lanes), the match index buffer, per-dimension query bounds,
+/// and transpose buffers for interleaved inputs. Allocations grow to the
+/// largest scanned segment and are then reused, so a warmed-up scratch
+/// performs no allocation per scan.
 #[derive(Debug, Default)]
 pub struct ScanScratch {
-    /// Survivors bitmask, one byte per object (1 = still matching).
-    mask: Vec<u8>,
+    /// Survivors bitmask: word `k` covers lanes `64·k .. 64·k + 63`,
+    /// bit `i` set = lane `64·k + i` still matching.
+    mask: Vec<u64>,
     /// Indices (ascending) of the objects that matched the last scan.
     matches: Vec<u32>,
-    /// Per-dimension query bounds (`a` side), see [`Relation`] mapping.
+    /// Per-dimension query bounds (`a` side), see the relation mapping.
     qa: Vec<Scalar>,
     /// Per-dimension query bounds (`b` side).
     qb: Vec<Scalar>,
@@ -136,6 +213,9 @@ pub struct ScanScratch {
     t_lo: Vec<Scalar>,
     /// Per-block upper-bound gather tile for interleaved inputs.
     t_hi: Vec<Scalar>,
+    /// Per-candidate pass bytes of [`scan_candidates`] (packed into
+    /// `mask` once all dimension runs are evaluated).
+    bytes: Vec<u8>,
 }
 
 impl ScanScratch {
@@ -149,17 +229,265 @@ impl ScanScratch {
     pub fn matches(&self) -> &[u32] {
         &self.matches
     }
+
+    /// The bitmask words written by the most recent scan: for
+    /// [`scan_columns`]/[`scan_interleaved`] the survivors of every
+    /// block, for [`scan_candidates`] the matching candidates. Word `k`
+    /// bit `i` corresponds to lane `64·k + i`.
+    pub fn mask_words(&self) -> &[u64] {
+        &self.mask
+    }
+}
+
+/// Mask word with the lowest `len` bits set (`len` in `1..=64`).
+#[inline]
+fn lane_mask(len: usize) -> u64 {
+    debug_assert!((1..=BLOCK).contains(&len));
+    !0u64 >> (BLOCK - len)
+}
+
+/// Packs up to [`BLOCK`] 0/1 bytes into mask bits (byte `i` → bit `i`):
+/// eight bytes at a time, a multiply gathers their low bits into the top
+/// byte of the product — the portable movemask. (The SSE build replaces
+/// its only production caller but keeps it compiled for the unit tests.)
+#[cfg_attr(all(feature = "simd", target_arch = "x86_64"), allow(dead_code))]
+#[inline]
+fn pack_tile(tile: &[u8; BLOCK], len: usize) -> u64 {
+    let mut word = 0u64;
+    for (k, chunk) in tile.chunks_exact(8).enumerate() {
+        let bytes = u64::from_le_bytes(chunk.try_into().expect("8-byte chunk"))
+            & 0x0101_0101_0101_0101;
+        word |= (bytes.wrapping_mul(0x0102_0408_1020_4080) >> 56) << (8 * k);
+    }
+    word & lane_mask(len)
+}
+
+/// Portable pass-word evaluation: branch-free compares into a byte tile
+/// (auto-vectorized), then [`pack_tile`].
+#[cfg(not(all(feature = "simd", target_arch = "x86_64")))]
+#[inline]
+fn portable_word<L>(lo: &[Scalar], hi: &[Scalar], a: Scalar, b: Scalar, lane: L) -> u64
+where
+    L: Fn(Scalar, Scalar, Scalar, Scalar) -> bool,
+{
+    debug_assert!(lo.len() == hi.len() && !lo.is_empty() && lo.len() <= BLOCK);
+    let mut tile = [0u8; BLOCK];
+    for ((t, &l), &h) in tile.iter_mut().zip(lo).zip(hi) {
+        *t = lane(l, h, a, b) as u8;
+    }
+    pack_tile(&tile, lo.len())
+}
+
+/// Relation tags shared by the SIMD path (`match` on a constant folds
+/// away after inlining).
+const REL_INTERSECTION: u8 = 0;
+const REL_CONTAINMENT: u8 = 1;
+const REL_ENCLOSURE: u8 = 2;
+
+#[cfg(all(feature = "simd", target_arch = "x86_64"))]
+mod simd {
+    //! Explicit SIMD pass-word packing: `cmpleps`/`vcmpps` compare
+    //! masks turned straight into mask bits by `movmskps`. SSE is part
+    //! of the x86_64 baseline, so the four-lane path is sound
+    //! unconditionally; when the CPU reports AVX2 (checked once,
+    //! cached), eight-lane steps are used instead. Comparison semantics
+    //! (`<=` on possibly-NaN floats is false, `_CMP_LE_OQ`) match the
+    //! scalar operators, so the words are bit-identical to
+    //! [`super::portable_word`] either way.
+
+    use super::{avx2_detected, Scalar, BLOCK, REL_CONTAINMENT, REL_INTERSECTION};
+    #[allow(clippy::wildcard_imports)]
+    use core::arch::x86_64::*;
+
+    #[inline]
+    pub(super) fn word(rel: u8, lo: &[Scalar], hi: &[Scalar], a: Scalar, b: Scalar) -> u64 {
+        debug_assert!(lo.len() == hi.len() && !lo.is_empty() && lo.len() <= BLOCK);
+        if avx2_detected() {
+            // SAFETY: AVX2 presence was just verified.
+            unsafe { word_avx2(rel, lo, hi, a, b) }
+        } else {
+            word_sse(rel, lo, hi, a, b)
+        }
+    }
+
+    #[inline]
+    fn word_sse(rel: u8, lo: &[Scalar], hi: &[Scalar], a: Scalar, b: Scalar) -> u64 {
+        let n = lo.len();
+        let mut out = 0u64;
+        let mut i = 0usize;
+        // SAFETY: SSE is baseline on x86_64; loads stay in bounds.
+        unsafe {
+            let av = _mm_set1_ps(a);
+            let bv = _mm_set1_ps(b);
+            while i + 4 <= n {
+                let l = _mm_loadu_ps(lo.as_ptr().add(i));
+                let h = _mm_loadu_ps(hi.as_ptr().add(i));
+                let pass = match rel {
+                    // l ≤ b ∧ h ≥ a
+                    REL_INTERSECTION => _mm_and_ps(_mm_cmple_ps(l, bv), _mm_cmple_ps(av, h)),
+                    // l ≥ a ∧ h ≤ b
+                    REL_CONTAINMENT => _mm_and_ps(_mm_cmple_ps(av, l), _mm_cmple_ps(h, bv)),
+                    // l ≤ a ∧ h ≥ b
+                    _ => _mm_and_ps(_mm_cmple_ps(l, av), _mm_cmple_ps(bv, h)),
+                };
+                out |= (_mm_movemask_ps(pass) as u64) << i;
+                i += 4;
+            }
+        }
+        out | scalar_tail(rel, lo, hi, a, b, i)
+    }
+
+    #[target_feature(enable = "avx2")]
+    unsafe fn word_avx2(rel: u8, lo: &[Scalar], hi: &[Scalar], a: Scalar, b: Scalar) -> u64 {
+        let n = lo.len();
+        let mut out = 0u64;
+        let mut i = 0usize;
+        let av = _mm256_set1_ps(a);
+        let bv = _mm256_set1_ps(b);
+        while i + 8 <= n {
+            let l = _mm256_loadu_ps(lo.as_ptr().add(i));
+            let h = _mm256_loadu_ps(hi.as_ptr().add(i));
+            let pass = match rel {
+                REL_INTERSECTION => _mm256_and_ps(
+                    _mm256_cmp_ps::<_CMP_LE_OQ>(l, bv),
+                    _mm256_cmp_ps::<_CMP_LE_OQ>(av, h),
+                ),
+                REL_CONTAINMENT => _mm256_and_ps(
+                    _mm256_cmp_ps::<_CMP_LE_OQ>(av, l),
+                    _mm256_cmp_ps::<_CMP_LE_OQ>(h, bv),
+                ),
+                _ => _mm256_and_ps(
+                    _mm256_cmp_ps::<_CMP_LE_OQ>(l, av),
+                    _mm256_cmp_ps::<_CMP_LE_OQ>(bv, h),
+                ),
+            };
+            out |= (_mm256_movemask_ps(pass) as u32 as u64) << i;
+            i += 8;
+        }
+        out | scalar_tail(rel, lo, hi, a, b, i)
+    }
+
+    #[inline]
+    fn scalar_tail(rel: u8, lo: &[Scalar], hi: &[Scalar], a: Scalar, b: Scalar, from: usize) -> u64 {
+        let mut out = 0u64;
+        for i in from..lo.len() {
+            let pass = match rel {
+                REL_INTERSECTION => lo[i] <= b && hi[i] >= a,
+                REL_CONTAINMENT => lo[i] >= a && hi[i] <= b,
+                _ => lo[i] <= a && hi[i] >= b,
+            };
+            out |= (pass as u64) << i;
+        }
+        out
+    }
+
+}
+
+/// One comparison shape of the kernel: the scalar lane predicate, the
+/// packed pass-word over up to [`BLOCK`] lanes, and the zone-map
+/// implication tests. Implementations are zero-sized tags so the block
+/// loops monomorphize.
+trait Pred {
+    /// Tag for the SIMD dispatch (unused by the portable build).
+    #[allow(dead_code)]
+    const REL: u8;
+
+    /// Whether one object interval `[l, h]` passes the dimension with
+    /// query bounds `(a, b)` — the scalar spec of [`Pred::word`] (only
+    /// compiled into the portable build).
+    #[allow(dead_code)]
+    fn lane(l: Scalar, h: Scalar, a: Scalar, b: Scalar) -> bool;
+
+    /// What the zone entry proves about a whole block for `(a, b)`.
+    fn zone(z: &ZoneEntry, a: Scalar, b: Scalar) -> ZoneVerdict;
+
+    /// Pass bits of `lo.len() ≤ 64` lanes (bit `i` = lane `i` passes).
+    #[inline]
+    fn word(lo: &[Scalar], hi: &[Scalar], a: Scalar, b: Scalar) -> u64 {
+        #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+        {
+            simd::word(Self::REL, lo, hi, a, b)
+        }
+        #[cfg(not(all(feature = "simd", target_arch = "x86_64")))]
+        {
+            portable_word(lo, hi, a, b, Self::lane)
+        }
+    }
+}
+
+/// pass ⇔ `lo ≤ b ∧ hi ≥ a` with `a = q.lo(d)`, `b = q.hi(d)`.
+struct Intersects;
+/// pass ⇔ `lo ≥ a ∧ hi ≤ b`.
+struct Contained;
+/// pass ⇔ `lo ≤ a ∧ hi ≥ b` (point queries: `a = b = p[d]`).
+struct Encloses;
+
+impl Pred for Intersects {
+    const REL: u8 = REL_INTERSECTION;
+
+    #[inline]
+    fn lane(l: Scalar, h: Scalar, a: Scalar, b: Scalar) -> bool {
+        l <= b && h >= a
+    }
+
+    #[inline]
+    fn zone(z: &ZoneEntry, a: Scalar, b: Scalar) -> ZoneVerdict {
+        if z.min_lo > b || z.max_hi < a {
+            ZoneVerdict::AllFail
+        } else if z.max_lo <= b && z.min_hi >= a {
+            ZoneVerdict::AllPass
+        } else {
+            ZoneVerdict::Mixed
+        }
+    }
+}
+
+impl Pred for Contained {
+    const REL: u8 = REL_CONTAINMENT;
+
+    #[inline]
+    fn lane(l: Scalar, h: Scalar, a: Scalar, b: Scalar) -> bool {
+        l >= a && h <= b
+    }
+
+    #[inline]
+    fn zone(z: &ZoneEntry, a: Scalar, b: Scalar) -> ZoneVerdict {
+        if z.max_lo < a || z.min_hi > b {
+            ZoneVerdict::AllFail
+        } else if z.min_lo >= a && z.max_hi <= b {
+            ZoneVerdict::AllPass
+        } else {
+            ZoneVerdict::Mixed
+        }
+    }
+}
+
+impl Pred for Encloses {
+    const REL: u8 = REL_ENCLOSURE;
+
+    #[inline]
+    fn lane(l: Scalar, h: Scalar, a: Scalar, b: Scalar) -> bool {
+        l <= a && h >= b
+    }
+
+    #[inline]
+    fn zone(z: &ZoneEntry, a: Scalar, b: Scalar) -> ZoneVerdict {
+        if z.min_lo > a || z.max_hi < b {
+            ZoneVerdict::AllFail
+        } else if z.max_lo <= a && z.min_hi >= b {
+            ZoneVerdict::AllPass
+        } else {
+            ZoneVerdict::Mixed
+        }
+    }
 }
 
 /// The three comparison shapes; point-enclosing queries reduce to
 /// [`Relation::Enclosure`] with degenerate per-dimension bounds.
 #[derive(Debug, Clone, Copy)]
 enum Relation {
-    /// pass ⇔ `lo ≤ b ∧ hi ≥ a` with `a = q.lo(d)`, `b = q.hi(d)`.
     Intersection,
-    /// pass ⇔ `lo ≥ a ∧ hi ≤ b`.
     Containment,
-    /// pass ⇔ `lo ≤ a ∧ hi ≥ b` (point queries: `a = b = p[d]`).
     Enclosure,
 }
 
@@ -193,7 +521,7 @@ fn load_bounds(query: &SpatialQuery, qa: &mut Vec<Scalar>, qb: &mut Vec<Scalar>)
 ///
 /// Match set, match order, and [`ScanOutcome::dims_checked`] are
 /// bit-identical to calling [`SpatialQuery::matches_flat`] on every
-/// object in storage order.
+/// object in storage order — with or without zone maps.
 ///
 /// ```
 /// use acx_geom::scan::{scan_columns, PairedColumns, ScanScratch};
@@ -216,7 +544,78 @@ pub fn scan_columns<C: ColumnAccess + ?Sized>(
     let ScanScratch {
         mask, matches, qa, qb, ..
     } = scratch;
-    dispatch(rel, cols, qa, qb, mask, matches)
+    match rel {
+        Relation::Intersection => run::<C, Intersects>(cols, qa, qb, mask, matches),
+        Relation::Containment => run::<C, Contained>(cols, qa, qb, mask, matches),
+        Relation::Enclosure => run::<C, Encloses>(cols, qa, qb, mask, matches),
+    }
+}
+
+/// The blocked kernel: per block of [`BLOCK`] objects, AND each
+/// dimension's pass word into the block's survivors mask; survivor
+/// counting is a popcount and a block with no survivors skips its
+/// remaining dimensions. Zone entries, when the layout provides them,
+/// resolve a whole (block, dimension) pair without reading the columns.
+fn run<C, P>(
+    cols: &C,
+    qa: &[Scalar],
+    qb: &[Scalar],
+    mask: &mut Vec<u64>,
+    matches: &mut Vec<u32>,
+) -> ScanOutcome
+where
+    C: ColumnAccess + ?Sized,
+    P: Pred,
+{
+    let n = cols.len();
+    let dims = qa.len();
+    let blocks = n.div_ceil(BLOCK);
+    mask.clear();
+    mask.resize(blocks, 0);
+    matches.clear();
+    let mut dims_checked = 0u64;
+    for (block, word_out) in mask.iter_mut().enumerate() {
+        let start = block * BLOCK;
+        let end = (start + BLOCK).min(n);
+        let mut word = lane_mask(end - start);
+        for d in 0..dims {
+            let alive = word.count_ones() as u64;
+            if alive == 0 {
+                break;
+            }
+            dims_checked += alive;
+            let (a, b) = (qa[d], qb[d]);
+            if let Some(zone) = cols.zone(d, block) {
+                match P::zone(&zone, a, b) {
+                    // Every alive lane fails this dimension — exactly
+                    // the `dims_checked` charge made above, then death.
+                    ZoneVerdict::AllFail => {
+                        word = 0;
+                        break;
+                    }
+                    // Every alive lane passes: mask unchanged, column
+                    // read skipped.
+                    ZoneVerdict::AllPass => continue,
+                    ZoneVerdict::Mixed => {}
+                }
+            }
+            let lo = &cols.lo_col(d)[start..end];
+            let hi = &cols.hi_col(d)[start..end];
+            word &= P::word(lo, hi, a, b);
+        }
+        *word_out = word;
+        let mut bits = word;
+        while bits != 0 {
+            let i = bits.trailing_zeros() as usize;
+            matches.push((start + i) as u32);
+            bits &= bits - 1;
+        }
+    }
+    ScanOutcome {
+        objects: n,
+        matched: matches.len(),
+        dims_checked,
+    }
 }
 
 /// Scans objects stored as interleaved flat `[lo0, hi0, lo1, hi1, …]`
@@ -244,79 +643,70 @@ pub fn scan_interleaved(
         qb,
         t_lo,
         t_hi,
+        ..
     } = scratch;
     t_lo.resize(BLOCK, 0.0);
     t_hi.resize(BLOCK, 0.0);
     match rel {
-        Relation::Intersection => run_interleaved(flat, width, qa, qb, mask, matches, t_lo, t_hi, |l, h, a, b| {
-            ((l <= b) as u8) & ((h >= a) as u8)
-        }),
-        Relation::Containment => run_interleaved(flat, width, qa, qb, mask, matches, t_lo, t_hi, |l, h, a, b| {
-            ((l >= a) as u8) & ((h <= b) as u8)
-        }),
-        Relation::Enclosure => run_interleaved(flat, width, qa, qb, mask, matches, t_lo, t_hi, |l, h, a, b| {
-            ((l <= a) as u8) & ((h >= b) as u8)
-        }),
+        Relation::Intersection => {
+            run_interleaved::<Intersects>(flat, width, qa, qb, mask, matches, t_lo, t_hi)
+        }
+        Relation::Containment => {
+            run_interleaved::<Contained>(flat, width, qa, qb, mask, matches, t_lo, t_hi)
+        }
+        Relation::Enclosure => {
+            run_interleaved::<Encloses>(flat, width, qa, qb, mask, matches, t_lo, t_hi)
+        }
     }
 }
 
 /// The blocked kernel over row-major input: per block, gather one
-/// dimension's bounds into the scratch tiles and AND the pass bits into
+/// dimension's bounds into the scratch tiles and AND the pass word into
 /// the survivors mask; a block with no survivors skips the gather and
 /// the check of its remaining dimensions.
 #[allow(clippy::too_many_arguments)]
-fn run_interleaved<P>(
+fn run_interleaved<P: Pred>(
     flat: &[Scalar],
     width: usize,
     qa: &[Scalar],
     qb: &[Scalar],
-    mask: &mut Vec<u8>,
+    mask: &mut Vec<u64>,
     matches: &mut Vec<u32>,
     t_lo: &mut [Scalar],
     t_hi: &mut [Scalar],
-    pass: P,
-) -> ScanOutcome
-where
-    P: Fn(Scalar, Scalar, Scalar, Scalar) -> u8,
-{
+) -> ScanOutcome {
     let n = flat.len() / width;
     let dims = qa.len();
+    let blocks = n.div_ceil(BLOCK);
     mask.clear();
-    mask.resize(n, 1);
+    mask.resize(blocks, 0);
     matches.clear();
     let mut dims_checked = 0u64;
-    let mut start = 0;
-    while start < n {
+    for (block, word_out) in mask.iter_mut().enumerate() {
+        let start = block * BLOCK;
         let end = (start + BLOCK).min(n);
-        let block = &mut mask[start..end];
-        let len = block.len();
-        let mut alive = len;
+        let len = end - start;
+        let mut word = lane_mask(len);
         for d in 0..dims {
+            let alive = word.count_ones() as u64;
             if alive == 0 {
                 break;
             }
-            dims_checked += alive as u64;
+            dims_checked += alive;
             let rows = &flat[start * width..end * width];
             for (i, row) in rows.chunks_exact(width).enumerate() {
                 t_lo[i] = row[2 * d];
                 t_hi[i] = row[2 * d + 1];
             }
-            let (a, b) = (qa[d], qb[d]);
-            let mut survivors = 0usize;
-            for ((m, &l), &h) in block.iter_mut().zip(&t_lo[..len]).zip(&t_hi[..len]) {
-                *m &= pass(l, h, a, b);
-                survivors += *m as usize;
-            }
-            alive = survivors;
+            word &= P::word(&t_lo[..len], &t_hi[..len], qa[d], qb[d]);
         }
-        if alive > 0 {
-            for (i, &m) in block.iter().enumerate() {
-                if m != 0 {
-                    matches.push((start + i) as u32);
-                }
-            }
+        *word_out = word;
+        let mut bits = word;
+        while bits != 0 {
+            let i = bits.trailing_zeros() as usize;
+            matches.push((start + i) as u32);
+            bits &= bits - 1;
         }
-        start = end;
     }
     ScanOutcome {
         objects: n,
@@ -325,82 +715,240 @@ where
     }
 }
 
-fn dispatch<C: ColumnAccess + ?Sized>(
-    rel: Relation,
-    cols: &C,
-    qa: &[Scalar],
-    qb: &[Scalar],
-    mask: &mut Vec<u8>,
-    matches: &mut Vec<u32>,
-) -> ScanOutcome {
-    match rel {
-        Relation::Intersection => run(cols, qa, qb, mask, matches, |l, h, a, b| {
-            ((l <= b) as u8) & ((h >= a) as u8)
-        }),
-        Relation::Containment => run(cols, qa, qb, mask, matches, |l, h, a, b| {
-            ((l >= a) as u8) & ((h <= b) as u8)
-        }),
-        Relation::Enclosure => run(cols, qa, qb, mask, matches, |l, h, a, b| {
-            ((l <= a) as u8) & ((h >= b) as u8)
-        }),
+/// Dimension-major candidate-subcluster bound columns — the statistics
+/// side of the adaptive index, laid out exactly like object coordinates
+/// so the same kernel shape applies.
+///
+/// Candidates are grouped by their specialized dimension: `dim_offsets`
+/// (length `dims + 1`) gives the contiguous candidate range of each
+/// dimension. Per candidate, four bounds describe its start/end
+/// variation intervals with **closed** upper bounds: half-open interval
+/// uppers must be pre-adjusted to the largest representable value below
+/// them (`f32::next_down`), which makes every open/closed membership and
+/// reachability test a plain `<=`/`>=` comparison.
+#[derive(Debug, Clone, Copy)]
+pub struct CandidateColumns<'a> {
+    /// Inclusive lower bound of each candidate's start variation interval.
+    start_lo: &'a [Scalar],
+    /// Largest value each candidate's start interval contains.
+    start_reach: &'a [Scalar],
+    /// Inclusive lower bound of each candidate's end variation interval.
+    end_lo: &'a [Scalar],
+    /// Largest value each candidate's end interval contains.
+    end_reach: &'a [Scalar],
+    /// Candidate range of each dimension: dimension `d` owns candidates
+    /// `dim_offsets[d] .. dim_offsets[d + 1]`.
+    dim_offsets: &'a [u32],
+}
+
+impl<'a> CandidateColumns<'a> {
+    /// Builds the view; all four bound columns must have equal length
+    /// matching the last offset, and offsets must be non-decreasing.
+    pub fn new(
+        start_lo: &'a [Scalar],
+        start_reach: &'a [Scalar],
+        end_lo: &'a [Scalar],
+        end_reach: &'a [Scalar],
+        dim_offsets: &'a [u32],
+    ) -> Self {
+        let n = start_lo.len();
+        assert!(start_reach.len() == n && end_lo.len() == n && end_reach.len() == n);
+        assert!(!dim_offsets.is_empty());
+        // The runs must cover every candidate exactly: [`scan_candidates`]
+        // reuses its pass-byte buffer across scans and only writes the
+        // offsets' runs, so an uncovered prefix would read stale bytes.
+        assert_eq!(dim_offsets[0], 0, "first dimension run must start at 0");
+        assert_eq!(*dim_offsets.last().expect("non-empty") as usize, n);
+        debug_assert!(dim_offsets.windows(2).all(|w| w[0] <= w[1]));
+        Self {
+            start_lo,
+            start_reach,
+            end_lo,
+            end_reach,
+            dim_offsets,
+        }
+    }
+
+    /// Number of candidates.
+    pub fn len(&self) -> usize {
+        self.start_lo.len()
+    }
+
+    /// Whether the set holds no candidates.
+    pub fn is_empty(&self) -> bool {
+        self.start_lo.is_empty()
+    }
+
+    /// Number of dimensions the candidates specialize.
+    pub fn dims(&self) -> usize {
+        self.dim_offsets.len() - 1
+    }
+
+    /// The start lower-bound column (for benchmarks and diagnostics).
+    pub fn start_lo_col(&self) -> &'a [Scalar] {
+        self.start_lo
+    }
+
+    /// The end reach column (for benchmarks and diagnostics).
+    pub fn end_reach_col(&self) -> &'a [Scalar] {
+        self.end_reach
     }
 }
 
-/// The blocked kernel: per block of [`BLOCK`] objects, AND each
-/// dimension's pass bits into the survivors mask, counting survivors as
-/// it goes; a block with no survivors skips its remaining dimensions.
-fn run<C, P>(
-    cols: &C,
-    qa: &[Scalar],
-    qb: &[Scalar],
-    mask: &mut Vec<u8>,
-    matches: &mut Vec<u32>,
-    pass: P,
-) -> ScanOutcome
-where
-    C: ColumnAccess + ?Sized,
-    P: Fn(Scalar, Scalar, Scalar, Scalar) -> u8,
-{
+/// Evaluates one query against every candidate of a cluster,
+/// dimension-major, writing the matching candidates as a bitmask into
+/// `scratch` ([`ScanScratch::mask_words`], bit `i` of word `k` =
+/// candidate `64·k + i` matches). Returns the number of matches.
+///
+/// A candidate constrains only its own specialized dimension, so unlike
+/// member verification there is no survivors refinement: every relation
+/// reduces to one two-sided comparison per candidate,
+///
+/// > `x[i] ≤ t1 ∧ y[i] ≥ t2`
+///
+/// with the `(x, y)` columns and `(t1, t2)` thresholds chosen per
+/// relation from the query bounds of the candidate's dimension. The bit
+/// for candidate `i` equals the scalar oracle's
+/// `Candidate::matches_query` outcome exactly (the pre-adjusted closed
+/// bounds encode the open/closed upper-bound semantics losslessly for
+/// finite `f32`).
+pub fn scan_candidates(
+    query: &SpatialQuery,
+    cols: &CandidateColumns<'_>,
+    scratch: &mut ScanScratch,
+) -> usize {
+    debug_assert_eq!(cols.dims(), query.dims(), "dimensionality mismatch");
+    let rel = load_bounds(query, &mut scratch.qa, &mut scratch.qb);
     let n = cols.len();
-    let dims = qa.len();
-    mask.clear();
-    mask.resize(n, 1);
-    matches.clear();
-    let mut dims_checked = 0u64;
-    let mut start = 0;
-    while start < n {
+    scratch.mask.clear();
+    scratch.mask.resize(n.div_ceil(BLOCK), 0);
+    if n == 0 {
+        return 0;
+    }
+    // The `(x, y)` bound columns of the relation's pass condition
+    // `x[i] ≤ t1 ∧ y[i] ≥ t2` (see the scalar oracle).
+    let (x_col, y_col) = match rel {
+        // start.lo ≤ q.hi ∧ end can reach q.lo
+        Relation::Intersection => (cols.start_lo, cols.end_reach),
+        // end.lo ≤ q.hi ∧ start can reach q.lo
+        Relation::Containment => (cols.end_lo, cols.start_reach),
+        // start.lo ≤ q.lo ∧ end can reach q.hi (points: q.lo = q.hi)
+        Relation::Enclosure => (cols.start_lo, cols.end_reach),
+    };
+    // Evaluate each dimension run with its constant thresholds into
+    // per-candidate pass bytes (contiguous branch-free compare loops the
+    // compiler vectorizes; runs are too short to amortize per-run bit
+    // packing), then pack the whole byte buffer into mask words. On
+    // x86_64 the fill is dispatched to an AVX2-compiled clone of the
+    // same loop when the CPU supports it (detected once) — identical
+    // comparisons, twice the lanes.
+    let bytes = &mut scratch.bytes;
+    bytes.resize(n, 0);
+    fill_candidate_bytes(rel, cols, &scratch.qa, &scratch.qb, x_col, y_col, bytes);
+    let mut matched = 0usize;
+    for (block, word) in scratch.mask.iter_mut().enumerate() {
+        let start = block * BLOCK;
         let end = (start + BLOCK).min(n);
-        let block = &mut mask[start..end];
-        let mut alive = block.len();
-        for d in 0..dims {
-            if alive == 0 {
-                break;
-            }
-            dims_checked += alive as u64;
-            let lo = &cols.lo_col(d)[start..end];
-            let hi = &cols.hi_col(d)[start..end];
-            let (a, b) = (qa[d], qb[d]);
-            let mut survivors = 0usize;
-            for ((m, &l), &h) in block.iter_mut().zip(lo).zip(hi) {
-                *m &= pass(l, h, a, b);
-                survivors += *m as usize;
-            }
-            alive = survivors;
-        }
-        if alive > 0 {
-            for (i, &m) in block.iter().enumerate() {
-                if m != 0 {
-                    matches.push((start + i) as u32);
-                }
-            }
-        }
-        start = end;
+        let w = pack_bytes(&bytes[start..end]);
+        *word = w;
+        matched += w.count_ones() as usize;
     }
-    ScanOutcome {
-        objects: n,
-        matched: matches.len(),
-        dims_checked,
+    matched
+}
+
+/// Fills one pass byte per candidate: per dimension run, the constant
+/// thresholds of the relation's `x ≤ t1 ∧ y ≥ t2` condition against the
+/// two bound columns.
+fn fill_candidate_bytes(
+    rel: Relation,
+    cols: &CandidateColumns<'_>,
+    qa: &[Scalar],
+    qb: &[Scalar],
+    x_col: &[Scalar],
+    y_col: &[Scalar],
+    bytes: &mut [u8],
+) {
+    #[cfg(target_arch = "x86_64")]
+    if avx2_detected() {
+        // SAFETY: AVX2 presence was just verified; the callee is the
+        // same safe loop compiled with the feature enabled.
+        unsafe {
+            return fill_candidate_bytes_avx2(rel, cols, qa, qb, x_col, y_col, bytes);
+        }
     }
+    fill_candidate_bytes_impl(rel, cols, qa, qb, x_col, y_col, bytes);
+}
+
+/// [`fill_candidate_bytes_impl`] compiled for AVX2 so the byte loop
+/// auto-vectorizes at eight lanes — comparison outcomes are identical,
+/// only the lane width changes.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+fn fill_candidate_bytes_avx2(
+    rel: Relation,
+    cols: &CandidateColumns<'_>,
+    qa: &[Scalar],
+    qb: &[Scalar],
+    x_col: &[Scalar],
+    y_col: &[Scalar],
+    bytes: &mut [u8],
+) {
+    fill_candidate_bytes_impl(rel, cols, qa, qb, x_col, y_col, bytes);
+}
+
+/// Whether the CPU supports AVX2 (detected once, cached).
+#[cfg(target_arch = "x86_64")]
+#[inline]
+fn avx2_detected() -> bool {
+    use std::sync::OnceLock;
+    static AVX2: OnceLock<bool> = OnceLock::new();
+    *AVX2.get_or_init(|| std::arch::is_x86_feature_detected!("avx2"))
+}
+
+#[inline(always)]
+fn fill_candidate_bytes_impl(
+    rel: Relation,
+    cols: &CandidateColumns<'_>,
+    qa: &[Scalar],
+    qb: &[Scalar],
+    x_col: &[Scalar],
+    y_col: &[Scalar],
+    bytes: &mut [u8],
+) {
+    for d in 0..cols.dims() {
+        let run = cols.dim_offsets[d] as usize..cols.dim_offsets[d + 1] as usize;
+        if run.is_empty() {
+            continue;
+        }
+        let (t1, t2) = match rel {
+            Relation::Intersection | Relation::Containment => (qb[d], qa[d]),
+            Relation::Enclosure => (qa[d], qb[d]),
+        };
+        let x = &x_col[run.clone()];
+        let y = &y_col[run.clone()];
+        for ((byte, &xv), &yv) in bytes[run.clone()].iter_mut().zip(x).zip(y) {
+            *byte = ((xv <= t1) as u8) & ((yv >= t2) as u8);
+        }
+    }
+}
+
+/// Packs up to [`BLOCK`] 0/1 bytes into mask bits (byte `i` → bit `i`)
+/// from a slice — the ragged-tail form of [`pack_tile`].
+#[inline]
+fn pack_bytes(bytes: &[u8]) -> u64 {
+    debug_assert!(!bytes.is_empty() && bytes.len() <= BLOCK);
+    let mut word = 0u64;
+    let mut chunks = bytes.chunks_exact(8);
+    for (k, chunk) in chunks.by_ref().enumerate() {
+        let x = u64::from_le_bytes(chunk.try_into().expect("8-byte chunk"))
+            & 0x0101_0101_0101_0101;
+        word |= (x.wrapping_mul(0x0102_0408_1020_4080) >> 56) << (8 * k);
+    }
+    let tail_at = bytes.len() - chunks.remainder().len();
+    for (i, &b) in chunks.remainder().iter().enumerate() {
+        word |= ((b & 1) as u64) << (tail_at + i);
+    }
+    word
 }
 
 #[cfg(test)]
@@ -459,6 +1007,7 @@ mod tests {
         let out = scan_columns(&q, &PairedColumns::new(&cols), &mut scratch);
         assert_eq!(out, ScanOutcome { objects: 0, matched: 0, dims_checked: 0 });
         assert!(scratch.matches().is_empty());
+        assert!(scratch.mask_words().is_empty());
     }
 
     #[test]
@@ -503,6 +1052,21 @@ mod tests {
     }
 
     #[test]
+    fn mask_words_expose_survivors_per_block() {
+        // 65 one-dimensional objects; exactly objects 0 and 64 match.
+        let flat: Vec<Scalar> = (0..65)
+            .flat_map(|i| if i % 64 == 0 { [0.0, 1.0] } else { [0.9, 1.0] })
+            .collect();
+        let cols = columns(&flat, 1);
+        let mut scratch = ScanScratch::new();
+        let q = SpatialQuery::point_enclosing(vec![0.1]);
+        let out = scan_columns(&q, &PairedColumns::new(&cols), &mut scratch);
+        assert_eq!(out.matched, 2);
+        assert_eq!(scratch.mask_words(), &[1u64, 1u64]);
+        assert_eq!(scratch.matches(), &[0, 64]);
+    }
+
+    #[test]
     fn scratch_is_reusable_across_queries_and_sizes() {
         let mut scratch = ScanScratch::new();
         for n in [100usize, 10, 300] {
@@ -531,6 +1095,191 @@ mod tests {
         let out = scan_columns(&q, &view, &mut scratch);
         assert_eq!(out.matched, 1);
         assert_eq!(scratch.matches(), &[0]); // index relative to the range
+    }
+
+    /// A column set with externally supplied zone entries, used to prove
+    /// the zone fast paths leave results and accounting untouched.
+    struct ZonedView<'a> {
+        inner: PairedColumns<'a>,
+        dims: usize,
+    }
+
+    impl ColumnAccess for ZonedView<'_> {
+        fn len(&self) -> usize {
+            self.inner.len()
+        }
+
+        fn lo_col(&self, d: usize) -> &[Scalar] {
+            self.inner.lo_col(d)
+        }
+
+        fn hi_col(&self, d: usize) -> &[Scalar] {
+            self.inner.hi_col(d)
+        }
+
+        fn zone(&self, d: usize, block: usize) -> Option<ZoneEntry> {
+            let _ = self.dims;
+            let start = block * BLOCK;
+            let end = (start + BLOCK).min(self.len());
+            let lo = &self.inner.lo_col(d)[start..end];
+            let hi = &self.inner.hi_col(d)[start..end];
+            Some(ZoneEntry {
+                min_lo: lo.iter().copied().fold(Scalar::INFINITY, Scalar::min),
+                max_lo: lo.iter().copied().fold(Scalar::NEG_INFINITY, Scalar::max),
+                min_hi: hi.iter().copied().fold(Scalar::INFINITY, Scalar::min),
+                max_hi: hi.iter().copied().fold(Scalar::NEG_INFINITY, Scalar::max),
+            })
+        }
+    }
+
+    #[test]
+    fn zone_maps_change_nothing_observable() {
+        // 3 blocks: one all-fail, one all-pass, one mixed per dimension.
+        let n = 160;
+        let flat: Vec<Scalar> = (0..n)
+            .flat_map(|i| {
+                let (lo, hi) = match i / BLOCK {
+                    0 => (0.8, 0.9),                       // block fails point 0.5
+                    1 => (0.0, 1.0),                       // block passes
+                    _ => ((i % 2) as Scalar * 0.5, 1.0),   // mixed
+                };
+                [lo, hi, 0.0, 1.0]
+            })
+            .collect();
+        let cols = columns(&flat, 2);
+        let plain = PairedColumns::new(&cols);
+        let zoned = ZonedView { inner: plain, dims: 2 };
+        for q in [
+            SpatialQuery::point_enclosing(vec![0.5, 0.5]),
+            SpatialQuery::intersection(HyperRect::from_bounds(&[0.1, 0.1], &[0.4, 0.4]).unwrap()),
+            SpatialQuery::containment(HyperRect::from_bounds(&[0.0, 0.0], &[1.0, 1.0]).unwrap()),
+            SpatialQuery::enclosure(HyperRect::from_bounds(&[0.2, 0.2], &[0.3, 0.3]).unwrap()),
+        ] {
+            let mut s1 = ScanScratch::new();
+            let mut s2 = ScanScratch::new();
+            let a = scan_columns(&q, &plain, &mut s1);
+            let b = scan_columns(&q, &zoned, &mut s2);
+            assert_eq!(a, b, "zone maps changed the outcome for {q:?}");
+            assert_eq!(s1.matches(), s2.matches());
+            assert_eq!(s1.mask_words(), s2.mask_words());
+        }
+    }
+
+    #[allow(clippy::type_complexity)]
+    fn cand_cols(
+        start: &[(Scalar, Scalar, bool)],
+        end: &[(Scalar, Scalar, bool)],
+        offsets: &[u32],
+    ) -> (Vec<Scalar>, Vec<Scalar>, Vec<Scalar>, Vec<Scalar>, Vec<u32>) {
+        let reach = |&(_, hi, open): &(Scalar, Scalar, bool)| if open { hi.next_down() } else { hi };
+        (
+            start.iter().map(|s| s.0).collect(),
+            start.iter().map(reach).collect(),
+            end.iter().map(|e| e.0).collect(),
+            end.iter().map(reach).collect(),
+            offsets.to_vec(),
+        )
+    }
+
+    /// Scalar candidate oracle with explicit open/closed semantics.
+    fn cand_oracle(
+        query: &SpatialQuery,
+        start: &[(Scalar, Scalar, bool)],
+        end: &[(Scalar, Scalar, bool)],
+        offsets: &[u32],
+    ) -> Vec<bool> {
+        let can_reach = |&(_, hi, open): &(Scalar, Scalar, bool), x: Scalar| {
+            if open { hi > x } else { hi >= x }
+        };
+        let dim_of = |i: usize| (0..offsets.len() - 1)
+            .find(|&d| (offsets[d] as usize..offsets[d + 1] as usize).contains(&i))
+            .expect("offset covers index");
+        (0..start.len())
+            .map(|i| {
+                let d = dim_of(i);
+                match query {
+                    SpatialQuery::Intersection(w) => {
+                        start[i].0 <= w.interval(d).hi() && can_reach(&end[i], w.interval(d).lo())
+                    }
+                    SpatialQuery::Containment(w) => {
+                        can_reach(&start[i], w.interval(d).lo()) && end[i].0 <= w.interval(d).hi()
+                    }
+                    SpatialQuery::Enclosure(w) => {
+                        start[i].0 <= w.interval(d).lo() && can_reach(&end[i], w.interval(d).hi())
+                    }
+                    SpatialQuery::PointEnclosing(p) => {
+                        start[i].0 <= p[d] && can_reach(&end[i], p[d])
+                    }
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn candidate_kernel_matches_oracle_with_open_bounds() {
+        // Two dimensions, three candidates each; open upper bounds make
+        // the reach adjustment load-bearing at boundary-coincident edges.
+        let start = [
+            (0.0, 0.25, true), (0.25, 0.5, true), (0.5, 1.0, false),
+            (0.0, 0.5, true), (0.5, 0.75, true), (0.75, 1.0, false),
+        ];
+        let end = [
+            (0.0, 0.25, true), (0.25, 0.75, true), (0.75, 1.0, false),
+            (0.0, 0.5, false), (0.5, 1.0, true), (0.0, 1.0, false),
+        ];
+        let offsets = [0u32, 3, 6];
+        let (sl, sr, el, er, off) = cand_cols(&start, &end, &offsets);
+        let cols = CandidateColumns::new(&sl, &sr, &el, &er, &off);
+        let w = HyperRect::from_bounds(&[0.25, 0.5], &[0.5, 0.75]).unwrap();
+        for q in [
+            SpatialQuery::intersection(w.clone()),
+            SpatialQuery::containment(w.clone()),
+            SpatialQuery::enclosure(w),
+            SpatialQuery::point_enclosing(vec![0.25, 0.5]),
+            SpatialQuery::point_enclosing(vec![0.5, 1.0]),
+        ] {
+            let mut scratch = ScanScratch::new();
+            let matched = scan_candidates(&q, &cols, &mut scratch);
+            let want = cand_oracle(&q, &start, &end, &offsets);
+            for (i, &w) in want.iter().enumerate() {
+                let got = scratch.mask_words()[i / BLOCK] >> (i % BLOCK) & 1 == 1;
+                assert_eq!(got, w, "candidate {i} diverged on {q:?}");
+            }
+            assert_eq!(matched, want.iter().filter(|&&m| m).count());
+        }
+    }
+
+    #[test]
+    fn candidate_kernel_handles_word_straddling_runs() {
+        // One dimension with 70 candidates: the run crosses a word edge.
+        let start: Vec<(Scalar, Scalar, bool)> =
+            (0..70).map(|i| (i as Scalar / 70.0, 1.0, false)).collect();
+        let end: Vec<(Scalar, Scalar, bool)> = (0..70).map(|_| (0.0, 1.0, false)).collect();
+        let offsets = [0u32, 70];
+        let (sl, sr, el, er, off) = cand_cols(&start, &end, &offsets);
+        let cols = CandidateColumns::new(&sl, &sr, &el, &er, &off);
+        let mut scratch = ScanScratch::new();
+        let q = SpatialQuery::point_enclosing(vec![0.5]);
+        let matched = scan_candidates(&q, &cols, &mut scratch);
+        let want = cand_oracle(&q, &start, &end, &offsets);
+        assert_eq!(matched, want.iter().filter(|&&m| m).count());
+        assert!(matched > 0 && matched < 70);
+        for (i, &w) in want.iter().enumerate() {
+            let got = scratch.mask_words()[i / BLOCK] >> (i % BLOCK) & 1 == 1;
+            assert_eq!(got, w, "candidate {i}");
+        }
+    }
+
+    #[test]
+    fn pack_tile_gathers_bytes_to_bits() {
+        let mut tile = [0u8; BLOCK];
+        tile[0] = 1;
+        tile[7] = 1;
+        tile[8] = 1;
+        tile[63] = 1;
+        assert_eq!(pack_tile(&tile, 64), (1 << 0) | (1 << 7) | (1 << 8) | (1 << 63));
+        assert_eq!(pack_tile(&tile, 8), (1 << 0) | (1 << 7));
+        assert_eq!(pack_tile(&tile, 1), 1);
     }
 }
 

@@ -29,5 +29,5 @@ pub use counters::{AccessStats, AveragedStats};
 pub use device::{DeviceProfile, StorageScenario};
 pub use file::{ClusterRecord, FileStore, StoreError};
 pub use result::{QueryMetrics, QueryResult};
-pub use segment::{SegmentId, SegmentStore};
+pub use segment::{SegmentColumns, SegmentId, SegmentStore};
 pub use simdisk::SimulatedDisk;
