@@ -3,7 +3,7 @@
 
 use std::collections::HashMap;
 
-use acx_core::{IndexConfig, ScanMode};
+use acx_core::{IndexConfig, ReorgMode, ScanMode};
 
 /// Parsed `--key value` flags.
 pub struct Flags {
@@ -98,14 +98,23 @@ impl Flags {
         self.get_bool("zone-maps", true)
     }
 
-    /// Applies the kernel toggles (`--scan-mode`, `--candidate-scan`,
-    /// `--zone-maps`) to an index configuration, so every experiment
-    /// binary compares oracle vs. columnar vs. bitmask/zone-map
-    /// execution without recompiling.
+    /// `--reorg-mode incremental|full`: reorganization pass strategy
+    /// (decision-identical either way; only the maintenance cost
+    /// differs).
+    pub fn reorg_mode(&self) -> ReorgMode {
+        self.get_strict("reorg-mode", ReorgMode::Incremental)
+    }
+
+    /// Applies the kernel and maintenance toggles (`--scan-mode`,
+    /// `--candidate-scan`, `--zone-maps`, `--reorg-mode`) to an index
+    /// configuration, so every experiment binary compares oracle vs.
+    /// columnar vs. bitmask/zone-map execution — and full-sweep vs.
+    /// incremental reorganization — without recompiling.
     pub fn apply_scan_flags(&self, mut config: IndexConfig) -> IndexConfig {
         config.scan_mode = self.scan_mode();
         config.candidate_scan = self.candidate_scan();
         config.zone_maps = self.zone_maps();
+        config.reorg_mode = self.reorg_mode();
         config
     }
 }

@@ -8,6 +8,8 @@
 //! ```text
 //! cargo run --release -p acx-bench --bin adaptivity
 //!     [--objects 30000] [--dims 8] [--phases 4] [--phase-queries 1000]
+//!     [--scan-mode columnar|oracle] [--candidate-scan columnar|oracle]
+//!     [--zone-maps on|off] [--reorg-mode incremental|full]
 //! ```
 
 use acx_bench::args::Flags;

@@ -6,6 +6,8 @@
 //! ```text
 //! cargo run --release -p acx-bench --bin fig7 [--objects 50000] [--dims 16]
 //!     [--warmup 600] [--measured 200] [--seed 24029] [--full]
+//!     [--scan-mode columnar|oracle] [--candidate-scan columnar|oracle]
+//!     [--zone-maps on|off] [--reorg-mode incremental|full]
 //! ```
 //! `--full` runs the paper's 2,000,000-object scale.
 

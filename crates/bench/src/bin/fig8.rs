@@ -7,6 +7,8 @@
 //! ```text
 //! cargo run --release -p acx-bench --bin fig8 [--objects 30000]
 //!     [--warmup 600] [--measured 200] [--seed 24029] [--full]
+//!     [--scan-mode columnar|oracle] [--candidate-scan columnar|oracle]
+//!     [--zone-maps on|off] [--reorg-mode incremental|full]
 //! ```
 
 use acx_bench::args::Flags;

@@ -6,6 +6,8 @@
 //! ```text
 //! cargo run --release -p acx-bench --bin point_enclosing
 //!     [--objects 50000] [--dims 16] [--warmup 600] [--measured 300]
+//!     [--scan-mode columnar|oracle] [--candidate-scan columnar|oracle]
+//!     [--zone-maps on|off] [--reorg-mode incremental|full]
 //! ```
 
 use acx_bench::args::Flags;

@@ -6,6 +6,8 @@
 //! ```text
 //! cargo run --release -p acx-bench --bin stability
 //!     [--objects 30000] [--dims 16] [--steps 15]
+//!     [--scan-mode columnar|oracle] [--candidate-scan columnar|oracle]
+//!     [--zone-maps on|off] [--reorg-mode incremental|full]
 //! ```
 
 use acx_bench::args::Flags;

@@ -11,6 +11,8 @@
 //! cargo run --release -p acx_bench --bin throughput
 //!     [--objects 50000] [--events 2000] [--warmup 600]
 //!     [--max-threads 8] [--flexibility 0.0] [--seed 24141]
+//!     [--scan-mode columnar|oracle] [--candidate-scan columnar|oracle]
+//!     [--zone-maps on|off] [--reorg-mode incremental|full]
 //! ```
 
 use std::time::Instant;

@@ -13,5 +13,5 @@ pub mod runner;
 
 pub use runner::{
     ac_config, adapted_ac, build_ac, build_ac_with, build_rs, build_ss, recorded_strategies,
-    run_ac, run_ac_batch, run_baseline, ExperimentScale, MethodReport,
+    reorg_strategies, run_ac, run_ac_batch, run_baseline, ExperimentScale, MethodReport,
 };

@@ -131,6 +131,34 @@ pub fn recorded_strategies(dims: usize) -> [(&'static str, IndexConfig); 3] {
     ]
 }
 
+/// The two reorganization strategies compared by the `reorganize`
+/// criterion bench and the `scan_bench` reorg section — one definition
+/// so the two measurements can never drift apart:
+///
+/// * `incremental` — the default: dirty-set + O(1) screen + columnar
+///   benefit evaluation;
+/// * `full_oracle` — the decision-identical full scalar sweep, the
+///   reference row of `BENCH_reorg.json`.
+pub fn reorg_strategies(dims: usize) -> [(&'static str, IndexConfig); 2] {
+    let base = IndexConfig::memory(dims);
+    [
+        (
+            "incremental",
+            IndexConfig {
+                reorg_mode: acx_core::ReorgMode::Incremental,
+                ..base.clone()
+            },
+        ),
+        (
+            "full_oracle",
+            IndexConfig {
+                reorg_mode: acx_core::ReorgMode::FullOracle,
+                ..base
+            },
+        ),
+    ]
+}
+
 /// Builds an R*-tree over the objects (structure is scenario-independent).
 pub fn build_rs(dims: usize, objects: &[HyperRect]) -> RStarTree {
     let mut tree = RStarTree::new(RStarConfig::memory(dims));

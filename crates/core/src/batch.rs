@@ -151,6 +151,20 @@ impl StatsDelta {
         self.queries == 0
     }
 
+    /// The slots of the clusters this delta recorded statistics for — the
+    /// *dirty list*, in first-touch order.
+    ///
+    /// Applying a delta walks exactly this list, and the same machinery
+    /// feeds the index's persistent reorganization dirty set: a cluster
+    /// absent from every applied delta (and untouched by membership
+    /// mutations) reaches the next reorganization with provably unchanged
+    /// candidate statistics, which is what lets the incremental pass keep
+    /// its counters un-decayed (lazy epoch stamps) and skip its candidate
+    /// scan through the cached-verdict screen.
+    pub fn touched_slots(&self) -> &[u32] {
+        &self.touched
+    }
+
     /// Resets the delta for reuse while keeping its allocations: only
     /// the entries on the dirty list are zeroed (in place, keeping their
     /// counter vectors), so clearing costs O(explored clusters of the

@@ -115,6 +115,14 @@ pub struct CandidateSet {
     /// Exponentially decayed query count from previous epochs (smooths
     /// the access-probability estimate across reorganization periods).
     q_eff: Vec<f64>,
+    /// Cached **upper bound** on `max(n)`: raised whenever a member
+    /// recording pushes a counter above it, left untouched by removals
+    /// (so it may be loose, never low), and re-tightened to the exact
+    /// maximum whenever a reorganization scan walks the counters anyway.
+    /// The incremental reorganization's O(1) no-split screen prices its
+    /// most-profitable-possible candidate with this bound; a loose bound
+    /// only costs an unnecessary scan, never a wrong decision.
+    n_hi: u32,
 }
 
 impl CandidateSet {
@@ -135,6 +143,7 @@ impl CandidateSet {
             n: Vec::with_capacity(cap),
             q: Vec::with_capacity(cap),
             q_eff: Vec::with_capacity(cap),
+            n_hi: 0,
         };
         set.dim_offsets.push(0);
         for d in 0..sig.dims() {
@@ -224,6 +233,39 @@ impl CandidateSet {
         self.q_eff[ci]
     }
 
+    /// The qualifying-member counter column (parallel to the candidate
+    /// index) — input of the batched benefit evaluation.
+    pub fn n_col(&self) -> &[u32] {
+        &self.n
+    }
+
+    /// The epoch matching-query counter column.
+    pub fn q_col(&self) -> &[u32] {
+        &self.q
+    }
+
+    /// The decayed matching-query history column.
+    pub fn q_eff_col(&self) -> &[f64] {
+        &self.q_eff
+    }
+
+    /// Cached upper bound on the maximal qualifying-member count over
+    /// all candidates (see the field docs: may be loose, never low).
+    pub fn n_hi(&self) -> u32 {
+        self.n_hi
+    }
+
+    /// Re-tightens the cached bound to the exact maximum, as computed by
+    /// a pass that walked the `n` column anyway.
+    ///
+    /// # Panics
+    ///
+    /// Debug-asserts that `exact_max` really bounds every counter.
+    pub(crate) fn set_n_hi(&mut self, exact_max: u32) {
+        debug_assert!(self.n.iter().all(|&n| n <= exact_max));
+        self.n_hi = exact_max;
+    }
+
     /// Whether an object *that already satisfies the parent signature*
     /// also satisfies candidate `ci`.
     #[inline]
@@ -290,6 +332,7 @@ impl CandidateSet {
                 if accepts {
                     if add {
                         self.n[ci] += 1;
+                        self.n_hi = self.n_hi.max(self.n[ci]);
                     } else {
                         debug_assert!(self.n[ci] > 0);
                         self.n[ci] -= 1;
@@ -320,6 +363,41 @@ impl CandidateSet {
         for (q_eff, q) in self.q_eff.iter_mut().zip(self.q.iter_mut()) {
             *q_eff = gamma * *q_eff + *q as f64;
             *q = 0;
+        }
+    }
+
+    /// Replays `epochs` missed statistics-epoch closes at once — the
+    /// lazy-decay catch-up applied on the first touch after epoch rolls.
+    ///
+    /// Bit-identical to calling [`CandidateSet::decay`] `epochs` times:
+    /// the first replayed close folds the pending `q` counters (which
+    /// accumulated while the set's stamp epoch was open — later epochs
+    /// saw no touches, so their folds add exactly zero), and every
+    /// further close multiplies the history by `gamma`. `γ·x + 0.0`
+    /// equals `γ·x` bitwise for the non-negative histories stored here,
+    /// so the catch-up runs the pure multiplications, element-major:
+    /// each history stops at its own underflow to exactly `+0.0`
+    /// (multiplying `+0.0` further is the identity), so a mostly-cold
+    /// set costs one check per zero history regardless of how many
+    /// epochs it slept. Saturated `q` counters (pinned at `u32::MAX`)
+    /// fold like any other value. The worst case is bounded by the
+    /// rounds a history needs to underflow (≈ 1 100 for the default
+    /// `γ = 0.5`; configurations with `γ` near 1 pay proportionally
+    /// more, but only once, on the first touch after the idle
+    /// stretch — the same multiplications an eager fold would have
+    /// spread across the idle epochs).
+    pub fn catch_up(&mut self, gamma: f64, epochs: u64) {
+        if epochs == 0 {
+            return;
+        }
+        self.decay(gamma);
+        for q_eff in &mut self.q_eff {
+            for _ in 1..epochs {
+                if *q_eff == 0.0 {
+                    break;
+                }
+                *q_eff *= gamma;
+            }
         }
     }
 
@@ -514,6 +592,70 @@ mod tests {
         cands.decay(0.5);
         assert_eq!(cands.q(0), 0);
         assert_eq!(cands.q_eff(0), u32::MAX as f64);
+    }
+
+    #[test]
+    fn catch_up_is_bit_identical_to_eager_decay() {
+        // The eager oracle: one `decay` per epoch, exactly as the index
+        // performed before decay went lazy.
+        let sig = Signature::root(2);
+        let mut eager = generate_candidates(&sig, 4);
+        // A spread of magnitudes, including a saturated counter and a
+        // tiny history that decays through many epochs.
+        eager.add_q(0, 10);
+        eager.add_q(3, u32::MAX);
+        eager.add_q(7, 1);
+        eager.decay(0.5);
+        eager.add_q(7, 3);
+        let mut lazy = eager.clone();
+        let gamma = 0.37;
+        for k in [1u64, 2, 5, 40] {
+            for _ in 0..k {
+                eager.decay(gamma);
+            }
+            lazy.catch_up(gamma, k);
+            assert_eq!(lazy, eager, "diverged after catching up {k} epochs");
+            for ci in 0..eager.len() {
+                assert_eq!(
+                    lazy.q_eff(ci).to_bits(),
+                    eager.q_eff(ci).to_bits(),
+                    "candidate {ci} after {k} epochs"
+                );
+            }
+        }
+        // Far past underflow: every history is exactly +0.0 in both, and
+        // the lazy early-exit must not change that.
+        for _ in 0..4000 {
+            eager.decay(gamma);
+        }
+        lazy.catch_up(gamma, 4000);
+        for ci in 0..eager.len() {
+            assert_eq!(lazy.q_eff(ci).to_bits(), eager.q_eff(ci).to_bits());
+            assert_eq!(lazy.q_eff(ci), 0.0, "histories underflow to exact zero");
+        }
+        lazy.catch_up(gamma, 0); // no-op
+        assert_eq!(lazy, eager);
+    }
+
+    #[test]
+    fn n_hi_bounds_member_counts() {
+        let sig = Signature::root(2);
+        let mut cands = generate_candidates(&sig, 4);
+        assert_eq!(cands.n_hi(), 0);
+        let a = rect(&[0.1, 0.6], &[0.2, 0.9]).to_flat();
+        let b = rect(&[0.12, 0.6], &[0.2, 0.9]).to_flat();
+        cands.record_member(&a);
+        cands.record_member(&b);
+        assert_eq!(cands.n_hi(), 2, "raised by recordings");
+        cands.unrecord_member(&a);
+        assert_eq!(cands.n_hi(), 2, "removals leave the bound loose, never low");
+        let max_n = (0..cands.len()).map(|ci| cands.n(ci)).max().unwrap();
+        assert!(cands.n_hi() >= max_n);
+        cands.set_n_hi(max_n);
+        assert_eq!(cands.n_hi(), 1, "scans re-tighten to the exact maximum");
+        // Decay never touches member counts or the bound.
+        cands.catch_up(0.5, 3);
+        assert_eq!(cands.n_hi(), 1);
     }
 
     #[test]

@@ -36,6 +36,43 @@ impl std::str::FromStr for ScanMode {
     }
 }
 
+/// How the periodic reorganization pass evaluates the benefit functions.
+///
+/// Both modes make **identical decisions** — same merges, same
+/// materializations, same [`crate::ReorgReport`]s, bit-identical
+/// [`crate::ClusterSnapshot`]s — on any workload; only the amount of
+/// work spent reaching those decisions differs. The full sweep is kept
+/// as the correctness *oracle* for equivalence tests and as the
+/// reference row of the reorganization benchmarks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ReorgMode {
+    /// Incremental + columnar pass: an O(1) sound screen (driven by a
+    /// cached upper bound on candidate member counts) skips the
+    /// candidate scan of clusters that provably cannot split, merge
+    /// benefits are evaluated in one batched column over the cluster
+    /// slots, and the scans that do run batch the benefit arithmetic
+    /// over the candidate counter columns.
+    #[default]
+    Incremental,
+    /// The full sweep: every cluster's candidates are re-evaluated with
+    /// per-candidate scalar benefit arithmetic each pass.
+    FullOracle,
+}
+
+impl std::str::FromStr for ReorgMode {
+    type Err = String;
+
+    /// Parses `"incremental"` or `"full"`/`"oracle"`/`"full-oracle"`
+    /// (case-insensitive) — the spelling used by the bench CLI flags.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "incremental" => Ok(ReorgMode::Incremental),
+            "full" | "oracle" | "full-oracle" | "full_oracle" => Ok(ReorgMode::FullOracle),
+            other => Err(format!("unknown reorganization mode {other:?}")),
+        }
+    }
+}
+
 /// Configuration of an [`crate::AdaptiveClusterIndex`].
 #[derive(Debug, Clone, PartialEq)]
 pub struct IndexConfig {
@@ -94,6 +131,11 @@ pub struct IndexConfig {
     /// `true`; match sets and every access statistic are identical
     /// either way (skipped blocks still charge their `dims_checked`).
     pub zone_maps: bool,
+    /// Evaluation strategy of the periodic reorganization pass.
+    /// Defaults to [`ReorgMode::Incremental`];
+    /// [`ReorgMode::FullOracle`] selects the decision-identical full
+    /// scalar sweep kept as the reference path.
+    pub reorg_mode: ReorgMode,
 }
 
 impl IndexConfig {
@@ -114,6 +156,7 @@ impl IndexConfig {
             scan_mode: ScanMode::Columnar,
             candidate_scan: ScanMode::Columnar,
             zone_maps: true,
+            reorg_mode: ReorgMode::Incremental,
         }
     }
 
@@ -204,6 +247,16 @@ mod tests {
         c.division_factor = 4;
         c.reserve_fraction = 1.5;
         assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn reorg_mode_parses_strictly() {
+        assert_eq!("incremental".parse::<ReorgMode>(), Ok(ReorgMode::Incremental));
+        assert_eq!("Full".parse::<ReorgMode>(), Ok(ReorgMode::FullOracle));
+        assert_eq!("oracle".parse::<ReorgMode>(), Ok(ReorgMode::FullOracle));
+        assert_eq!("full-oracle".parse::<ReorgMode>(), Ok(ReorgMode::FullOracle));
+        assert!("fullish".parse::<ReorgMode>().is_err());
+        assert_eq!(ReorgMode::default(), ReorgMode::Incremental);
     }
 
     #[test]

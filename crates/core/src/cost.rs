@@ -50,6 +50,207 @@ pub fn merging_benefit(a: f64, b: f64, c: f64, p_c: f64, p_a: f64, n_c: usize) -
     a + p_c * b - (p_a - p_c) * n_c as f64 * c
 }
 
+/// Relative deflation applied to the reciprocal in
+/// [`materialization_benefit_column`]: four thousand times the
+/// accumulated relative rounding error of the reciprocal rewrite, so the
+/// column's probability under-estimates — and therefore its benefit
+/// over-estimates — are *sound* bounds, not approximations that could
+/// flip a comparison.
+const RECIPROCAL_SLACK: f64 = 1e-12;
+
+/// Sound per-candidate **upper bounds** on the materialization benefits
+/// of one cluster's whole candidate set, evaluated in a single
+/// branch-free pass over the [`crate::candidates::CandidateSet`] counter
+/// columns (`n`, `q`, `q_eff`) into a benefit column. On x86_64 the
+/// pass is dispatched to an AVX2-compiled clone when the CPU supports
+/// it (runtime-detected once, like the scan kernels' byte fills).
+///
+/// Each element prices the scalar expression `materialization_benefit(a,
+/// b, c, p_c, p_s, n)` with the candidate's access probability replaced
+/// by `(q_eff + q) · (1 − 1e-12)/denom` — one hoisted reciprocal
+/// multiply instead of a division per candidate. The deflated
+/// reciprocal under-estimates every true `p_s` by construction (the
+/// slack dwarfs the reciprocal's rounding error), and the benefit is
+/// monotonically non-increasing in `p_s` under IEEE rounding, so every
+/// column element is `≥` the exact scalar benefit while staying within
+/// a few parts in 10¹² of it. A candidate whose *bound* already fails a
+/// threshold is provably rejected by the exact arithmetic too; the
+/// caller re-prices the rare survivors exactly (division, sqrt
+/// threshold) before deciding — see
+/// `AdaptiveClusterIndex::reorganize`. When `denom ≤ 0` every
+/// probability is exactly zero in the scalar loop, and the column is
+/// bit-identical to it.
+///
+/// The pass additionally compares every bound against the caller's
+/// per-candidate threshold floor `n·floor_r + floor_s` (the move margin
+/// plus the confidence margin's variance floor, slack-deflated by the
+/// caller) in the same traversal. The returned summary carries the
+/// maximum `n` over all candidates — the exact value of the cached
+/// member-count bound the reorganization screen uses
+/// ([`crate::candidates::CandidateSet::n_hi`]) — and whether any bound
+/// exceeded its floor; when none did, the caller skips its selection
+/// sweep outright, since every exact benefit provably fails its
+/// threshold.
+///
+/// In that common no-survivor case the column itself is never read, so
+/// the pass runs **store-free** first (pure reduction over the counter
+/// columns) and fills `out` only when some bound cleared its floor —
+/// `out` then holds one bound per candidate, recomputed by the same
+/// expressions. The reduction also carries the maximum bound over
+/// populated candidates (the cached-verdict coefficient) in four
+/// explicit max lanes — a single fmax accumulator would serialize the
+/// loop — folded at the end.
+#[allow(clippy::too_many_arguments)] // mirrors the scalar call plus the three counter columns
+pub fn materialization_benefit_column(
+    a: f64,
+    b: f64,
+    c: f64,
+    p_c: f64,
+    denom: f64,
+    floor_r: f64,
+    floor_s: f64,
+    n: &[u32],
+    q: &[u32],
+    q_eff: &[f64],
+    out: &mut Vec<f64>,
+) -> BenefitColumnSummary {
+    #[cfg(target_arch = "x86_64")]
+    if acx_geom::scan::avx2_detected() {
+        // SAFETY: AVX2 presence was just verified; the callee is the
+        // same safe loop compiled with the feature enabled.
+        return unsafe {
+            materialization_benefit_column_avx2(
+                a, b, c, p_c, denom, floor_r, floor_s, n, q, q_eff, out,
+            )
+        };
+    }
+    materialization_benefit_column_impl(a, b, c, p_c, denom, floor_r, floor_s, n, q, q_eff, out)
+}
+
+/// What one benefit-column pass found — see
+/// [`materialization_benefit_column`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BenefitColumnSummary {
+    /// Exact maximum of the `n` column.
+    pub max_n: u32,
+    /// Whether any candidate's benefit bound exceeded its threshold
+    /// floor `n·floor_r + floor_s`.
+    pub any_above_floor: bool,
+    /// Maximum benefit bound over candidates holding members
+    /// (`NEG_INFINITY` when none do) — the raw material of the cached
+    /// no-split verdict later passes screen with.
+    pub max_bound: f64,
+}
+
+/// [`materialization_benefit_column_impl`] compiled for AVX2 so the
+/// fill vectorizes at four lanes — bound semantics are identical, only
+/// the lane width changes.
+#[cfg(target_arch = "x86_64")]
+#[allow(clippy::too_many_arguments)]
+#[target_feature(enable = "avx2")]
+fn materialization_benefit_column_avx2(
+    a: f64,
+    b: f64,
+    c: f64,
+    p_c: f64,
+    denom: f64,
+    floor_r: f64,
+    floor_s: f64,
+    n: &[u32],
+    q: &[u32],
+    q_eff: &[f64],
+    out: &mut Vec<f64>,
+) -> BenefitColumnSummary {
+    materialization_benefit_column_impl(a, b, c, p_c, denom, floor_r, floor_s, n, q, q_eff, out)
+}
+
+#[allow(clippy::too_many_arguments)]
+#[inline(always)]
+fn materialization_benefit_column_impl(
+    a: f64,
+    b: f64,
+    c: f64,
+    p_c: f64,
+    denom: f64,
+    floor_r: f64,
+    floor_s: f64,
+    n: &[u32],
+    q: &[u32],
+    q_eff: &[f64],
+    out: &mut Vec<f64>,
+) -> BenefitColumnSummary {
+    debug_assert!(q.len() == n.len() && q_eff.len() == n.len());
+    let len = n.len();
+    let mut any_above_floor = false;
+    let mut max_lanes = [f64::NEG_INFINITY; 4];
+    let inv = if denom <= 0.0 {
+        // Every probability is exactly zero in the scalar loop; a zero
+        // reciprocal reproduces that (`s · 0.0 = +0.0` for the
+        // non-negative counters stored here).
+        0.0
+    } else {
+        (1.0 / denom) * (1.0 - RECIPROCAL_SLACK)
+    };
+    let mut i = 0;
+    while i + 4 <= len {
+        for j in 0..4 {
+            let n_s = n[i + j];
+            let p_s_lo = (q_eff[i + j] + q[i + j] as f64) * inv;
+            let bound = materialization_benefit(a, b, c, p_c, p_s_lo, n_s as usize);
+            any_above_floor |= bound > n_s as f64 * floor_r + floor_s;
+            let masked = if n_s > 0 { bound } else { f64::NEG_INFINITY };
+            max_lanes[j] = max_lanes[j].max(masked);
+        }
+        i += 4;
+    }
+    for k in i..len {
+        let n_s = n[k];
+        let p_s_lo = (q_eff[k] + q[k] as f64) * inv;
+        let bound = materialization_benefit(a, b, c, p_c, p_s_lo, n_s as usize);
+        any_above_floor |= bound > n_s as f64 * floor_r + floor_s;
+        if n_s > 0 {
+            max_lanes[0] = max_lanes[0].max(bound);
+        }
+    }
+    let max_bound = max_lanes.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    out.clear();
+    if any_above_floor {
+        out.resize(len, 0.0);
+        for (((out_s, &n_s), &q_s), &q_eff_s) in out.iter_mut().zip(n).zip(q).zip(q_eff) {
+            let p_s_lo = (q_eff_s + q_s as f64) * inv;
+            *out_s = materialization_benefit(a, b, c, p_c, p_s_lo, n_s as usize);
+        }
+    }
+    BenefitColumnSummary {
+        max_n: n.iter().copied().max().unwrap_or(0),
+        any_above_floor,
+        max_bound,
+    }
+}
+
+/// Merging benefits of many clusters at once: one vectorizable pass over
+/// per-slot `(p_c, p_a, n_c)` columns into a benefit column. Element `i`
+/// is bit-identical to `merging_benefit(a, b, c, p_c[i], p_a[i],
+/// n_c[i])` — the batched form the incremental reorganization pass
+/// evaluates up front over all cluster slots (falling back to the scalar
+/// call once a merge or split has changed the inputs mid-pass).
+pub fn merging_benefit_column(
+    a: f64,
+    b: f64,
+    c: f64,
+    p_c: &[f64],
+    p_a: &[f64],
+    n_c: &[u32],
+    out: &mut Vec<f64>,
+) {
+    debug_assert!(p_a.len() == p_c.len() && n_c.len() == p_c.len());
+    out.clear();
+    out.reserve(p_c.len());
+    for ((&pc, &pa), &n) in p_c.iter().zip(p_a).zip(n_c) {
+        out.push(merging_benefit(a, b, c, pc, pa, n as usize));
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -140,6 +341,75 @@ mod tests {
         let (a, b, c) = mem_terms();
         let benefit = merging_benefit(a, b, c, 0.01, 1.0, 50_000);
         assert!(benefit < 0.0, "benefit {benefit}");
+    }
+
+    #[test]
+    fn benefit_column_bounds_the_scalar_calls_tightly() {
+        let (a, b, c) = mem_terms();
+        let n = [0u32, 1, 40, 10_000, u32::MAX];
+        let q = [0u32, 3, 0, 250, u32::MAX];
+        let q_eff = [0.0, 1.5, 0.25, 900.75, 1e9];
+        let (p_c, denom) = (0.37, 240.0);
+        let mut col = Vec::new();
+        let summary = materialization_benefit_column(
+            a, b, c, p_c, denom, 0.0, 0.0, &n, &q, &q_eff, &mut col,
+        );
+        assert_eq!(summary.max_n, u32::MAX);
+        assert!(summary.any_above_floor, "zero floors: positive bounds must fire");
+        assert_eq!(col.len(), n.len());
+        for i in 0..n.len() {
+            let p_s = (q_eff[i] + q[i] as f64) / denom;
+            let exact = materialization_benefit(a, b, c, p_c, p_s, n[i] as usize);
+            // Sound upper bound…
+            assert!(col[i] >= exact, "candidate {i}: bound {} < exact {exact}", col[i]);
+            // …within a few parts in 10¹² of the exact value's scale.
+            let scale = exact.abs().max(p_s * (n[i] as f64 * c + b)).max(1e-300);
+            assert!(
+                col[i] - exact <= 1e-9 * scale,
+                "candidate {i}: bound {} too loose vs exact {exact}",
+                col[i]
+            );
+        }
+        // Zero statistics: the bound degenerates to the exact value.
+        let zeros = [0u32; 5];
+        let zeros_f = [0.0f64; 5];
+        materialization_benefit_column(
+            a, b, c, p_c, denom, 0.0, 0.0, &n, &zeros, &zeros_f, &mut col,
+        );
+        for (i, &got) in col.iter().enumerate() {
+            let want = materialization_benefit(a, b, c, p_c, 0.0, n[i] as usize);
+            assert_eq!(got.to_bits(), want.to_bits(), "candidate {i} (cold)");
+        }
+        // Degenerate denominator: every p_s collapses to exactly 0 in
+        // the scalar loop, and the column is bit-identical to it.
+        let summary = materialization_benefit_column(
+            a, b, c, p_c, 0.0, 0.0, 0.0, &n, &q, &q_eff, &mut col,
+        );
+        assert_eq!(summary.max_n, u32::MAX);
+        for (i, &got) in col.iter().enumerate() {
+            let want = materialization_benefit(a, b, c, p_c, 0.0, n[i] as usize);
+            assert_eq!(got.to_bits(), want.to_bits(), "candidate {i} (denom 0)");
+        }
+        // A floor above every bound reports no candidate above it.
+        let summary = materialization_benefit_column(
+            a, b, c, p_c, denom, 1e9, 1e9, &n, &q, &q_eff, &mut col,
+        );
+        assert!(!summary.any_above_floor);
+    }
+
+    #[test]
+    fn merging_column_is_bit_identical_to_scalar_calls() {
+        let (a, b, c) = disk_terms();
+        let p_c = [0.0, 0.2, 0.95, 1.0];
+        let p_a = [0.5, 0.2, 1.0, 1.0];
+        let n_c = [0u32, 17, 400, 100_000];
+        let mut col = Vec::new();
+        merging_benefit_column(a, b, c, &p_c, &p_a, &n_c, &mut col);
+        assert_eq!(col.len(), p_c.len());
+        for i in 0..p_c.len() {
+            let want = merging_benefit(a, b, c, p_c[i], p_a[i], n_c[i] as usize);
+            assert_eq!(col[i].to_bits(), want.to_bits(), "slot {i}");
+        }
     }
 
     #[test]

@@ -17,9 +17,12 @@ use acx_storage::{AccessStats, ClusterRecord, CostModel, FileStore, SegmentId, S
 
 use crate::batch::StatsDelta;
 use crate::candidates::{generate_candidates, CandidateSet};
-use crate::config::ScanMode;
-use crate::cost::{materialization_benefit, merging_benefit};
-use crate::metrics::{ClusterSnapshot, QueryMetrics, QueryResult, ReorgReport};
+use crate::config::{ReorgMode, ScanMode};
+use crate::cost::{
+    materialization_benefit, materialization_benefit_column, merging_benefit,
+    merging_benefit_column,
+};
+use crate::metrics::{ClusterSnapshot, QueryMetrics, QueryResult, ReorgProfile, ReorgReport};
 use crate::signature::Signature;
 use crate::{IndexConfig, IndexError};
 
@@ -60,6 +63,87 @@ impl QueryScratch {
 
 const NO_PARENT: u32 = u32::MAX;
 
+/// Relative deflation applied to the selection sweep's threshold floor
+/// (see `split_scan_columnar`): large enough to dominate the few-ulp
+/// rounding error of the floor and threshold expressions by four orders
+/// of magnitude, small enough to stay a tight prefilter.
+const FLOOR_SLACK: f64 = 1e-12;
+
+/// Relative inflation applied to a cached no-split verdict's benefit
+/// coefficient: generous enough to dominate the per-epoch ulp drift of
+/// the lazily decayed counters it summarizes (bounded by
+/// epochs-until-underflow times the rounding unit, orders of magnitude
+/// below this), so the cached bound stays sound however long the
+/// cluster sleeps.
+const SCAN_CACHE_SLACK: f64 = 1e-6;
+
+/// Relative growth of the effective `C` a cached no-split verdict
+/// tolerates: `verify_fraction` jitters a little every period, and a
+/// hard `C' ≤ C` gate would void caches on every up-tick. For
+/// `C' ≤ C·(1 + h)` each benefit coefficient is bounded by
+/// `(1 + h)·g_hi + h·B` (the `C`-scaled part grows by at most `1 + h`,
+/// and the `−r·B` part gives back at most `h·B`), which the consult
+/// prices instead of `g_hi` itself.
+const SCAN_CACHE_C_HEADROOM: f64 = 1e-3;
+
+/// The cached verdict of a cluster's last candidate scan: the scan
+/// found nothing to materialize, and — while the cluster's statistics
+/// stay untouched — nothing can *become* materializable except through
+/// the cluster's own access probability. Invalidated by
+/// `AdaptiveClusterIndex::mark_dirty` (any query increment or
+/// membership change), i.e. exactly through the dirty-set machinery.
+///
+/// Soundness (see `scan_cache_rules_out`): for an untouched cluster
+/// every candidate's counters decay by the same factor as the
+/// cluster's own, so the ratio `r_i = p_si / p_c` is invariant and each
+/// benefit is `p_c · g_i − A` with `g_i = (1 − r_i)·n_i·C − r_i·B`
+/// fixed up to the effective `C`. The cache stores an upper bound on
+/// `max g_i` (from the scan's benefit-bound column) plus the `C` it was
+/// priced at; benefits can only shrink while `C` does not grow
+/// (`r_i ∈ [0, 1]` since a candidate is never matched more often than
+/// its cluster).
+#[derive(Debug, Clone, Copy)]
+struct ScanCache {
+    /// Upper bound on `max_i g_i` over candidates holding members.
+    g_hi: f64,
+    /// Effective `C` the bound was priced at.
+    c: f64,
+}
+
+/// Per-pass cost terms — see `AdaptiveClusterIndex::pass_costs`.
+#[derive(Debug, Clone, Copy)]
+struct PassCosts {
+    /// Signature-check cost `A`.
+    a: f64,
+    /// Exploration-setup cost `B`.
+    b: f64,
+    /// Effective per-object cost `C` (`decision_c` at pass start).
+    c: f64,
+    /// Reorganization pay-back horizon (queries).
+    horizon: f64,
+    /// Confidence factor `z`.
+    z: f64,
+}
+
+/// The single definition of the move margin `2·n·C / horizon` — the
+/// per-call method and every hoisted pass-loop use delegate here, so
+/// their float results cannot drift apart.
+#[inline]
+fn move_margin_c(c: f64, horizon: f64, n: usize) -> f64 {
+    2.0 * n as f64 * c / horizon
+}
+
+/// The single definition of the confidence margin — see
+/// `AdaptiveClusterIndex::confidence_margin` for the rationale.
+#[inline]
+fn confidence_margin_c(z: f64, c: f64, b: f64, p: f64, n_eff: f64, n_objects: usize) -> f64 {
+    if z == 0.0 || n_eff <= 0.0 {
+        return 0.0;
+    }
+    let variance = (p * (1.0 - p)).max(1.0 / n_eff) / n_eff;
+    z * variance.sqrt() * (n_objects as f64 * c + b)
+}
+
 /// Relative tolerance under which two access probabilities count as tied
 /// during insertion (paper §3.5: ties prefer the most specific cluster).
 /// Exact float equality almost never holds once probabilities are nonzero
@@ -91,6 +175,15 @@ struct Cluster {
     /// Exponentially decayed length (in queries) of completed epochs —
     /// the denominator paired with `q_eff`.
     weight: f64,
+    /// Statistics epoch the candidate counters are materialized to.
+    /// Candidate decay is **lazy**: an epoch close only rolls the
+    /// index-global epoch number, and a cluster skipped by the close
+    /// replays the missed folds exactly (`decay^k` catch-up) on its next
+    /// touch — see `AdaptiveClusterIndex::materialize_candidates`.
+    cand_stamp: u64,
+    /// Whether this cluster is on the index's reorganization dirty set
+    /// (statistics changed since the last pass).
+    dirty: bool,
 }
 
 /// Cost-based adaptive clustering index over multidimensional extended
@@ -137,6 +230,44 @@ pub struct AdaptiveClusterIndex {
     query_scratch: QueryScratch,
     /// Statistics delta reused by the sequential `execute` path.
     delta_scratch: StatsDelta,
+    /// Completed statistics epochs (one per reorganization pass) — the
+    /// clock the per-cluster `cand_stamp`s lag behind.
+    stats_epoch: u64,
+    /// The persistent dirty set: slots whose statistics (matching-query
+    /// counters or membership) changed since the last reorganization.
+    /// Fed from every applied [`StatsDelta`]'s dirty list and from the
+    /// membership mutation paths; cleared when a pass closes its epoch.
+    dirty_slots: Vec<u32>,
+    /// Cached no-split verdicts of the last candidate scans, indexed by
+    /// cluster slot (kept out of [`Cluster`]: the verdicts are touched
+    /// only by the pass and the invalidation paths, and fattening every
+    /// cluster would cost the latency-bound pass loop extra cache
+    /// lines). `None` = no valid verdict; entries past the end mean the
+    /// same.
+    scan_caches: Vec<Option<ScanCache>>,
+    /// Column buffers reused by the incremental reorganization pass.
+    reorg_scratch: ReorgScratch,
+    /// Work profile of the most recent reorganization pass.
+    last_profile: ReorgProfile,
+}
+
+/// Reusable column buffers of the incremental reorganization pass: the
+/// per-candidate benefit column of the cluster currently being scanned
+/// and the per-slot merge-benefit columns of the batched pre-pass. Like
+/// [`QueryScratch`], buffers grow to the workload's high-water mark and
+/// are then reused, so a warmed-up pass allocates nothing.
+#[derive(Debug, Default)]
+struct ReorgScratch {
+    /// Candidate materialization benefits (one per candidate).
+    benefits: Vec<f64>,
+    /// Per-snapshot-slot access probability of each cluster.
+    merge_p_c: Vec<f64>,
+    /// Per-snapshot-slot access probability of each cluster's parent.
+    merge_p_a: Vec<f64>,
+    /// Per-snapshot-slot member count of each cluster.
+    merge_n: Vec<u32>,
+    /// Batched merge benefit per snapshot slot.
+    merge_benefits: Vec<f64>,
 }
 
 impl AdaptiveClusterIndex {
@@ -159,6 +290,8 @@ impl AdaptiveClusterIndex {
             epoch_start: 0,
             q_eff: 0.0,
             weight: 0.0,
+            cand_stamp: 0,
+            dirty: false,
         };
         Ok(Self {
             config,
@@ -180,6 +313,11 @@ impl AdaptiveClusterIndex {
             hist_full_bytes: 0.0,
             query_scratch: QueryScratch::new(),
             delta_scratch: StatsDelta::new(),
+            stats_epoch: 0,
+            dirty_slots: Vec::new(),
+            scan_caches: Vec::new(),
+            reorg_scratch: ReorgScratch::default(),
+            last_profile: ReorgProfile::default(),
         })
     }
 
@@ -285,11 +423,27 @@ impl AdaptiveClusterIndex {
         self.model.c_verify() * self.verify_fraction() + self.model.c_transfer()
     }
 
+    /// The cost terms of one reorganization pass, hoisted: every term is
+    /// deterministic while a pass runs (no byte counter moves between
+    /// its evaluations), so pricing thousands of candidates through this
+    /// struct is bit-identical to the per-call methods — it just skips
+    /// re-deriving `decision_c` (a `verify_fraction` division) each
+    /// time.
+    fn pass_costs(&self) -> PassCosts {
+        PassCosts {
+            a: self.model.a(),
+            b: self.model.b(),
+            c: self.decision_c(),
+            horizon: self.config.reorg_cost_horizon,
+            z: self.config.confidence_z,
+        }
+    }
+
     /// Hysteresis threshold: a reorganization that moves `n` objects must
     /// save more than the move cost (read + write ≈ `2·n·C`) amortized
     /// over the configured pay-back horizon.
     fn move_margin(&self, n: usize) -> f64 {
-        2.0 * n as f64 * self.decision_c() / self.config.reorg_cost_horizon
+        move_margin_c(self.decision_c(), self.config.reorg_cost_horizon, n)
     }
 
     /// Statistical margin: `z` standard errors of a benefit estimate whose
@@ -298,13 +452,14 @@ impl AdaptiveClusterIndex {
     /// n·C + B`. Acting only on statistically significant benefits stops
     /// sampling noise from ping-ponging marginal clusters.
     fn confidence_margin(&self, p: f64, n_eff: f64, n_objects: usize) -> f64 {
-        if self.config.confidence_z == 0.0 || n_eff <= 0.0 {
-            return 0.0;
-        }
-        let variance = (p * (1.0 - p)).max(1.0 / n_eff) / n_eff;
-        self.config.confidence_z
-            * variance.sqrt()
-            * (n_objects as f64 * self.decision_c() + self.model.b())
+        confidence_margin_c(
+            self.config.confidence_z,
+            self.decision_c(),
+            self.model.b(),
+            p,
+            n_eff,
+            n_objects,
+        )
     }
 
     /// Inserts a new object (paper §3.5, Fig. 4): among all materialized
@@ -358,7 +513,42 @@ impl AdaptiveClusterIndex {
         cluster.candidates.record_member(&flat);
         self.store.push(cluster.segment, id.raw(), &flat);
         self.object_cluster.insert(id.raw(), slot);
+        self.mark_dirty(slot);
         Ok(())
+    }
+
+    /// Puts a cluster on the reorganization dirty set (idempotent): its
+    /// statistics changed since the last pass.
+    fn mark_dirty(&mut self, slot: u32) {
+        // Any statistics change voids the cached no-split verdict.
+        if let Some(cache) = self.scan_caches.get_mut(slot as usize) {
+            *cache = None;
+        }
+        let cluster = self.clusters[slot as usize]
+            .as_mut()
+            .expect("cluster slot is live");
+        if !cluster.dirty {
+            cluster.dirty = true;
+            self.dirty_slots.push(slot);
+        }
+    }
+
+    /// Brings a cluster's candidate counters up to the current
+    /// statistics epoch by replaying every close it skipped — the lazy
+    /// half of [`AdaptiveClusterIndex::decay_statistics`]. The replay
+    /// ([`CandidateSet::catch_up`]) is bit-identical to having folded
+    /// the counters eagerly at each close, so lazily decayed clusters
+    /// are indistinguishable from eagerly decayed ones at every read.
+    fn materialize_candidates(&mut self, slot: u32) {
+        let epoch = self.stats_epoch;
+        let cluster = self.clusters[slot as usize]
+            .as_mut()
+            .expect("cluster slot is live");
+        let behind = epoch - cluster.cand_stamp;
+        if behind > 0 {
+            cluster.candidates.catch_up(self.config.stats_decay, behind);
+            cluster.cand_stamp = epoch;
+        }
     }
 
     /// Removes an object, returning its rectangle. The object is located
@@ -380,6 +570,7 @@ impl AdaptiveClusterIndex {
         cluster.candidates.unrecord_member(&flat);
         self.store.swap_remove(cluster.segment, idx);
         self.object_cluster.remove(&id.raw());
+        self.mark_dirty(slot);
         Ok(HyperRect::from_flat(&flat)?)
     }
 
@@ -661,9 +852,13 @@ impl AdaptiveClusterIndex {
             // Only the dirty list carries increments: a reused delta
             // (see [`StatsDelta::clear`]) may retain zeroed entries for
             // clusters of earlier epochs whose slots were since recycled
-            // or freed, but those are not on the list.
+            // or freed, but those are not on the list. The same list
+            // feeds the persistent reorganization dirty set, and each
+            // touched cluster replays any lazily skipped decay epochs
+            // before the new increments land on it.
             for &slot in &delta.touched {
                 let recorded = &delta.clusters[&slot];
+                self.materialize_candidates(slot);
                 let cluster = self
                     .clusters
                     .get_mut(slot as usize)
@@ -671,6 +866,17 @@ impl AdaptiveClusterIndex {
                     .expect("delta epoch matches, so its cluster slots are live");
                 cluster.q_count += recorded.q_count;
                 cluster.candidates.add_q_slice(&recorded.cand_q);
+                // Inline `mark_dirty` (the cluster is already borrowed):
+                // the new increments void the cached no-split verdict
+                // and put the slot on the dirty set.
+                let newly_dirty = !cluster.dirty;
+                cluster.dirty = true;
+                if newly_dirty {
+                    self.dirty_slots.push(slot);
+                }
+                if let Some(cache) = self.scan_caches.get_mut(slot as usize) {
+                    *cache = None;
+                }
             }
         }
         self.queries_since_reorg += delta.queries;
@@ -859,29 +1065,30 @@ impl AdaptiveClusterIndex {
     /// materialized cluster, merge it into its parent when the merging
     /// benefit is positive, otherwise greedily materialize its profitable
     /// candidate subclusters. Statistics epochs restart afterwards.
+    ///
+    /// Two decision-identical evaluation strategies exist
+    /// ([`crate::ReorgMode`]): the full scalar sweep, and the default
+    /// incremental pass, which screens out clusters that provably cannot
+    /// split and batches the remaining benefit arithmetic over the
+    /// candidate counter columns. Both produce the same [`ReorgReport`],
+    /// the same merges and materializations, and bit-identical
+    /// [`ClusterSnapshot`]s; the work they spend differs
+    /// ([`AdaptiveClusterIndex::last_reorg_profile`]).
     pub fn reorganize(&mut self) -> ReorgReport {
         let mut report = ReorgReport {
             clusters_before: self.cluster_count(),
             ..Default::default()
         };
+        let mut profile = ReorgProfile {
+            dirty_clusters: self.dirty_slots.len() as u64,
+            ..Default::default()
+        };
         let snapshot: Vec<u32> = (0..self.clusters.len() as u32)
             .filter(|&s| self.clusters[s as usize].is_some())
             .collect();
-        for slot in snapshot {
-            if self.clusters[slot as usize].is_none() {
-                continue; // removed by an earlier merge in this pass
-            }
-            let cluster = self.cluster(slot);
-            let epoch_len = self.total_queries.saturating_sub(cluster.epoch_start);
-            if cluster.weight + (epoch_len as f64) < self.config.min_epoch_queries as f64 {
-                continue;
-            }
-            if slot != self.root && self.merge_profitable(slot) {
-                self.merge_cluster(slot);
-                report.merges += 1;
-            } else {
-                report.splits += self.try_cluster_split(slot, epoch_len);
-            }
+        match self.config.reorg_mode {
+            ReorgMode::FullOracle => self.full_pass(&snapshot, &mut report, &mut profile),
+            ReorgMode::Incremental => self.incremental_pass(&snapshot, &mut report, &mut profile),
         }
         self.decay_statistics();
         self.reorganizations += 1;
@@ -892,32 +1099,353 @@ impl AdaptiveClusterIndex {
         }
         self.total_merges += report.merges;
         self.total_splits += report.splits;
+        self.last_profile = profile;
         report
     }
 
-    fn merge_profitable(&self, slot: u32) -> bool {
+    /// Work profile of the most recent reorganization pass — how many
+    /// clusters were dirty, evaluated, candidate-scanned, or screened
+    /// out. Diagnostics only: unlike the [`ReorgReport`], the profile
+    /// legitimately differs between [`crate::ReorgMode`]s.
+    pub fn last_reorg_profile(&self) -> ReorgProfile {
+        self.last_profile
+    }
+
+    /// The full-sweep reorganization pass: every cluster surviving the
+    /// epoch gate is merge-evaluated and candidate-scanned with scalar
+    /// benefit arithmetic — the decision oracle the incremental pass is
+    /// tested against.
+    fn full_pass(&mut self, snapshot: &[u32], report: &mut ReorgReport, profile: &mut ReorgProfile) {
+        for &slot in snapshot {
+            if self.clusters[slot as usize].is_none() {
+                continue; // removed by an earlier merge in this pass
+            }
+            let cluster = self.cluster(slot);
+            let epoch_len = self.total_queries.saturating_sub(cluster.epoch_start);
+            if cluster.weight + (epoch_len as f64) < self.config.min_epoch_queries as f64 {
+                continue;
+            }
+            profile.evaluated += 1;
+            if slot != self.root && self.merge_profitable(slot) {
+                self.merge_cluster(slot);
+                report.merges += 1;
+            } else {
+                let splits = self.try_cluster_split(slot, epoch_len);
+                profile.candidate_scans += 1 + splits;
+                report.splits += splits;
+            }
+        }
+    }
+
+    /// The incremental reorganization pass. Decision-identical to
+    /// [`AdaptiveClusterIndex::full_pass`] (same visit order, same gate,
+    /// bit-identical benefit values), three layers cheaper:
+    ///
+    /// * merge benefits are evaluated up front in one batched column
+    ///   over the snapshot slots, falling back to the scalar expression
+    ///   once a merge or materialization has changed some cluster's
+    ///   inputs mid-pass (the column is the same arithmetic, batched);
+    /// * the O(1) screen ([`AdaptiveClusterIndex::split_screen_rules_out`])
+    ///   skips the candidate scan of every cluster that provably cannot
+    ///   materialize anything — with the dirty set, the common case of a
+    ///   cluster whose statistics barely moved costs O(1) per pass;
+    /// * the scans that do run evaluate their benefit column in one
+    ///   vectorizable pass over the candidate counter columns and price
+    ///   the sqrt-bearing significance threshold only for candidates
+    ///   whose benefit can still win.
+    fn incremental_pass(
+        &mut self,
+        snapshot: &[u32],
+        report: &mut ReorgReport,
+        profile: &mut ReorgProfile,
+    ) {
+        let mut scratch = std::mem::take(&mut self.reorg_scratch);
+        scratch.merge_p_c.clear();
+        scratch.merge_p_a.clear();
+        scratch.merge_n.clear();
+        let mut denom_min = f64::INFINITY;
+        let mut denom_max = f64::NEG_INFINITY;
+        for &slot in snapshot {
+            let cluster = self.cluster(slot);
+            let denom =
+                cluster.weight + self.total_queries.saturating_sub(cluster.epoch_start) as f64;
+            denom_min = denom_min.min(denom);
+            denom_max = denom_max.max(denom);
+            // `p_c` is invariant for the rest of the pass (no scalar
+            // statistic moves while it runs), so the gathered column
+            // also feeds the screen and the split scans.
+            scratch.merge_p_c.push(self.access_probability(cluster));
+            match cluster.parent {
+                Some(parent) => {
+                    scratch.merge_p_a.push(self.access_probability(self.cluster(parent)));
+                    scratch.merge_n.push(self.store.segment_len(cluster.segment) as u32);
+                }
+                // The root never merges; its benefit entry is never read.
+                None => {
+                    scratch.merge_p_a.push(0.0);
+                    scratch.merge_n.push(0);
+                }
+            }
+        }
+        let costs = self.pass_costs();
+        merging_benefit_column(
+            costs.a,
+            costs.b,
+            costs.c,
+            &scratch.merge_p_c,
+            &scratch.merge_p_a,
+            &scratch.merge_n,
+            &mut scratch.merge_benefits,
+        );
+        // Division- and sqrt-free floor under every cluster's merge
+        // threshold: `threshold ≥ 2nC/H + (z/D)(nC + B)` with `D` at
+        // most the largest statistics denominator of the pass (smaller
+        // `D` only raises the confidence term), deflated by the slack
+        // that dominates the rounding error of either side. Clusters
+        // whose merge benefit sits at or below the floor are provably
+        // unprofitable without pricing the sqrt-bearing threshold —
+        // which includes the ubiquitous `benefit ≈ A` cold-on-cold
+        // pairs. The z-term is dropped if any denominator is
+        // non-positive (such a cluster's confidence margin is zero).
+        let zd_merge = if costs.z > 0.0 && denom_min > 0.0 {
+            costs.z / denom_max
+        } else {
+            0.0
+        };
+        let merge_r_floor =
+            (2.0 * costs.c / costs.horizon + zd_merge * costs.c) * (1.0 - FLOOR_SLACK);
+        let merge_s_floor = zd_merge * costs.b * (1.0 - FLOOR_SLACK);
+
+        let mut structure_changed = false;
+        for (k, &slot) in snapshot.iter().enumerate() {
+            if self.clusters[slot as usize].is_none() {
+                continue; // removed by an earlier merge in this pass
+            }
+            let cluster = self.cluster(slot);
+            let epoch_len = self.total_queries.saturating_sub(cluster.epoch_start);
+            if cluster.weight + (epoch_len as f64) < self.config.min_epoch_queries as f64 {
+                continue;
+            }
+            profile.evaluated += 1;
+            let merges = slot != self.root && {
+                let (benefit, n_c) = if structure_changed {
+                    (
+                        self.merge_benefit(slot),
+                        self.store.segment_len(self.cluster(slot).segment),
+                    )
+                } else {
+                    (scratch.merge_benefits[k], scratch.merge_n[k] as usize)
+                };
+                // The threshold is non-negative, so a non-positive
+                // benefit can never clear it; the exact sqrt-bearing
+                // threshold is priced only for benefits above the floor.
+                benefit > 0.0
+                    && benefit > n_c as f64 * merge_r_floor + merge_s_floor
+                    && benefit > self.merge_threshold(slot)
+            };
+            if merges {
+                self.merge_cluster(slot);
+                report.merges += 1;
+                structure_changed = true;
+            } else if self.scan_cache_rules_out(slot, epoch_len, &costs, scratch.merge_p_c[k]) {
+                // Debug builds re-run the scan the cached verdict just
+                // skipped and insist it really finds nothing — a
+                // tripwire for any future hole in the cache's soundness
+                // argument (it caught a missing invalidation once).
+                #[cfg(debug_assertions)]
+                {
+                    let cache = self.scan_caches[slot as usize].expect("verdict implies cache");
+                    let splits = self.try_cluster_split_columnar_entry(
+                        slot,
+                        epoch_len,
+                        &costs,
+                        scratch.merge_p_c[k],
+                    );
+                    assert_eq!(
+                        splits, 0,
+                        "cached verdict wrongly skipped a split on slot {slot}: p_c={} \
+                         g_hi={} cached_c={} current_c={} epoch_len={epoch_len}",
+                        scratch.merge_p_c[k], cache.g_hi, cache.c, costs.c
+                    );
+                }
+                profile.screened_out += 1;
+                profile.cached_verdicts += 1;
+            } else if self.split_screen_rules_out(slot, epoch_len, &costs, scratch.merge_p_c[k]) {
+                profile.screened_out += 1;
+            } else {
+                let splits = self.try_cluster_split_columnar_entry(
+                    slot,
+                    epoch_len,
+                    &costs,
+                    scratch.merge_p_c[k],
+                );
+                profile.candidate_scans += 1 + splits;
+                report.splits += splits;
+                if splits > 0 {
+                    structure_changed = true;
+                }
+            }
+        }
+        self.reorg_scratch = scratch;
+    }
+
+    /// Merging benefit `μ(c, parent)` of one cluster under current
+    /// statistics (paper §5).
+    fn merge_benefit(&self, slot: u32) -> f64 {
         let cluster = self.cluster(slot);
         let parent = self.cluster(cluster.parent.expect("non-root has a parent"));
-        let p_c = self.access_probability(cluster);
-        let p_a = self.access_probability(parent);
-        let n_c = self.store.segment_len(cluster.segment);
-        let n_eff =
-            cluster.weight + self.total_queries.saturating_sub(cluster.epoch_start) as f64;
-        let threshold = self.move_margin(n_c) + self.confidence_margin(p_c, n_eff, n_c);
         merging_benefit(
             self.model.a(),
             self.model.b(),
             self.decision_c(),
-            p_c,
-            p_a,
-            n_c,
-        ) > threshold
+            self.access_probability(cluster),
+            self.access_probability(parent),
+            self.store.segment_len(cluster.segment),
+        )
+    }
+
+    /// The hysteresis + significance threshold a merge benefit must
+    /// clear (non-negative by construction).
+    fn merge_threshold(&self, slot: u32) -> f64 {
+        let cluster = self.cluster(slot);
+        let p_c = self.access_probability(cluster);
+        let n_c = self.store.segment_len(cluster.segment);
+        let n_eff =
+            cluster.weight + self.total_queries.saturating_sub(cluster.epoch_start) as f64;
+        self.move_margin(n_c) + self.confidence_margin(p_c, n_eff, n_c)
+    }
+
+    fn merge_profitable(&self, slot: u32) -> bool {
+        self.merge_benefit(slot) > self.merge_threshold(slot)
+    }
+
+    /// The O(1) cached-verdict screen: decides — soundly — whether a
+    /// full candidate scan of `slot` could possibly materialize
+    /// anything, without touching the candidate columns (and therefore
+    /// without forcing their lazy decay).
+    ///
+    /// The screen prices the most profitable candidate any scan could
+    /// find: a hypothetical candidate holding the cluster's cached
+    /// maximal member count ([`CandidateSet::n_hi`] — exact after every
+    /// scan, only ever *raised* by mutations in between) with access
+    /// probability zero. Soundness against the scalar scan, including
+    /// its float arithmetic:
+    ///
+    /// * a real candidate's benefit is monotonically non-increasing in
+    ///   `p_s` under IEEE rounding (every op of
+    ///   [`materialization_benefit`] preserves ordering), so the screen's
+    ///   `benefit(p_s = 0, n_hi)` dominates every candidate with the
+    ///   maximal member count — **bit-exactly equalling** the scan's
+    ///   value for a cold such candidate, the decisive case;
+    /// * its significance threshold is monotonically non-decreasing in
+    ///   the variance, whose floor `1/denom²` is attained exactly at
+    ///   `p = 0` — again the screen's own expression;
+    /// * for smaller member counts the real-arithmetic margin
+    ///   `benefit − threshold` is linear in `n` with negative intercept
+    ///   `−(A + z·B/denom)`, so it sits below the `n_hi` margin (when
+    ///   the slope is positive) or below `−A` (when it is not) — `A`
+    ///   dwarfs accumulated rounding noise at every realistic scale.
+    ///
+    /// A `true` verdict is therefore decision-identical to running the
+    /// scan and finding nothing; `false` only costs the scan itself.
+    fn split_screen_rules_out(
+        &self,
+        slot: u32,
+        epoch_len: u64,
+        costs: &PassCosts,
+        p_c: f64,
+    ) -> bool {
+        let cluster = self.cluster(slot);
+        let n_hi = cluster.candidates.n_hi() as usize;
+        if n_hi == 0 {
+            return true; // no candidate holds members: the scan skips them all
+        }
+        let denom = cluster.weight + epoch_len as f64;
+        if denom <= 0.0 {
+            // Every probability the scan would price collapses to zero:
+            // each benefit is exactly −A < 0 and thresholds are
+            // non-negative.
+            return true;
+        }
+        debug_assert_eq!(p_c.to_bits(), self.access_probability(cluster).to_bits());
+        let benefit_hi = materialization_benefit(costs.a, costs.b, costs.c, p_c, 0.0, n_hi);
+        if benefit_hi <= 0.0 {
+            return true; // thresholds of populated candidates are strictly positive
+        }
+        // Cheap tier first: the slack-deflated floor under the exact
+        // threshold (same construction as the scan's per-candidate
+        // prefilter) resolves almost every screened cluster without the
+        // sqrt-bearing confidence margin.
+        let zd = if costs.z > 0.0 { costs.z / denom } else { 0.0 };
+        let floor = (n_hi as f64 * (2.0 * costs.c / costs.horizon + zd * costs.c)
+            + zd * costs.b)
+            * (1.0 - FLOOR_SLACK);
+        if benefit_hi <= floor {
+            return true;
+        }
+        let threshold_lo = move_margin_c(costs.c, costs.horizon, n_hi)
+            + confidence_margin_c(costs.z, costs.c, costs.b, 0.0, denom, n_hi);
+        benefit_hi <= threshold_lo
+    }
+
+    /// The dirty-set-gated verdict cache (see [`ScanCache`]): `true`
+    /// when the cluster's last candidate scan found nothing, no
+    /// statistic has been touched since (any touch drops the cache via
+    /// [`AdaptiveClusterIndex::mark_dirty`]), and the cached benefit
+    /// coefficient proves the scan would still find nothing at the
+    /// current access probability and cost terms. Untouched clusters
+    /// only get *colder* — `p_c` is monotonically non-increasing under
+    /// pure decay and every candidate benefit is `p_c·g_i − A` with
+    /// `g_i` invariant (up to an effective `C` that must not have
+    /// grown) — so on workloads with any skew most clusters resolve
+    /// here, without even the screen's benefit pricing.
+    fn scan_cache_rules_out(
+        &self,
+        slot: u32,
+        epoch_len: u64,
+        costs: &PassCosts,
+        p_c: f64,
+    ) -> bool {
+        let Some(cache) = self.scan_caches.get(slot as usize).copied().flatten() else {
+            return false;
+        };
+        if costs.c > cache.c * (1.0 + SCAN_CACHE_C_HEADROOM) {
+            // The effective C grew past the verdict's headroom: the
+            // benefit coefficients may have too.
+            return false;
+        }
+        // Every candidate benefit is at most `p_c·g − A` with `g` the
+        // headroom-adjusted coefficient bound (see
+        // [`SCAN_CACHE_C_HEADROOM`]); the slack inflates the bound
+        // *upward* regardless of its sign (covering the lazily decayed
+        // counters' ulp drift).
+        let g = (1.0 + SCAN_CACHE_C_HEADROOM) * cache.g_hi + SCAN_CACHE_C_HEADROOM * costs.b;
+        let base = p_c * g;
+        let benefit_hi = base + base.abs() * SCAN_CACHE_SLACK - costs.a;
+        if benefit_hi <= 0.0 {
+            return true; // thresholds of populated candidates are strictly positive
+        }
+        // Thresholds are at least the n = 1 floor.
+        let cluster = self.cluster(slot);
+        let denom = cluster.weight + epoch_len as f64;
+        let zd = if costs.z > 0.0 && denom > 0.0 {
+            costs.z / denom
+        } else {
+            0.0
+        };
+        let thr1 =
+            (2.0 * costs.c / costs.horizon + zd * (costs.c + costs.b)) * (1.0 - FLOOR_SLACK);
+        benefit_hi <= thr1
     }
 
     /// Paper Fig. 2: moves all members of `slot` into its parent, updates
     /// the parent's candidate statistics, reparents the children, and
     /// removes the cluster.
     fn merge_cluster(&mut self, slot: u32) {
+        // The dying slot's verdict must not leak to a later occupant.
+        if let Some(cache) = self.scan_caches.get_mut(slot as usize) {
+            *cache = None;
+        }
         let parent_slot = self.cluster(slot).parent.expect("non-root has a parent");
         let cluster = self.clusters[slot as usize]
             .take()
@@ -943,36 +1471,74 @@ impl AdaptiveClusterIndex {
             self.cluster_mut(child).parent = Some(parent_slot);
             self.cluster_mut(parent_slot).children.push(child);
         }
+        self.mark_dirty(parent_slot);
     }
 
     /// Paper Fig. 3: greedily materializes the best positive-benefit
-    /// candidate subclusters of `slot`. Returns the number of
+    /// candidate subclusters of `slot` with the full sweep's
+    /// candidate-at-a-time scalar arithmetic. Returns the number of
     /// materializations performed.
+    ///
+    /// The cluster's candidate counters are brought up to the current
+    /// statistics epoch first (lazy-decay catch-up). The incremental
+    /// pass runs the decision-identical
+    /// [`AdaptiveClusterIndex::try_cluster_split_columnar_entry`]
+    /// instead; both pick identical candidates.
     fn try_cluster_split(&mut self, slot: u32, epoch_len: u64) -> u64 {
+        self.materialize_candidates(slot);
+        self.split_scan_scalar(slot, epoch_len)
+    }
+
+    /// The incremental pass's split scan: lazy-decay catch-up, then the
+    /// columnar benefit evaluation. `p_c` is the cluster's access
+    /// probability, invariant across the pass and therefore computed
+    /// once by the gather loop.
+    fn try_cluster_split_columnar_entry(
+        &mut self,
+        slot: u32,
+        epoch_len: u64,
+        costs: &PassCosts,
+        p_c: f64,
+    ) -> u64 {
+        self.materialize_candidates(slot);
+        self.split_scan_columnar(slot, epoch_len, costs, p_c)
+    }
+
+    /// The scalar split scan: the candidate-at-a-time loop, kept as the
+    /// decision oracle of the columnar scan.
+    fn split_scan_scalar(&mut self, slot: u32, epoch_len: u64) -> u64 {
         let mut splits = 0u64;
         let (a, b, c) = (self.model.a(), self.model.b(), self.decision_c());
         loop {
-            let cluster = self.cluster(slot);
-            let p_c = self.access_probability(cluster);
-            let denom = cluster.weight + epoch_len as f64;
-            let mut best: Option<(usize, f64)> = None;
-            for idx in 0..cluster.candidates.len() {
-                let n = cluster.candidates.n(idx);
-                if n == 0 {
-                    continue;
+            let (best, max_n) = {
+                let cluster = self.cluster(slot);
+                let p_c = self.access_probability(cluster);
+                let denom = cluster.weight + epoch_len as f64;
+                let mut best: Option<(usize, f64)> = None;
+                let mut max_n = 0u32;
+                for idx in 0..cluster.candidates.len() {
+                    let n = cluster.candidates.n(idx);
+                    max_n = max_n.max(n);
+                    if n == 0 {
+                        continue;
+                    }
+                    let p_s = if denom <= 0.0 {
+                        0.0
+                    } else {
+                        (cluster.candidates.q_eff(idx) + cluster.candidates.q(idx) as f64) / denom
+                    };
+                    let benefit = materialization_benefit(a, b, c, p_c, p_s, n as usize);
+                    let threshold = self.move_margin(n as usize)
+                        + self.confidence_margin(p_s, denom, n as usize);
+                    if benefit > threshold && best.is_none_or(|(_, bst)| benefit > bst) {
+                        best = Some((idx, benefit));
+                    }
                 }
-                let p_s = if denom <= 0.0 {
-                    0.0
-                } else {
-                    (cluster.candidates.q_eff(idx) + cluster.candidates.q(idx) as f64) / denom
-                };
-                let benefit = materialization_benefit(a, b, c, p_c, p_s, n as usize);
-                let threshold = self.move_margin(n as usize)
-                    + self.confidence_margin(p_s, denom, n as usize);
-                if benefit > threshold && best.is_none_or(|(_, bst)| benefit > bst) {
-                    best = Some((idx, benefit));
-                }
-            }
+                (best, max_n)
+            };
+            // The scan walked every counter anyway: re-tighten the
+            // cached bound the incremental screen prices.
+            self.cluster_mut(slot).candidates.set_n_hi(max_n);
             let Some((cand_idx, _)) = best else {
                 break;
             };
@@ -980,6 +1546,150 @@ impl AdaptiveClusterIndex {
             splits += 1;
         }
         splits
+    }
+
+    /// The columnar split scan: evaluates a sound benefit **bound**
+    /// column in one vectorizable pass over the candidate counter
+    /// columns ([`materialization_benefit_column`] — reciprocal-multiply
+    /// upper bounds within parts in 10¹² of the exact benefits,
+    /// AVX2-dispatched), prunes it against a division- and sqrt-free
+    /// threshold floor, and re-prices only the rare survivors with the
+    /// scalar loop's exact arithmetic and selection semantics (first
+    /// candidate strictly exceeding both its own significance threshold
+    /// and the best so far). Every pruned candidate is provably rejected
+    /// by the scalar loop too — its exact benefit sits at or below the
+    /// bound, which sits at or below the floor, which under-prices its
+    /// threshold — so the chosen candidate is identical.
+    fn split_scan_columnar(
+        &mut self,
+        slot: u32,
+        epoch_len: u64,
+        costs: &PassCosts,
+        p_c: f64,
+    ) -> u64 {
+        let mut splits = 0u64;
+        // Re-assigned by every column evaluation; the loop always runs
+        // at least once before it is read.
+        #[allow(unused_assignments)]
+        let mut last_max_bound = f64::NEG_INFINITY;
+        let mut benefits = std::mem::take(&mut self.reorg_scratch.benefits);
+        loop {
+            let (best, max_n) = {
+                let cluster = self.cluster(slot);
+                debug_assert_eq!(p_c.to_bits(), self.access_probability(cluster).to_bits());
+                let denom = cluster.weight + epoch_len as f64;
+                let cands = &cluster.candidates;
+                // Division- and sqrt-free threshold floor, hoisted per
+                // scan: a candidate's significance threshold is at
+                // least `2nC/H + (z/D)(nC + B)` (move margin plus the
+                // confidence margin at its variance floor `1/D²`, both
+                // monotone under IEEE rounding), so `n·r_floor +
+                // s_floor` — deflated by 1e-12, ten thousand times the
+                // accumulated relative rounding error of either side —
+                // soundly under-prices every threshold. Candidates at
+                // or below the floor are provably rejected with one
+                // multiply-add fused into the column pass; only the
+                // handful near the split boundary pay the exact margin
+                // division and the sqrt.
+                let zd = if costs.z > 0.0 && denom > 0.0 {
+                    costs.z / denom
+                } else {
+                    0.0
+                };
+                let r_floor =
+                    (2.0 * costs.c / costs.horizon + zd * costs.c) * (1.0 - FLOOR_SLACK);
+                let s_floor = zd * costs.b * (1.0 - FLOOR_SLACK);
+                let summary = materialization_benefit_column(
+                    costs.a,
+                    costs.b,
+                    costs.c,
+                    p_c,
+                    denom,
+                    r_floor,
+                    s_floor,
+                    cands.n_col(),
+                    cands.q_col(),
+                    cands.q_eff_col(),
+                    &mut benefits,
+                );
+                let max_n = summary.max_n;
+                last_max_bound = summary.max_bound;
+                // Almost every scan of an adapted index finds *no*
+                // candidate above its floor (memberless candidates have
+                // negative bounds, so they can never fire); the branchy
+                // selection sweep below runs only when a candidate
+                // might actually qualify — its skip test is the same
+                // float comparison, so the short-cut is
+                // decision-identical.
+                let mut best: Option<(usize, f64)> = None;
+                if summary.any_above_floor {
+                    for ((idx, &bound), &n_s) in
+                        benefits.iter().enumerate().zip(cands.n_col())
+                    {
+                        if n_s == 0 || bound <= n_s as f64 * r_floor + s_floor {
+                            continue;
+                        }
+                        let n = n_s as usize;
+                        // Exact expressions from here on: `decision_c`
+                        // is deterministic across the pass, so the
+                        // hoisted costs make this margin equal
+                        // `move_margin(n)` bit for bit, the benefit the
+                        // scalar loop's, and the threshold the scalar
+                        // scan's.
+                        let p_s = if denom <= 0.0 {
+                            0.0
+                        } else {
+                            (cands.q_eff(idx) + cands.q(idx) as f64) / denom
+                        };
+                        let benefit =
+                            materialization_benefit(costs.a, costs.b, costs.c, p_c, p_s, n);
+                        if let Some((_, bst)) = best {
+                            if benefit <= bst {
+                                continue;
+                            }
+                        }
+                        let margin = move_margin_c(costs.c, costs.horizon, n);
+                        if benefit <= margin {
+                            continue;
+                        }
+                        let threshold = margin
+                            + confidence_margin_c(costs.z, costs.c, costs.b, p_s, denom, n);
+                        if benefit > threshold {
+                            best = Some((idx, benefit));
+                        }
+                    }
+                }
+                (best, max_n)
+            };
+            self.cluster_mut(slot).candidates.set_n_hi(max_n);
+            let Some((cand_idx, _)) = best else {
+                break;
+            };
+            self.materialize_candidate(slot, cand_idx);
+            splits += 1;
+        }
+        self.reorg_scratch.benefits = benefits;
+        self.store_scan_cache(slot, p_c, costs, last_max_bound);
+        splits
+    }
+
+    /// Records the final iteration's no-split outcome as the cluster's
+    /// cached verdict (after any materializations of this scan have
+    /// already re-marked it dirty and dropped the stale cache, so the
+    /// stored bound reflects the cluster's final state).
+    fn store_scan_cache(&mut self, slot: u32, p_c: f64, costs: &PassCosts, max_bound: f64) {
+        let g_hi = if max_bound == f64::NEG_INFINITY || p_c <= 0.0 {
+            // No populated candidates, or a cluster whose probability —
+            // and with it every candidate's — is exactly zero and stays
+            // zero under decay: nothing can materialize while clean.
+            0.0
+        } else {
+            (max_bound + costs.a) / p_c
+        };
+        if self.scan_caches.len() <= slot as usize {
+            self.scan_caches.resize(slot as usize + 1, None);
+        }
+        self.scan_caches[slot as usize] = Some(ScanCache { g_hi, c: costs.c });
     }
 
     /// Materializes candidate `cand_idx` of cluster `slot` as a new
@@ -1011,6 +1721,9 @@ impl AdaptiveClusterIndex {
             epoch_start: parent_epoch,
             q_eff: inherited_q_eff,
             weight: parent_weight,
+            // Fresh counters are de-facto materialized to the open epoch.
+            cand_stamp: self.stats_epoch,
+            dirty: false,
         });
 
         // Move qualifying objects; maintain the source cluster's candidate
@@ -1047,6 +1760,8 @@ impl AdaptiveClusterIndex {
             new_cluster.candidates.record_member(flat);
             self.store.push(new_cluster.segment, *oid, flat);
         }
+        self.mark_dirty(slot);
+        self.mark_dirty(new_slot);
     }
 
     fn alloc_slot(&mut self, cluster: Cluster) -> u32 {
@@ -1059,10 +1774,22 @@ impl AdaptiveClusterIndex {
         }
     }
 
-    /// Closes the current statistics epoch: folds the per-epoch counters
-    /// into the exponentially decayed history (`stats_decay` weight) and
-    /// restarts the epoch, so access probabilities track recent periods
-    /// while damping single-period noise.
+    /// Closes the current statistics epoch: folds the per-cluster scalar
+    /// counters into the exponentially decayed history (`stats_decay`
+    /// weight) and restarts the epoch, so access probabilities track
+    /// recent periods while damping single-period noise.
+    ///
+    /// The per-**candidate** counters — `f²·N_d` of them per cluster,
+    /// the bulk of every counter in the system — are *not* folded here:
+    /// the close only rolls the global epoch number, and each cluster
+    /// replays its missed folds exactly on its next touch
+    /// ([`AdaptiveClusterIndex::materialize_candidates`]). A close is
+    /// therefore O(clusters) scalar work plus O(changed counters)
+    /// amortized, instead of O(total counters) every period.
+    ///
+    /// The close also retires the dirty set: every statistic is folded
+    /// (or stamped for lazy folding), so no cluster has changed relative
+    /// to the *new* epoch.
     fn decay_statistics(&mut self) {
         let now = self.total_queries;
         let gamma = self.config.stats_decay;
@@ -1077,8 +1804,18 @@ impl AdaptiveClusterIndex {
             cluster.weight = gamma * cluster.weight + epoch_len;
             cluster.q_count = 0;
             cluster.epoch_start = now;
-            cluster.candidates.decay(gamma);
         }
+        self.stats_epoch += 1;
+        let mut dirty = std::mem::take(&mut self.dirty_slots);
+        for slot in dirty.drain(..) {
+            // Entries may point at clusters merged away since they were
+            // marked (or, rarely, at a recycled slot — clearing a fresh
+            // cluster's flag is a no-op either way).
+            if let Some(cluster) = self.clusters.get_mut(slot as usize).and_then(|c| c.as_mut()) {
+                cluster.dirty = false;
+            }
+        }
+        self.dirty_slots = dirty;
     }
 
     /// Read-only snapshots of all materialized clusters (depth-first
@@ -1221,6 +1958,8 @@ impl AdaptiveClusterIndex {
                 epoch_start: 0,
                 q_eff: 0.0,
                 weight: 0.0,
+                cand_stamp: 0,
+                dirty: false,
             }));
         }
         let root = root.ok_or_else(|| {
@@ -1256,6 +1995,11 @@ impl AdaptiveClusterIndex {
             hist_full_bytes: 0.0,
             query_scratch: QueryScratch::new(),
             delta_scratch: StatsDelta::new(),
+            stats_epoch: 0,
+            dirty_slots: Vec::new(),
+            scan_caches: Vec::new(),
+            reorg_scratch: ReorgScratch::default(),
+            last_profile: ReorgProfile::default(),
         })
     }
 
@@ -1295,6 +2039,13 @@ impl AdaptiveClusterIndex {
                         expected
                     ));
                 }
+            }
+            let max_n = expected_n.iter().copied().max().unwrap_or(0);
+            if cluster.candidates.n_hi() < max_n {
+                return Err(format!(
+                    "cluster {slot}: cached member-count bound {} below actual maximum {max_n}",
+                    cluster.candidates.n_hi()
+                ));
             }
             for &child in &cluster.children {
                 let c = self

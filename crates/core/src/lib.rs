@@ -36,8 +36,8 @@ mod metrics;
 pub mod signature;
 
 pub use batch::StatsDelta;
-pub use config::{IndexConfig, ScanMode};
+pub use config::{IndexConfig, ReorgMode, ScanMode};
 pub use error::IndexError;
 pub use index::{AdaptiveClusterIndex, QueryScratch};
-pub use metrics::{ClusterSnapshot, QueryMetrics, QueryResult, ReorgReport};
+pub use metrics::{ClusterSnapshot, QueryMetrics, QueryResult, ReorgProfile, ReorgReport};
 pub use signature::Signature;

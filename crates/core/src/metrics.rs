@@ -20,6 +20,37 @@ impl ReorgReport {
     }
 }
 
+/// Work profile of the most recent reorganization pass — diagnostics
+/// for the incremental pass, *not* part of its decision surface.
+///
+/// Unlike [`ReorgReport`], which is identical across
+/// [`crate::ReorgMode`]s by construction, the profile describes how much
+/// work a pass performed and therefore legitimately differs between the
+/// incremental pass and the full sweep (the full sweep scans every
+/// evaluated cluster and screens none).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReorgProfile {
+    /// Size of the dirty set at pass start: clusters whose statistics
+    /// (matching-query counters or membership) changed since the
+    /// previous pass.
+    pub dirty_clusters: u64,
+    /// Clusters that passed the epoch gate and had their merge and
+    /// split verdicts evaluated.
+    pub evaluated: u64,
+    /// Full candidate benefit scans performed (each walks the cluster's
+    /// whole `f²·N_d` counter columns, possibly several times when
+    /// materializations cascade).
+    pub candidate_scans: u64,
+    /// Clusters whose O(1) screen proved the candidate scan could not
+    /// find a profitable split, skipping it entirely.
+    pub screened_out: u64,
+    /// Clusters resolved even cheaper than the screen: untouched since
+    /// their last scan, their cached no-split verdict still holds under
+    /// pure decay (a subset of the dirty-set savings; counted within
+    /// `screened_out` as well).
+    pub cached_verdicts: u64,
+}
+
 /// A read-only view of one materialized cluster, for inspection, tests
 /// and the experiment harness. Comparable with `==` so tests can assert
 /// that two execution strategies leave identical clustering state.

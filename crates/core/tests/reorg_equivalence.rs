@@ -1,0 +1,422 @@
+//! The incremental reorganization pass must be **decision-identical**
+//! to the full scalar sweep: same [`ReorgReport`] from every pass, same
+//! merges and materializations, bit-identical [`ClusterSnapshot`]s —
+//! across mutation/query interleavings, every query kind, and streams
+//! that force both splits and merges. Two indexes differing only in
+//! [`ReorgMode`] are driven through identical workloads and compared
+//! pass by pass.
+//!
+//! The screen, the batched benefit columns, and the lazy candidate
+//! decay are all exercised here: the incremental index skips scans and
+//! leaves untouched counters un-decayed, yet every observable decision
+//! must equal the oracle's.
+
+use acx_core::{AdaptiveClusterIndex, IndexConfig, ReorgMode};
+use acx_geom::{HyperRect, ObjectId, SpatialQuery};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn mode_pair(config: &IndexConfig) -> (AdaptiveClusterIndex, AdaptiveClusterIndex) {
+    let incremental = AdaptiveClusterIndex::new(IndexConfig {
+        reorg_mode: ReorgMode::Incremental,
+        ..config.clone()
+    })
+    .unwrap();
+    let oracle = AdaptiveClusterIndex::new(IndexConfig {
+        reorg_mode: ReorgMode::FullOracle,
+        ..config.clone()
+    })
+    .unwrap();
+    (incremental, oracle)
+}
+
+fn random_rect(rng: &mut StdRng, dims: usize, grid: u32) -> HyperRect {
+    let mut lo = Vec::with_capacity(dims);
+    let mut hi = Vec::with_capacity(dims);
+    for _ in 0..dims {
+        let a = rng.gen_range(0..=grid) as f32 / grid as f32;
+        let b = rng.gen_range(0..=grid) as f32 / grid as f32;
+        lo.push(a.min(b));
+        hi.push(a.max(b));
+    }
+    HyperRect::from_bounds(&lo, &hi).unwrap()
+}
+
+fn random_query(rng: &mut StdRng, dims: usize, grid: u32) -> SpatialQuery {
+    match rng.gen_range(0..4u32) {
+        0 => SpatialQuery::intersection(random_rect(rng, dims, grid)),
+        1 => SpatialQuery::containment(random_rect(rng, dims, grid)),
+        2 => SpatialQuery::enclosure(random_rect(rng, dims, grid)),
+        _ => SpatialQuery::point_enclosing(
+            (0..dims)
+                .map(|_| rng.gen_range(0..=grid) as f32 / grid as f32)
+                .collect(),
+        ),
+    }
+}
+
+/// Asserts every observable piece of adaptive state agrees.
+fn assert_state_identical(
+    incremental: &AdaptiveClusterIndex,
+    oracle: &AdaptiveClusterIndex,
+    context: &str,
+) {
+    assert_eq!(
+        incremental.reorganizations(),
+        oracle.reorganizations(),
+        "{context}: pass count"
+    );
+    assert_eq!(incremental.total_merges(), oracle.total_merges(), "{context}: merges");
+    assert_eq!(incremental.total_splits(), oracle.total_splits(), "{context}: splits");
+    assert_eq!(
+        incremental.cluster_count(),
+        oracle.cluster_count(),
+        "{context}: cluster count"
+    );
+    assert_eq!(
+        incremental.verify_fraction(),
+        oracle.verify_fraction(),
+        "{context}: verify fraction"
+    );
+    assert_eq!(incremental.snapshots(), oracle.snapshots(), "{context}: snapshots");
+    incremental.check_invariants().unwrap();
+    oracle.check_invariants().unwrap();
+}
+
+/// Drives both modes through the same insert/query/mutate stream with
+/// explicit reorganization passes, comparing the per-pass reports and
+/// the full cluster state after every pass.
+fn drive_and_compare(
+    dims: usize,
+    objects: usize,
+    periods: usize,
+    queries_per_period: usize,
+    seed: u64,
+) -> (u64, u64) {
+    let mut config = IndexConfig::memory(dims);
+    config.reorg_period = 0; // explicit passes below
+    let (mut incremental, mut oracle) = mode_pair(&config);
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut next_id = 0u32;
+    for _ in 0..objects {
+        let rect = random_rect(&mut rng, dims, 8);
+        incremental.insert(ObjectId(next_id), rect.clone()).unwrap();
+        oracle.insert(ObjectId(next_id), rect).unwrap();
+        next_id += 1;
+    }
+
+    for period in 0..periods {
+        for k in 0..queries_per_period {
+            // Interleave membership mutations with queries so dirty
+            // tracking sees inserts, removals and updates mid-epoch.
+            match rng.gen_range(0..10u32) {
+                0 => {
+                    let rect = random_rect(&mut rng, dims, 8);
+                    incremental.insert(ObjectId(next_id), rect.clone()).unwrap();
+                    oracle.insert(ObjectId(next_id), rect).unwrap();
+                    next_id += 1;
+                }
+                1 if next_id > 0 => {
+                    let id = ObjectId(rng.gen_range(0..next_id));
+                    let a = incremental.contains(id);
+                    assert_eq!(a, oracle.contains(id));
+                    if a {
+                        let ra = incremental.remove(id).unwrap();
+                        let rb = oracle.remove(id).unwrap();
+                        assert_eq!(ra, rb, "period {period} op {k}: removed rect");
+                    }
+                }
+                2 if next_id > 0 => {
+                    let id = ObjectId(rng.gen_range(0..next_id));
+                    if incremental.contains(id) {
+                        let rect = random_rect(&mut rng, dims, 8);
+                        incremental.update(id, rect.clone()).unwrap();
+                        oracle.update(id, rect).unwrap();
+                    }
+                }
+                _ => {
+                    let q = random_query(&mut rng, dims, 8);
+                    let a = incremental.execute(&q);
+                    let b = oracle.execute(&q);
+                    assert_eq!(a.matches, b.matches, "period {period} query {k}");
+                    assert_eq!(a.metrics.stats, b.metrics.stats, "period {period} query {k}");
+                }
+            }
+        }
+        let ra = incremental.reorganize();
+        let rb = oracle.reorganize();
+        assert_eq!(ra, rb, "period {period}: ReorgReport diverged");
+        assert_state_identical(&incremental, &oracle, &format!("period {period}"));
+    }
+    (incremental.total_splits(), incremental.total_merges())
+}
+
+#[test]
+fn incremental_equals_full_low_dims() {
+    let (splits, _) = drive_and_compare(2, 900, 8, 60, 0x1E01);
+    assert!(splits > 0, "stream must force materializations to be meaningful");
+}
+
+#[test]
+fn incremental_equals_full_mid_dims() {
+    let (splits, _) = drive_and_compare(5, 700, 7, 50, 0x1E05);
+    assert!(splits > 0, "stream must force materializations to be meaningful");
+}
+
+#[test]
+fn incremental_equals_full_high_dims() {
+    drive_and_compare(8, 600, 6, 45, 0x1E08);
+}
+
+/// A deterministic stream engineered to force splits *and* merges: a
+/// hotspot workload materializes clusters around one corner of the
+/// domain, then the hotspot moves away and the abandoned clusters merge
+/// back — the full split/merge lifecycle under both modes.
+#[test]
+fn forced_splits_then_merges_are_identical() {
+    let dims = 3;
+    let mut config = IndexConfig::memory(dims);
+    config.reorg_period = 0;
+    config.confidence_z = 0.0; // act on any positive benefit: maximal churn
+    let (mut incremental, mut oracle) = mode_pair(&config);
+
+    let mut rng = StdRng::seed_from_u64(0xF0CED);
+    for i in 0..1200u32 {
+        let rect = random_rect(&mut rng, dims, 10);
+        incremental.insert(ObjectId(i), rect.clone()).unwrap();
+        oracle.insert(ObjectId(i), rect).unwrap();
+    }
+
+    let hotspot_phase = |lo: f32| {
+        let mut qs = Vec::new();
+        let mut prng = StdRng::seed_from_u64(lo.to_bits() as u64);
+        for _ in 0..80 {
+            let p: Vec<f32> = (0..dims)
+                .map(|_| lo + prng.gen_range(0..=10) as f32 / 50.0)
+                .collect();
+            qs.push(SpatialQuery::point_enclosing(p));
+        }
+        qs
+    };
+
+    let mut total_merges = 0u64;
+    let mut total_splits = 0u64;
+    for (phase, lo) in [0.0f32, 0.0, 0.0, 0.8, 0.8, 0.8, 0.8].into_iter().enumerate() {
+        for q in hotspot_phase(lo) {
+            let a = incremental.execute(&q);
+            let b = oracle.execute(&q);
+            assert_eq!(a.matches, b.matches);
+        }
+        let ra = incremental.reorganize();
+        let rb = oracle.reorganize();
+        assert_eq!(ra, rb, "phase {phase}: ReorgReport diverged");
+        total_merges += ra.merges;
+        total_splits += ra.splits;
+        assert_state_identical(&incremental, &oracle, &format!("phase {phase}"));
+    }
+    assert!(total_splits > 0, "hotspot phases must materialize clusters");
+    assert!(total_merges > 0, "the moved hotspot must merge old clusters back");
+}
+
+/// The screen must actually skip work while staying decision-identical:
+/// on a skewed stream, the incremental pass screens out a majority of
+/// its evaluated clusters (otherwise it silently degenerated into the
+/// full sweep and the equivalence above proves nothing about skipping).
+#[test]
+fn screen_skips_scans_without_changing_decisions() {
+    let dims = 6;
+    let mut config = IndexConfig::memory(dims);
+    config.reorg_period = 0;
+    let (mut incremental, mut oracle) = mode_pair(&config);
+    let mut rng = StdRng::seed_from_u64(0x5C1);
+    for i in 0..2000u32 {
+        let rect = random_rect(&mut rng, dims, 12);
+        incremental.insert(ObjectId(i), rect.clone()).unwrap();
+        oracle.insert(ObjectId(i), rect).unwrap();
+    }
+    let mut screened = 0u64;
+    let mut evaluated = 0u64;
+    for _ in 0..10 {
+        for _ in 0..100 {
+            let p: Vec<f32> = (0..dims).map(|_| rng.gen_range(0..=5) as f32 / 25.0).collect();
+            let q = SpatialQuery::point_enclosing(p);
+            assert_eq!(incremental.execute(&q).matches, oracle.execute(&q).matches);
+        }
+        assert_eq!(incremental.reorganize(), oracle.reorganize());
+        let profile = incremental.last_reorg_profile();
+        screened += profile.screened_out;
+        evaluated += profile.evaluated;
+        // The oracle screens nothing: every evaluated cluster that does
+        // not merge gets a full candidate scan.
+        let oracle_profile = oracle.last_reorg_profile();
+        assert_eq!(oracle_profile.screened_out, 0);
+        assert!(oracle_profile.candidate_scans >= profile.candidate_scans);
+    }
+    assert_state_identical(&incremental, &oracle, "after skewed stream");
+    assert!(
+        evaluated > 0 && screened * 2 > evaluated,
+        "screen skipped {screened}/{evaluated} scans — expected a majority on a skewed stream"
+    );
+}
+
+/// A cluster whose signature *rejects* every query of the current
+/// workload — both its start and end variation intervals specialized to
+/// a region the queries left — goes completely untouched: its cached
+/// no-split verdict from the last scan must then carry passes without a
+/// scan (the dirty-set-gated verdict cache), while decisions stay
+/// identical to the full sweep.
+#[test]
+fn cached_verdicts_carry_fully_abandoned_clusters() {
+    let dims = 2;
+    let mut config = IndexConfig::memory(dims);
+    config.reorg_period = 0;
+    config.confidence_z = 0.0;
+    let (mut incremental, mut oracle) = mode_pair(&config);
+    let mut rng = StdRng::seed_from_u64(0xABD0);
+    // A large population of *identical* tight objects inside the low
+    // corner: the materialized cluster specializes start *and* end low
+    // (rejecting high-corner points), is far too big to merge back, and
+    // — because every member sits in the same candidate cell at every
+    // refinement level — its split cascade settles as soon as the
+    // candidate is matched as often as the cluster itself, leaving one
+    // big stable cluster that is scanned while warm.
+    for i in 0..2000u32 {
+        let rect = HyperRect::from_bounds(&[0.01; 2], &[0.03; 2]).unwrap();
+        incremental.insert(ObjectId(i), rect.clone()).unwrap();
+        oracle.insert(ObjectId(i), rect).unwrap();
+    }
+    for i in 2000..2300u32 {
+        let rect = random_rect(&mut rng, dims, 8);
+        incremental.insert(ObjectId(i), rect.clone()).unwrap();
+        oracle.insert(ObjectId(i), rect).unwrap();
+    }
+    let run_phase = |incremental: &mut AdaptiveClusterIndex,
+                         oracle: &mut AdaptiveClusterIndex,
+                         rng: &mut StdRng,
+                         lo: f32,
+                         passes: usize|
+     -> u64 {
+        let mut cached_verdicts = 0u64;
+        for _ in 0..passes {
+            for _ in 0..60 {
+                let p: Vec<f32> =
+                    (0..dims).map(|_| lo + rng.gen_range(0..=9) as f32 / 50.0).collect();
+                let q = SpatialQuery::point_enclosing(p);
+                assert_eq!(incremental.execute(&q).matches, oracle.execute(&q).matches);
+            }
+            assert_eq!(incremental.reorganize(), oracle.reorganize());
+            cached_verdicts += incremental.last_reorg_profile().cached_verdicts;
+            assert_state_identical(incremental, oracle, "phase pass");
+        }
+        cached_verdicts
+    };
+    // Phase A: high-corner points — the untouched low-corner candidate
+    // is cold and huge, so it materializes as one big specialized
+    // cluster.
+    run_phase(&mut incremental, &mut oracle, &mut rng, 0.8, 2);
+    assert!(incremental.total_splits() > 0, "phase A must materialize the cold corner");
+    // Phase B: low-corner points heat that cluster up — it fails the
+    // screen, is scanned every pass, and (once its refinement cascade
+    // settles) stores its no-split verdict.
+    run_phase(&mut incremental, &mut oracle, &mut rng, 0.0, 6);
+    // Phase C: back to high-corner points. The low cluster's signature
+    // rejects them all, it is far too big to merge, and its cached
+    // verdict must now carry passes without a scan.
+    let cached_verdicts = run_phase(&mut incremental, &mut oracle, &mut rng, 0.8, 4);
+    assert!(
+        cached_verdicts > 0,
+        "abandoned clusters must resolve through their cached verdicts"
+    );
+}
+
+/// Auto-triggered passes (reorg_period > 0) through `execute` and
+/// `execute_batch` also stay identical — the dirty set survives batch
+/// windows and delta merging.
+#[test]
+fn auto_triggered_passes_and_batches_are_identical() {
+    let dims = 4;
+    let mut config = IndexConfig::memory(dims);
+    config.reorg_period = 40;
+    let (mut incremental, mut oracle) = mode_pair(&config);
+    let mut rng = StdRng::seed_from_u64(0xBA7C);
+    for i in 0..800u32 {
+        let rect = random_rect(&mut rng, dims, 8);
+        incremental.insert(ObjectId(i), rect.clone()).unwrap();
+        oracle.insert(ObjectId(i), rect).unwrap();
+    }
+    let queries: Vec<SpatialQuery> =
+        (0..310).map(|_| random_query(&mut rng, dims, 8)).collect();
+    // The incremental index runs the batched path (several reorg
+    // windows), the oracle runs sequentially: state must still agree.
+    let batched = incremental.execute_batch(&queries, 2);
+    for (k, q) in queries.iter().enumerate() {
+        let r = oracle.execute(q);
+        assert_eq!(batched[k].matches, r.matches, "query {k}");
+        assert_eq!(batched[k].metrics.stats, r.metrics.stats, "query {k}");
+    }
+    assert!(oracle.reorganizations() > 0, "stream must cross reorg boundaries");
+    assert_state_identical(&incremental, &oracle, "after batched stream");
+}
+
+proptest! {
+    /// Random workloads in 1–8 dimensions, all query kinds, random
+    /// mutation interleavings and period lengths: the incremental pass
+    /// and the full sweep report identical `ReorgReport`s and leave
+    /// bit-identical clustering state, pass after pass.
+    #[test]
+    fn prop_incremental_equals_full(
+        dims in 1usize..=8,
+        n_objects in 1usize..160,
+        periods in 1usize..6,
+        queries_per_period in 1usize..35,
+        seed in 0u64..1_000_000,
+    ) {
+        let mut config = IndexConfig::memory(dims);
+        config.reorg_period = 0;
+        let (mut incremental, mut oracle) = mode_pair(&config);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut next_id = 0u32;
+        for _ in 0..n_objects {
+            let rect = random_rect(&mut rng, dims, 6);
+            incremental.insert(ObjectId(next_id), rect.clone()).unwrap();
+            oracle.insert(ObjectId(next_id), rect).unwrap();
+            next_id += 1;
+        }
+        for _ in 0..periods {
+            for _ in 0..queries_per_period {
+                match rng.gen_range(0..8u32) {
+                    0 => {
+                        let rect = random_rect(&mut rng, dims, 6);
+                        incremental.insert(ObjectId(next_id), rect.clone()).unwrap();
+                        oracle.insert(ObjectId(next_id), rect).unwrap();
+                        next_id += 1;
+                    }
+                    1 if next_id > 0 => {
+                        let id = ObjectId(rng.gen_range(0..next_id));
+                        if incremental.contains(id) {
+                            incremental.remove(id).unwrap();
+                            oracle.remove(id).unwrap();
+                        }
+                    }
+                    _ => {
+                        let q = random_query(&mut rng, dims, 6);
+                        let a = incremental.execute(&q);
+                        let b = oracle.execute(&q);
+                        prop_assert_eq!(a.matches, b.matches);
+                        prop_assert_eq!(a.metrics.stats, b.metrics.stats);
+                    }
+                }
+            }
+            let ra = incremental.reorganize();
+            let rb = oracle.reorganize();
+            prop_assert_eq!(ra, rb, "ReorgReport diverged");
+            prop_assert_eq!(incremental.snapshots(), oracle.snapshots());
+            prop_assert_eq!(incremental.total_merges(), oracle.total_merges());
+            prop_assert_eq!(incremental.total_splits(), oracle.total_splits());
+        }
+        incremental.check_invariants().unwrap();
+        oracle.check_invariants().unwrap();
+    }
+}

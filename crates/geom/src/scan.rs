@@ -60,11 +60,15 @@
 //!
 //! The default pass-word packing is portable: a branch-free compare loop
 //! the compiler auto-vectorizes, followed by a multiply-gather of the
-//! 0/1 bytes into mask bits. The `simd` cargo feature swaps in an
-//! explicit `core::arch::x86_64` SSE path (`cmpleps` + `movmskps`,
-//! baseline on every x86_64, so no runtime detection) producing the same
-//! words bit for bit. (`std::simd` would be preferable but is still
-//! nightly-only; the stable intrinsics express the same kernel.)
+//! 0/1 bytes into mask bits. On x86_64 the loop is additionally
+//! dispatched to an AVX2-compiled clone when the CPU supports it
+//! (runtime-detected once, like the candidate kernel's byte fill), so
+//! the default build vectorizes at eight lanes. The `simd` cargo
+//! feature instead swaps in an explicit `core::arch::x86_64` path
+//! (SSE `cmpleps` + `movmskps` baseline, AVX2 `vcmpps` when detected)
+//! producing the same words bit for bit. (`std::simd` would be
+//! preferable but is still nightly-only; the stable intrinsics express
+//! the same kernel.)
 
 use crate::{Scalar, SpatialQuery, OBJECT_ID_BYTES};
 
@@ -265,7 +269,7 @@ fn pack_tile(tile: &[u8; BLOCK], len: usize) -> u64 {
 /// Portable pass-word evaluation: branch-free compares into a byte tile
 /// (auto-vectorized), then [`pack_tile`].
 #[cfg(not(all(feature = "simd", target_arch = "x86_64")))]
-#[inline]
+#[inline(always)]
 fn portable_word<L>(lo: &[Scalar], hi: &[Scalar], a: Scalar, b: Scalar, lane: L) -> u64
 where
     L: Fn(Scalar, Scalar, Scalar, Scalar) -> bool,
@@ -276,6 +280,30 @@ where
         *t = lane(l, h, a, b) as u8;
     }
     pack_tile(&tile, lo.len())
+}
+
+/// [`portable_word`] dispatched by relation tag — the non-generic shape
+/// shared by the baseline entry point and its AVX2-compiled clone.
+#[cfg(not(all(feature = "simd", target_arch = "x86_64")))]
+#[inline(always)]
+fn portable_word_rel(rel: u8, lo: &[Scalar], hi: &[Scalar], a: Scalar, b: Scalar) -> u64 {
+    match rel {
+        REL_INTERSECTION => portable_word(lo, hi, a, b, Intersects::lane),
+        REL_CONTAINMENT => portable_word(lo, hi, a, b, Contained::lane),
+        _ => portable_word(lo, hi, a, b, Encloses::lane),
+    }
+}
+
+/// [`portable_word_rel`] compiled for AVX2, selected at runtime when the
+/// CPU supports it (detected once, cached) — the same trick
+/// [`fill_candidate_bytes`] uses for the candidate kernel, so the
+/// default build's member kernel vectorizes at eight lanes without the
+/// `simd` feature. Comparison outcomes are identical; only the lane
+/// width changes.
+#[cfg(all(target_arch = "x86_64", not(feature = "simd")))]
+#[target_feature(enable = "avx2")]
+fn portable_word_avx2(rel: u8, lo: &[Scalar], hi: &[Scalar], a: Scalar, b: Scalar) -> u64 {
+    portable_word_rel(rel, lo, hi, a, b)
 }
 
 /// Relation tags shared by the SIMD path (`match` on a constant folds
@@ -388,8 +416,7 @@ mod simd {
 /// implication tests. Implementations are zero-sized tags so the block
 /// loops monomorphize.
 trait Pred {
-    /// Tag for the SIMD dispatch (unused by the portable build).
-    #[allow(dead_code)]
+    /// Tag for the explicit-SIMD and AVX2-clone dispatches.
     const REL: u8;
 
     /// Whether one object interval `[l, h]` passes the dimension with
@@ -410,7 +437,13 @@ trait Pred {
         }
         #[cfg(not(all(feature = "simd", target_arch = "x86_64")))]
         {
-            portable_word(lo, hi, a, b, Self::lane)
+            #[cfg(target_arch = "x86_64")]
+            if avx2_detected() {
+                // SAFETY: AVX2 presence was just verified; the callee is
+                // the same safe loop compiled with the feature enabled.
+                return unsafe { portable_word_avx2(Self::REL, lo, hi, a, b) };
+            }
+            portable_word_rel(Self::REL, lo, hi, a, b)
         }
     }
 }
@@ -896,10 +929,13 @@ fn fill_candidate_bytes_avx2(
     fill_candidate_bytes_impl(rel, cols, qa, qb, x_col, y_col, bytes);
 }
 
-/// Whether the CPU supports AVX2 (detected once, cached).
+/// Whether the CPU supports AVX2 (detected once, cached) — the runtime
+/// dispatch gate shared by every kernel with an AVX2-compiled clone
+/// (member pass-words, candidate byte fill, and the reorganization
+/// benefit column in `acx_core`).
 #[cfg(target_arch = "x86_64")]
 #[inline]
-fn avx2_detected() -> bool {
+pub fn avx2_detected() -> bool {
     use std::sync::OnceLock;
     static AVX2: OnceLock<bool> = OnceLock::new();
     *AVX2.get_or_init(|| std::arch::is_x86_feature_detected!("avx2"))

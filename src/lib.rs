@@ -48,7 +48,7 @@ pub mod prelude {
     pub use acx_baselines::{BatchExecute, RStarConfig, RStarTree, SeqScan};
     pub use acx_core::{
         AdaptiveClusterIndex, ClusterSnapshot, IndexConfig, IndexError, QueryMetrics, QueryResult,
-        QueryScratch, ReorgReport, ScanMode, StatsDelta,
+        QueryScratch, ReorgMode, ReorgProfile, ReorgReport, ScanMode, StatsDelta,
     };
     pub use acx_geom::{
         HyperRect, Interval, ObjectId, Scalar, SpatialQuery, SpatialRelation,

@@ -2,9 +2,9 @@
 //! [`criterion`](https://crates.io/crates/criterion) crate, implementing
 //! the API subset the `acx_bench` benches use: [`Criterion`],
 //! [`Criterion::bench_function`] / [`Criterion::benchmark_group`],
-//! [`BenchmarkGroup::sample_size`], [`Bencher::iter`], [`BenchmarkId`],
-//! [`black_box`], and the [`criterion_group!`] / [`criterion_main!`]
-//! macros.
+//! [`BenchmarkGroup::sample_size`], [`Bencher::iter`] /
+//! [`Bencher::iter_custom`], [`BenchmarkId`], [`black_box`], and the
+//! [`criterion_group!`] / [`criterion_main!`] macros.
 //!
 //! Measurement is a simple calibrated loop: each benchmark warms up for
 //! ~`WARMUP_MS`, picks an iteration count that makes one sample take
@@ -139,6 +139,16 @@ impl Bencher {
             black_box(routine());
         }
         self.elapsed = start.elapsed();
+    }
+
+    /// Times with caller-provided measurement, mirroring real
+    /// criterion's `iter_custom`: the closure receives the iteration
+    /// count and returns the total measured duration for exactly that
+    /// many iterations. Lets a benchmark run un-timed setup work per
+    /// iteration (e.g. feeding queries to an index) while reporting
+    /// only the operation under test (e.g. the reorganization pass).
+    pub fn iter_custom<F: FnMut(u64) -> Duration>(&mut self, mut routine: F) {
+        self.elapsed = routine(self.iters);
     }
 }
 
