@@ -15,7 +15,13 @@ impl Flags {
     /// Parses the process arguments. Flags are `--name value` pairs;
     /// bare `--name` toggles are recorded as present.
     pub fn from_env() -> Self {
-        let argv: Vec<String> = std::env::args().skip(1).collect();
+        Self::from_args(std::env::args().skip(1).collect())
+    }
+
+    /// Parses an explicit argument vector (no leading program name) —
+    /// the testable entry point the strategy-matrix smoke tests drive
+    /// the CLI path through.
+    pub fn from_args(argv: Vec<String>) -> Self {
         let mut values = HashMap::new();
         let mut present = Vec::new();
         let mut i = 0;
@@ -103,6 +109,16 @@ impl Flags {
     /// differs).
     pub fn reorg_mode(&self) -> ReorgMode {
         self.get_strict("reorg-mode", ReorgMode::Incremental)
+    }
+
+    /// `--merge-cooldown N`: the split→merge thrash hysteresis window
+    /// in reorganization passes (`0` = off, the default). Unlike the
+    /// [`Flags::apply_scan_flags`] toggles this **changes
+    /// reorganization decisions** (identically in both
+    /// [`ReorgMode`]s), so it is applied separately by the binaries
+    /// that expose it.
+    pub fn merge_cooldown(&self) -> u64 {
+        self.get_strict("merge-cooldown", 0)
     }
 
     /// Applies the kernel and maintenance toggles (`--scan-mode`,

@@ -8,6 +8,7 @@
 //! average query execution time (wall-clock and cost-model priced),
 //! number of accessed clusters/nodes, and fraction of verified objects.
 
+pub mod adaptivity;
 pub mod args;
 pub mod runner;
 

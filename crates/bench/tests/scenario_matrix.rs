@@ -1,0 +1,132 @@
+//! Strategy-matrix smoke test: every scenario-zoo stream stays green —
+//! and answer-identical — under the full cross product of the CLI
+//! kernel toggles, driven through the same [`Flags::from_args`] →
+//! [`Flags::apply_scan_flags`] path the experiment binaries use.
+//!
+//! The toggles select *execution strategies* (`--scan-mode`,
+//! `--candidate-scan`, `--zone-maps`) and the maintenance strategy
+//! (`--reorg-mode`), none of which may change which objects a query
+//! returns or which clusters a reorganization pass builds. A config
+//! that crashes, hangs, or answers differently under some toggle
+//! combination would invalidate every ablation row built from it.
+
+use acx_bench::adaptivity::{make_objects, make_scenario, SCENARIOS};
+use acx_bench::args::Flags;
+use acx_bench::build_ac_with;
+use acx_core::{IndexConfig, ReorgMode, ScanMode};
+use acx_geom::ObjectId;
+use acx_workloads::WorkloadConfig;
+
+const DIMS: usize = 4;
+const OBJECTS: usize = 500;
+const PERIODS: usize = 4;
+const QUERIES_PER_PERIOD: usize = 45;
+const SHIFT_AT: usize = 2;
+
+/// Builds the argv a user would type for one toggle combination.
+fn combo_argv(scan: &str, cand: &str, zone_maps: &str, reorg: &str) -> Vec<String> {
+    [
+        "--scan-mode",
+        scan,
+        "--candidate-scan",
+        cand,
+        "--zone-maps",
+        zone_maps,
+        "--reorg-mode",
+        reorg,
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect()
+}
+
+/// Replays the scenario stream (with its mid-run shift) against an
+/// index built from `config`, returning the sorted match set of every
+/// query.
+fn run_stream(name: &str, config: IndexConfig) -> Vec<Vec<ObjectId>> {
+    let cfg = WorkloadConfig::new(DIMS, OBJECTS, 0xA11CE);
+    let objects = make_objects(name, &cfg);
+    let mut scenario = make_scenario(name, &cfg);
+    let mut index = build_ac_with(config, &objects);
+    let mut results = Vec::with_capacity(PERIODS * QUERIES_PER_PERIOD);
+    for period in 0..PERIODS {
+        if period == SHIFT_AT {
+            scenario.shift();
+        }
+        for _ in 0..QUERIES_PER_PERIOD {
+            let mut r = index.execute(&scenario.next_query());
+            r.matches.sort_unstable();
+            results.push(r.matches);
+        }
+        index.reorganize();
+    }
+    index.check_invariants().unwrap();
+    results
+}
+
+/// The full `{scan_mode} × {candidate_scan} × {zone_maps} ×
+/// {reorg_mode}` matrix over every zoo scenario: all 16 parsed configs
+/// run green and return the exact same answers.
+#[test]
+fn zoo_is_green_and_answer_identical_across_strategy_matrix() {
+    for name in SCENARIOS {
+        let mut reference: Option<Vec<Vec<ObjectId>>> = None;
+        for scan in ["columnar", "oracle"] {
+            for cand in ["columnar", "oracle"] {
+                for zone_maps in ["on", "off"] {
+                    for reorg in ["incremental", "full"] {
+                        let flags = Flags::from_args(combo_argv(scan, cand, zone_maps, reorg));
+                        let config = flags.apply_scan_flags(IndexConfig::memory(DIMS));
+                        // Round-trip: the argv must reach the config.
+                        assert_eq!(
+                            config.scan_mode == ScanMode::Columnar,
+                            scan == "columnar"
+                        );
+                        assert_eq!(
+                            config.candidate_scan == ScanMode::Columnar,
+                            cand == "columnar"
+                        );
+                        assert_eq!(config.zone_maps, zone_maps == "on");
+                        assert_eq!(
+                            config.reorg_mode == ReorgMode::Incremental,
+                            reorg == "incremental"
+                        );
+                        let results = run_stream(name, config);
+                        match &reference {
+                            None => reference = Some(results),
+                            Some(expected) => assert_eq!(
+                                expected, &results,
+                                "{name}: --scan-mode {scan} --candidate-scan {cand} \
+                                 --zone-maps {zone_maps} --reorg-mode {reorg} \
+                                 changed query answers"
+                            ),
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// `--merge-cooldown` rides the same CLI path (via its own accessor —
+/// it changes reorganization *decisions*, so it is deliberately not
+/// part of [`Flags::apply_scan_flags`]) and must leave every scenario
+/// green and answer-identical: hysteresis defers reclustering, it
+/// never changes which objects match.
+#[test]
+fn merge_cooldown_flag_keeps_zoo_green() {
+    let flags = Flags::from_args(
+        ["--merge-cooldown", "6", "--reorg-mode", "incremental"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect(),
+    );
+    assert_eq!(flags.merge_cooldown(), 6);
+    for name in SCENARIOS {
+        let baseline = run_stream(name, flags.apply_scan_flags(IndexConfig::memory(DIMS)));
+        let mut config = flags.apply_scan_flags(IndexConfig::memory(DIMS));
+        config.merge_cooldown = flags.merge_cooldown();
+        let cooled = run_stream(name, config);
+        assert_eq!(baseline, cooled, "{name}: cool-down changed query answers");
+    }
+}

@@ -136,6 +136,16 @@ pub struct IndexConfig {
     /// [`ReorgMode::FullOracle`] selects the decision-identical full
     /// scalar sweep kept as the reference path.
     pub reorg_mode: ReorgMode,
+    /// Split→merge thrash hysteresis: a candidate whose signature was
+    /// merged away within the last `merge_cooldown` reorganization
+    /// passes is not eligible for re-materialization. `0` (the default)
+    /// disables the cool-down, reproducing the paper's bare benefit
+    /// functions. The veto is applied identically by both
+    /// [`ReorgMode`]s, so decision-identity between them is preserved
+    /// for every value. Thrash cycles are *counted* either way (see
+    /// [`crate::ReorgProfile::thrash_cycles`]); the cool-down only
+    /// changes whether they are acted on.
+    pub merge_cooldown: u64,
 }
 
 impl IndexConfig {
@@ -157,6 +167,7 @@ impl IndexConfig {
             candidate_scan: ScanMode::Columnar,
             zone_maps: true,
             reorg_mode: ReorgMode::Incremental,
+            merge_cooldown: 0,
         }
     }
 

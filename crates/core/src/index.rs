@@ -63,6 +63,15 @@ impl QueryScratch {
 
 const NO_PARENT: u32 = u32::MAX;
 
+/// How many reorganization passes a merged-away signature is remembered
+/// for thrash accounting: a materialization re-creating a signature
+/// merged within this window counts as one completed split→merge→split
+/// cycle ([`ReorgProfile::thrash_cycles`]). The optional
+/// [`IndexConfig::merge_cooldown`] hysteresis reuses the same memory
+/// (entries are retained for `max(THRASH_WINDOW, merge_cooldown)`
+/// passes).
+const THRASH_WINDOW: u64 = 8;
+
 /// Relative deflation applied to the selection sweep's threshold floor
 /// (see `split_scan_columnar`): large enough to dominate the few-ulp
 /// rounding error of the floor and threshold expressions by four orders
@@ -93,15 +102,19 @@ const SCAN_CACHE_C_HEADROOM: f64 = 1e-3;
 /// `AdaptiveClusterIndex::mark_dirty` (any query increment or
 /// membership change), i.e. exactly through the dirty-set machinery.
 ///
-/// Soundness (see `scan_cache_rules_out`): for an untouched cluster
-/// every candidate's counters decay by the same factor as the
-/// cluster's own, so the ratio `r_i = p_si / p_c` is invariant and each
-/// benefit is `p_c · g_i − A` with `g_i = (1 − r_i)·n_i·C − r_i·B`
-/// fixed up to the effective `C`. The cache stores an upper bound on
-/// `max g_i` (from the scan's benefit-bound column) plus the `C` it was
-/// priced at; benefits can only shrink while `C` does not grow
-/// (`r_i ∈ [0, 1]` since a candidate is never matched more often than
-/// its cluster).
+/// Soundness (see `scan_cache_rules_out`): for a cluster untouched in
+/// the epoch the verdict was stored in *and ever since*, every epoch
+/// close scales the candidate histories and the cluster's own by the
+/// same pure `×γ`, so the ratio `r_i = p_si / p_c` is invariant and
+/// each benefit is `p_c · g_i − A` with `g_i = (1 − r_i)·n_i·C −
+/// r_i·B` fixed up to the effective `C`. The cache stores an upper
+/// bound on `max g_i` (from the scan's benefit-bound column) plus the
+/// `C` it was priced at; benefits can only shrink while `C` does not
+/// grow (`r_i ∈ [0, 1]` since a candidate is never matched more often
+/// than its cluster). Verdicts are therefore only stored when
+/// `q_count == 0` (see `store_scan_cache`): a fold of fresh traffic
+/// mixes an *undecayed* count into `q_eff` and moves the ratios, which
+/// is not summarizable by the single cached coefficient.
 #[derive(Debug, Clone, Copy)]
 struct ScanCache {
     /// Upper bound on `max_i g_i` over candidates holding members.
@@ -249,6 +262,17 @@ pub struct AdaptiveClusterIndex {
     reorg_scratch: ReorgScratch,
     /// Work profile of the most recent reorganization pass.
     last_profile: ReorgProfile,
+    /// Recently merged-away cluster signatures (rendered bytes → the
+    /// pass count at merge time), feeding the thrash counter and the
+    /// optional [`IndexConfig::merge_cooldown`] hysteresis. Pruned each
+    /// pass to `max(THRASH_WINDOW, merge_cooldown)` passes of history.
+    recent_merges: HashMap<Vec<u8>, u64>,
+    /// Thrash cycles detected by the pass currently running.
+    pass_thrash: u64,
+    /// Cool-down vetoes applied by the pass currently running.
+    pass_cooldown_blocked: u64,
+    /// Cumulative thrash cycles across all passes.
+    total_thrash: u64,
 }
 
 /// Reusable column buffers of the incremental reorganization pass: the
@@ -318,6 +342,10 @@ impl AdaptiveClusterIndex {
             scan_caches: Vec::new(),
             reorg_scratch: ReorgScratch::default(),
             last_profile: ReorgProfile::default(),
+            recent_merges: HashMap::new(),
+            pass_thrash: 0,
+            pass_cooldown_blocked: 0,
+            total_thrash: 0,
         })
     }
 
@@ -369,6 +397,13 @@ impl AdaptiveClusterIndex {
     /// Total materializations across all reorganizations.
     pub fn total_splits(&self) -> u64 {
         self.total_splits
+    }
+
+    /// Total split→merge→split thrash cycles across all reorganizations:
+    /// materializations that re-created a cluster signature merged away
+    /// a few passes earlier (see [`ReorgProfile::thrash_cycles`]).
+    pub fn total_thrash(&self) -> u64 {
+        self.total_thrash
     }
 
     /// Whether the object id is currently indexed.
@@ -1083,6 +1118,8 @@ impl AdaptiveClusterIndex {
             dirty_clusters: self.dirty_slots.len() as u64,
             ..Default::default()
         };
+        self.pass_thrash = 0;
+        self.pass_cooldown_blocked = 0;
         let snapshot: Vec<u32> = (0..self.clusters.len() as u32)
             .filter(|&s| self.clusters[s as usize].is_some())
             .collect();
@@ -1090,8 +1127,15 @@ impl AdaptiveClusterIndex {
             ReorgMode::FullOracle => self.full_pass(&snapshot, &mut report, &mut profile),
             ReorgMode::Incremental => self.incremental_pass(&snapshot, &mut report, &mut profile),
         }
+        profile.thrash_cycles = self.pass_thrash;
+        profile.cooldown_blocked = self.pass_cooldown_blocked;
         self.decay_statistics();
         self.reorganizations += 1;
+        // Forget merges too old to matter for either the thrash window
+        // or the cool-down, keeping the map proportional to recent churn.
+        let passes = self.reorganizations;
+        let retention = THRASH_WINDOW.max(self.config.merge_cooldown);
+        self.recent_merges.retain(|_, at| passes - *at < retention);
         self.queries_since_reorg = 0;
         report.clusters_after = self.cluster_count();
         if report.changed() {
@@ -1255,6 +1299,7 @@ impl AdaptiveClusterIndex {
                 #[cfg(debug_assertions)]
                 {
                     let cache = self.scan_caches[slot as usize].expect("verdict implies cache");
+                    let diagnostics = self.debug_price_candidates(slot, epoch_len, &costs);
                     let splits = self.try_cluster_split_columnar_entry(
                         slot,
                         epoch_len,
@@ -1264,13 +1309,31 @@ impl AdaptiveClusterIndex {
                     assert_eq!(
                         splits, 0,
                         "cached verdict wrongly skipped a split on slot {slot}: p_c={} \
-                         g_hi={} cached_c={} current_c={} epoch_len={epoch_len}",
+                         g_hi={} cached_c={} current_c={} epoch_len={epoch_len}\n{diagnostics}",
                         scratch.merge_p_c[k], cache.g_hi, cache.c, costs.c
                     );
                 }
                 profile.screened_out += 1;
                 profile.cached_verdicts += 1;
             } else if self.split_screen_rules_out(slot, epoch_len, &costs, scratch.merge_p_c[k]) {
+                // Same tripwire for the O(1) screen: debug builds run
+                // the scan it skipped and insist it finds nothing.
+                #[cfg(debug_assertions)]
+                {
+                    let n_hi = self.cluster(slot).candidates.n_hi();
+                    let splits = self.try_cluster_split_columnar_entry(
+                        slot,
+                        epoch_len,
+                        &costs,
+                        scratch.merge_p_c[k],
+                    );
+                    assert_eq!(
+                        splits, 0,
+                        "screen wrongly skipped a split on slot {slot}: p_c={} \
+                         n_hi={n_hi} epoch_len={epoch_len}",
+                        scratch.merge_p_c[k]
+                    );
+                }
                 profile.screened_out += 1;
             } else {
                 let splits = self.try_cluster_split_columnar_entry(
@@ -1451,6 +1514,10 @@ impl AdaptiveClusterIndex {
             .take()
             .expect("cluster slot is live");
         self.free_slots.push(slot);
+        // Remember the dying signature: a near-term re-materialization
+        // of it is a thrash cycle (and, under the cool-down, vetoed).
+        self.recent_merges
+            .insert(cluster.signature.to_bytes(), self.reorganizations);
 
         let (ids, coords) = self.store.remove(cluster.segment);
         let width = 2 * self.config.dims;
@@ -1508,6 +1575,7 @@ impl AdaptiveClusterIndex {
     /// decision oracle of the columnar scan.
     fn split_scan_scalar(&mut self, slot: u32, epoch_len: u64) -> u64 {
         let mut splits = 0u64;
+        let mut blocked = 0u64;
         let (a, b, c) = (self.model.a(), self.model.b(), self.decision_c());
         loop {
             let (best, max_n) = {
@@ -1531,6 +1599,10 @@ impl AdaptiveClusterIndex {
                     let threshold = self.move_margin(n as usize)
                         + self.confidence_margin(p_s, denom, n as usize);
                     if benefit > threshold && best.is_none_or(|(_, bst)| benefit > bst) {
+                        if self.candidate_on_cooldown(cluster, idx) {
+                            blocked += 1;
+                            continue;
+                        }
                         best = Some((idx, benefit));
                     }
                 }
@@ -1545,6 +1617,7 @@ impl AdaptiveClusterIndex {
             self.materialize_candidate(slot, cand_idx);
             splits += 1;
         }
+        self.pass_cooldown_blocked += blocked;
         splits
     }
 
@@ -1568,6 +1641,7 @@ impl AdaptiveClusterIndex {
         p_c: f64,
     ) -> u64 {
         let mut splits = 0u64;
+        let mut blocked = 0u64;
         // Re-assigned by every column evaluation; the loop always runs
         // at least once before it is read.
         #[allow(unused_assignments)]
@@ -1655,6 +1729,10 @@ impl AdaptiveClusterIndex {
                         let threshold = margin
                             + confidence_margin_c(costs.z, costs.c, costs.b, p_s, denom, n);
                         if benefit > threshold {
+                            if self.candidate_on_cooldown(cluster, idx) {
+                                blocked += 1;
+                                continue;
+                            }
                             best = Some((idx, benefit));
                         }
                     }
@@ -1670,14 +1748,125 @@ impl AdaptiveClusterIndex {
         }
         self.reorg_scratch.benefits = benefits;
         self.store_scan_cache(slot, p_c, costs, last_max_bound);
+        self.pass_cooldown_blocked += blocked;
         splits
+    }
+
+    /// Whether the [`IndexConfig::merge_cooldown`] hysteresis vetoes
+    /// materializing candidate `idx` of `cluster`: its signature was
+    /// merged away within the last `merge_cooldown` passes. Always
+    /// `false` with the cool-down disabled (the default).
+    ///
+    /// Called by both split scans at the same point of their selection
+    /// semantics — only for a candidate that cleared its significance
+    /// threshold and the best-so-far — so the veto is a pure filter on
+    /// the qualifying set and [`crate::ReorgMode`] decision-identity is
+    /// preserved for every cool-down value. Rendering the candidate
+    /// signature is deferred to that rare case, keeping the veto off an
+    /// adapted index's hot path. Soundness of the incremental pass's
+    /// screens is unaffected: the cool-down only *removes*
+    /// materializations, and the cached-bound column still prices vetoed
+    /// candidates, so a profitable-but-vetoed candidate keeps its
+    /// cluster's scan alive until the cool-down expires.
+    fn candidate_on_cooldown(&self, cluster: &Cluster, idx: usize) -> bool {
+        if self.config.merge_cooldown == 0 || self.recent_merges.is_empty() {
+            return false;
+        }
+        let sig = cluster.candidates.signature(
+            idx,
+            &cluster.signature,
+            self.config.division_factor,
+        );
+        match self.recent_merges.get(&sig.to_bytes()) {
+            Some(&at) => self.reorganizations.saturating_sub(at) < self.config.merge_cooldown,
+            None => false,
+        }
+    }
+
+    /// Debug-only: catches the candidate counters up and prices every
+    /// populated candidate with the scalar expressions, returning a dump
+    /// of those that would qualify for materialization — tripwire
+    /// forensics for an unsound screen/cache verdict.
+    #[cfg(debug_assertions)]
+    fn debug_price_candidates(&mut self, slot: u32, epoch_len: u64, costs: &PassCosts) -> String {
+        use std::fmt::Write as _;
+        self.materialize_candidates(slot);
+        let cluster = self.cluster(slot);
+        let p_c = self.access_probability(cluster);
+        let denom = cluster.weight + epoch_len as f64;
+        let mut out = format!(
+            "cluster: weight={} epoch_start={} denom={denom} p_c={p_c} q_count={} q_eff={} \
+             cand_stamp={} stats_epoch={} n_hi={}\n",
+            cluster.weight,
+            cluster.epoch_start,
+            cluster.q_count,
+            cluster.q_eff,
+            cluster.cand_stamp,
+            self.stats_epoch,
+            cluster.candidates.n_hi(),
+        );
+        for idx in 0..cluster.candidates.len() {
+            let n = cluster.candidates.n(idx);
+            if n == 0 {
+                continue;
+            }
+            let p_s = if denom <= 0.0 {
+                0.0
+            } else {
+                (cluster.candidates.q_eff(idx) + cluster.candidates.q(idx) as f64) / denom
+            };
+            let benefit =
+                materialization_benefit(costs.a, costs.b, costs.c, p_c, p_s, n as usize);
+            let threshold = self.move_margin(n as usize)
+                + self.confidence_margin(p_s, denom, n as usize);
+            if benefit > threshold {
+                let _ = writeln!(
+                    out,
+                    "  QUALIFIES idx={idx}: n={n} q={} q_eff={} p_s={p_s} \
+                     benefit={benefit} threshold={threshold} g_i={}",
+                    cluster.candidates.q(idx),
+                    cluster.candidates.q_eff(idx),
+                    if p_c > 0.0 { (benefit + costs.a) / p_c } else { f64::NAN },
+                );
+            }
+        }
+        out
     }
 
     /// Records the final iteration's no-split outcome as the cluster's
     /// cached verdict (after any materializations of this scan have
     /// already re-marked it dirty and dropped the stale cache, so the
     /// stored bound reflects the cluster's final state).
+    ///
+    /// A verdict is only stored for a cluster **untouched in the open
+    /// epoch** (`q_count == 0`). The epoch close that follows this pass
+    /// folds the fresh count undecayed (`q_eff ← γ·q_eff + q_count`)
+    /// while every history decays, so a cluster with fresh traffic has
+    /// its candidate/cluster probability *ratios* — exactly what the
+    /// cached coefficient bound summarizes — shifted at the fold: a
+    /// candidate whose traffic is relatively more historical than the
+    /// cluster's gets relatively colder, its benefit coefficient
+    /// *grows*, and a verdict priced pre-fold could wrongly rule the
+    /// post-fold scan out (observed as a missed split on a mixed-kind
+    /// workload). Since caches are only consulted in *later* passes —
+    /// always across at least one fold — such a verdict could never be
+    /// soundly used, so it is simply not stored. With `q_count == 0`
+    /// the fold is a pure `×γ` scaling of both sides of every ratio
+    /// (and the lazy candidate catch-up replays exactly those
+    /// multiplications), leaving the ratios invariant up to the ulp
+    /// drift [`SCAN_CACHE_SLACK`] absorbs.
     fn store_scan_cache(&mut self, slot: u32, p_c: f64, costs: &PassCosts, max_bound: f64) {
+        if self.cluster(slot).q_count > 0 {
+            // mark_dirty already dropped any previous verdict when the
+            // cluster was touched this epoch.
+            debug_assert!(self
+                .scan_caches
+                .get(slot as usize)
+                .copied()
+                .flatten()
+                .is_none());
+            return;
+        }
         let g_hi = if max_bound == f64::NEG_INFINITY || p_c <= 0.0 {
             // No populated candidates, or a cluster whose probability —
             // and with it every candidate's — is exactly zero and stays
@@ -1709,6 +1898,16 @@ impl AdaptiveClusterIndex {
                 cluster.weight,
             )
         };
+        // A signature merged away a few passes ago coming back is one
+        // completed split→merge→split cycle. Counted regardless of the
+        // cool-down (which, when enabled, prevents reaching this point
+        // within its own window).
+        if let Some(&merged_at) = self.recent_merges.get(&new_signature.to_bytes()) {
+            if self.reorganizations.saturating_sub(merged_at) < THRASH_WINDOW {
+                self.pass_thrash += 1;
+                self.total_thrash += 1;
+            }
+        }
         let new_segment = self.store.create(expected.max(1));
         let new_candidates = generate_candidates(&new_signature, f);
         let new_slot = self.alloc_slot(Cluster {
@@ -2000,6 +2199,10 @@ impl AdaptiveClusterIndex {
             scan_caches: Vec::new(),
             reorg_scratch: ReorgScratch::default(),
             last_profile: ReorgProfile::default(),
+            recent_merges: HashMap::new(),
+            pass_thrash: 0,
+            pass_cooldown_blocked: 0,
+            total_thrash: 0,
         })
     }
 

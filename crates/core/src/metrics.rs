@@ -49,6 +49,15 @@ pub struct ReorgProfile {
     /// pure decay (a subset of the dirty-set savings; counted within
     /// `screened_out` as well).
     pub cached_verdicts: u64,
+    /// Materializations this pass that re-created a cluster signature
+    /// merged away within the last few passes — one completed
+    /// split→merge→split cycle each. Counted whether or not the
+    /// [`crate::IndexConfig::merge_cooldown`] hysteresis is enabled.
+    pub thrash_cycles: u64,
+    /// Would-be materializations this pass vetoed by the
+    /// [`crate::IndexConfig::merge_cooldown`] hysteresis (always `0`
+    /// when the cool-down is disabled).
+    pub cooldown_blocked: u64,
 }
 
 /// A read-only view of one materialized cluster, for inspection, tests

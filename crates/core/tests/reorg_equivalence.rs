@@ -13,6 +13,10 @@
 
 use acx_core::{AdaptiveClusterIndex, IndexConfig, ReorgMode};
 use acx_geom::{HyperRect, ObjectId, SpatialQuery};
+use acx_workloads::{
+    AdaptiveScenario, ClusteredObjects, FlashCrowd, MigratingHotspot, MixedTraffic,
+    OscillatingHeat, UniformWorkload, WorkloadConfig,
+};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -80,8 +84,55 @@ fn assert_state_identical(
         "{context}: verify fraction"
     );
     assert_eq!(incremental.snapshots(), oracle.snapshots(), "{context}: snapshots");
+    assert_eq!(
+        incremental.total_thrash(),
+        oracle.total_thrash(),
+        "{context}: thrash cycles"
+    );
     incremental.check_invariants().unwrap();
     oracle.check_invariants().unwrap();
+}
+
+/// Drives both modes through one scenario-zoo query stream (with its
+/// abrupt shift mid-way), comparing reports and full state per pass —
+/// the drifting/adversarial/mixed analogue of `drive_and_compare`.
+fn drive_scenario_pair(
+    mut scenario: Box<dyn AdaptiveScenario>,
+    objects: Vec<HyperRect>,
+    merge_cooldown: u64,
+    periods: usize,
+    queries_per_period: usize,
+    shift_at: usize,
+) -> (u64, u64, u64) {
+    let mut config = IndexConfig::memory(scenario.dims());
+    config.reorg_period = 0; // explicit passes below
+    config.merge_cooldown = merge_cooldown;
+    let (mut incremental, mut oracle) = mode_pair(&config);
+    for (i, rect) in objects.iter().enumerate() {
+        incremental.insert(ObjectId(i as u32), rect.clone()).unwrap();
+        oracle.insert(ObjectId(i as u32), rect.clone()).unwrap();
+    }
+    for period in 0..periods {
+        if period == shift_at {
+            scenario.shift();
+        }
+        for k in 0..queries_per_period {
+            let q = scenario.next_query();
+            let a = incremental.execute(&q);
+            let b = oracle.execute(&q);
+            assert_eq!(a.matches, b.matches, "period {period} query {k}");
+            assert_eq!(a.metrics.stats, b.metrics.stats, "period {period} query {k}");
+        }
+        let ra = incremental.reorganize();
+        let rb = oracle.reorganize();
+        assert_eq!(ra, rb, "period {period}: ReorgReport diverged");
+        assert_state_identical(&incremental, &oracle, &format!("period {period}"));
+    }
+    (
+        incremental.total_splits(),
+        incremental.total_merges(),
+        incremental.total_thrash(),
+    )
 }
 
 /// Drives both modes through the same insert/query/mutate stream with
@@ -358,6 +409,77 @@ fn auto_triggered_passes_and_batches_are_identical() {
     }
     assert!(oracle.reorganizations() > 0, "stream must cross reorg boundaries");
     assert_state_identical(&incremental, &oracle, "after batched stream");
+}
+
+/// Drifting hotspot: the query focus migrates every period, so new
+/// regions keep materializing while abandoned ones merge back — the
+/// dirty set and the screens churn continuously under both modes.
+#[test]
+fn scenario_equivalence_migrating_hotspot() {
+    let cfg = WorkloadConfig::new(5, 900, 0xD21F7);
+    let objects = UniformWorkload::with_max_length(cfg.clone(), 0.4).generate_objects();
+    let scenario = Box::new(MigratingHotspot::new(&cfg, 8e-3, 0.35, 0.08));
+    let (splits, ..) = drive_scenario_pair(scenario, objects, 0, 8, 80, 4);
+    assert!(splits > 0, "a hotspot stream must force materializations");
+}
+
+/// Flash crowd: a calm uniform stream punctuated by a concentrated
+/// spike — the abrupt density change exercises the epoch gate and the
+/// cached verdicts of suddenly-hot clusters.
+#[test]
+fn scenario_equivalence_flash_crowd() {
+    let cfg = WorkloadConfig::new(4, 1000, 0xF1A58);
+    let objects = UniformWorkload::with_max_length(cfg.clone(), 0.4).generate_objects();
+    let scenario = Box::new(FlashCrowd::new(&cfg, 150, 90, 0.25, 0.06));
+    drive_scenario_pair(scenario, objects, 0, 8, 80, 4);
+}
+
+/// Mixed query kinds over a drifting hotspot — the stream class that
+/// exposed the scan-cache fold-drift hole: mixed kinds move the
+/// effective `C` (verify fraction) every pass, and a verdict cached in
+/// an epoch with fresh traffic went stale at the very next fold
+/// (`q_eff ← γ·q_eff + q_count` shifts the candidate/cluster
+/// probability ratios). The clustered object population adds
+/// correlated density for the shift to abandon.
+#[test]
+fn scenario_equivalence_mixed_traffic_clustered() {
+    let cfg = WorkloadConfig::new(5, 1100, 0x31BED);
+    let objects = ClusteredObjects::new(cfg.clone(), 6, 0.08, 0.15).generate_objects();
+    let scenario = Box::new(MixedTraffic::new(&cfg, 160, 0.35, 0.08));
+    let (splits, ..) = drive_scenario_pair(scenario, objects, 0, 10, 80, 5);
+    assert!(splits > 0, "mixed traffic must force materializations");
+}
+
+/// The oscillating adversary with the merge cool-down **enabled**: the
+/// hysteresis veto must fire identically in the scalar and columnar
+/// scans, so decision-identity holds for every cool-down value — and
+/// both modes count the same thrash cycles.
+#[test]
+fn scenario_equivalence_oscillating_adversary_with_cooldown() {
+    let cfg = WorkloadConfig::new(3, 900, 0x05C11);
+    let objects = UniformWorkload::with_max_length(cfg.clone(), 0.4).generate_objects();
+    for cooldown in [0u64, 3] {
+        let scenario = Box::new(OscillatingHeat::new(&cfg, 120, 0.3, 0.08));
+        drive_scenario_pair(scenario, objects.clone(), cooldown, 10, 60, 5);
+    }
+}
+
+/// Bench-scale regression for the scan-cache fold-drift bug (fixed in
+/// `store_scan_cache`): before the fix, this exact stream diverged by
+/// one split at pass 49 — the cached verdict of a cluster that was hot
+/// when scanned under-priced a candidate after the epoch fold. Runs in
+/// seconds under `--release`, minutes in debug; kept `#[ignore]`d for
+/// on-demand full-scale verification:
+/// `cargo test --release -p acx_core --test reorg_equivalence -- --ignored`
+#[test]
+#[ignore = "bench-scale; run explicitly with --release"]
+fn scenario_equivalence_mixed_traffic_bench_scale() {
+    let dims = 8;
+    let obj_cfg = WorkloadConfig::new(dims, 20_000, 0x5EED);
+    let qry_cfg = WorkloadConfig::new(dims, 20_000, 0x5EED ^ 0xF1E1D);
+    let objects = UniformWorkload::with_max_length(obj_cfg, 0.4).generate_objects();
+    let scenario = Box::new(MixedTraffic::new(&qry_cfg, 800, 0.35, 0.08));
+    drive_scenario_pair(scenario, objects, 0, 60, 100, 30);
 }
 
 proptest! {

@@ -15,18 +15,29 @@
 //! * [`EventStream`] — batched event-stream driver rendering pub/sub
 //!   offers as ready-to-execute queries, feeding the index's concurrent
 //!   batch read path.
+//! * [`scenarios`] — the **scenario zoo**: drifting, periodic,
+//!   adversarial and mixed-kind query streams ([`MigratingHotspot`],
+//!   [`DiurnalCycle`], [`FlashCrowd`], [`OscillatingHeat`],
+//!   [`MixedTraffic`]) plus the clustered object population
+//!   ([`ClusteredObjects`]), all behind the [`AdaptiveScenario`] trait
+//!   the adaptivity benchmark drives.
 //!
 //! All generators are deterministic given a seed.
 
 pub mod calibrate;
 mod events;
 mod pubsub;
+pub mod scenarios;
 mod skewed;
 mod streams;
 mod uniform;
 
 pub use events::EventStream;
 pub use pubsub::{Attribute, PubSubGenerator, Subscription};
+pub use scenarios::{
+    AdaptiveScenario, ClusteredObjects, DiurnalCycle, FlashCrowd, MigratingHotspot,
+    MixedTraffic, OscillatingHeat,
+};
 pub use skewed::SkewedWorkload;
 pub use streams::ShiftingHotspot;
 pub use uniform::UniformWorkload;

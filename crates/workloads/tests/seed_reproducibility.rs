@@ -1,0 +1,126 @@
+//! Every workload generator — the original §7 populations and streams
+//! *and* the scenario zoo — must be a pure function of its seed: the
+//! same [`WorkloadConfig`] reproduces bit-identical objects and query
+//! streams (including across the zoo's abrupt [`AdaptiveScenario::shift`]),
+//! and a different seed produces a different stream. Benchmarks commit
+//! their seeds, so reproducibility here is what makes every committed
+//! `BENCH_*.json` row re-derivable.
+
+use acx_geom::SpatialQuery;
+use acx_workloads::{
+    AdaptiveScenario, ClusteredObjects, DiurnalCycle, EventStream, FlashCrowd,
+    MigratingHotspot, MixedTraffic, OscillatingHeat, PubSubGenerator, ShiftingHotspot,
+    SkewedWorkload, UniformWorkload, WorkloadConfig,
+};
+use proptest::prelude::*;
+
+/// The zoo behind one factory so the proptest sweeps every scenario.
+const ZOO: [&str; 5] = [
+    "migrating_hotspot",
+    "diurnal_cycle",
+    "flash_crowd",
+    "oscillating_heat",
+    "mixed_traffic",
+];
+
+fn make_zoo_scenario(name: &str, cfg: &WorkloadConfig) -> Box<dyn AdaptiveScenario> {
+    match name {
+        "migrating_hotspot" => Box::new(MigratingHotspot::new(cfg, 5e-3, 0.35, 0.08)),
+        "diurnal_cycle" => Box::new(DiurnalCycle::new(cfg, 20, 0.3, 0.08)),
+        "flash_crowd" => Box::new(FlashCrowd::new(cfg, 25, 10, 0.25, 0.06)),
+        "oscillating_heat" => Box::new(OscillatingHeat::new(cfg, 15, 0.3, 0.08)),
+        "mixed_traffic" => Box::new(MixedTraffic::new(cfg, 30, 0.35, 0.08)),
+        other => panic!("unknown scenario {other:?}"),
+    }
+}
+
+/// Drains a scenario: `k` queries, the abrupt shift, `k` more.
+fn drain(mut s: Box<dyn AdaptiveScenario>, k: usize) -> Vec<SpatialQuery> {
+    let mut out = Vec::with_capacity(2 * k);
+    for _ in 0..k {
+        out.push(s.next_query());
+    }
+    s.shift();
+    for _ in 0..k {
+        out.push(s.next_query());
+    }
+    out
+}
+
+proptest! {
+    /// Same seed ⇒ bit-identical query stream (shift included);
+    /// different seed ⇒ a different stream, for every zoo scenario.
+    #[test]
+    fn zoo_streams_are_seed_reproducible(
+        dims in 1usize..=8,
+        seed in 0u64..1_000_000,
+        bump in 1u64..1_000,
+    ) {
+        for name in ZOO {
+            let cfg = WorkloadConfig::new(dims, 64, seed);
+            let a = drain(make_zoo_scenario(name, &cfg), 40);
+            let b = drain(make_zoo_scenario(name, &cfg), 40);
+            prop_assert_eq!(&a, &b, "{}: same seed must replay identically", name);
+            let other = WorkloadConfig::new(dims, 64, seed + bump);
+            let c = drain(make_zoo_scenario(name, &other), 40);
+            prop_assert_ne!(&a, &c, "{}: different seed must differ", name);
+        }
+    }
+
+    /// Object populations — uniform, skewed, clustered — reproduce
+    /// bit-identically from their seed and differ across seeds.
+    #[test]
+    fn object_populations_are_seed_reproducible(
+        dims in 1usize..=8,
+        n in 8usize..200,
+        seed in 0u64..1_000_000,
+        bump in 1u64..1_000,
+    ) {
+        let cfg = WorkloadConfig::new(dims, n, seed);
+        let other = WorkloadConfig::new(dims, n, seed + bump);
+
+        let u1 = UniformWorkload::with_max_length(cfg.clone(), 0.4).generate_objects();
+        let u2 = UniformWorkload::with_max_length(cfg.clone(), 0.4).generate_objects();
+        prop_assert_eq!(&u1, &u2);
+        prop_assert_ne!(
+            &u1,
+            &UniformWorkload::with_max_length(other.clone(), 0.4).generate_objects()
+        );
+
+        let s1 = SkewedWorkload::new(cfg.clone(), 0.3).generate_objects();
+        let s2 = SkewedWorkload::new(cfg.clone(), 0.3).generate_objects();
+        prop_assert_eq!(&s1, &s2);
+        prop_assert_ne!(&s1, &SkewedWorkload::new(other.clone(), 0.3).generate_objects());
+
+        let c1 = ClusteredObjects::new(cfg.clone(), 4, 0.08, 0.15).generate_objects();
+        let c2 = ClusteredObjects::new(cfg.clone(), 4, 0.08, 0.15).generate_objects();
+        prop_assert_eq!(&c1, &c2);
+        prop_assert_ne!(
+            &c1,
+            &ClusteredObjects::new(other, 4, 0.08, 0.15).generate_objects()
+        );
+    }
+
+    /// The pre-zoo streams — the shifting hotspot and the pub/sub event
+    /// stream — are equally pure functions of their seed.
+    #[test]
+    fn legacy_streams_are_seed_reproducible(
+        dims in 1usize..=8,
+        seed in 0u64..1_000_000,
+        bump in 1u64..1_000,
+    ) {
+        let windows = |s: u64| {
+            let mut rng = WorkloadConfig::new(dims, 1, s).rng();
+            let mut hs = ShiftingHotspot::new(dims, 10, 0.3, 0.1, &mut rng);
+            (0..50).map(|_| hs.next_window(&mut rng)).collect::<Vec<_>>()
+        };
+        prop_assert_eq!(windows(seed), windows(seed));
+        prop_assert_ne!(windows(seed), windows(seed + bump));
+
+        let events = |s: u64| {
+            EventStream::new(PubSubGenerator::apartments(), s).next_batch(40)
+        };
+        prop_assert_eq!(events(seed), events(seed));
+        prop_assert_ne!(events(seed), events(seed + bump));
+    }
+}
