@@ -152,6 +152,15 @@ pub struct AdaptivityRow {
     pub splits: u64,
     /// Materialized clusters at the end of the run.
     pub clusters: usize,
+    /// Live statistics-arena bytes after the final reorganization pass
+    /// (`0` under [`acx_core::StatsLayout::PerClusterOracle`]).
+    pub arena_live_bytes: u64,
+    /// Arena slab capacity after the final pass; the gap to
+    /// `arena_live_bytes` is garbage awaiting compaction.
+    pub arena_capacity_bytes: u64,
+    /// Lifetime arena compactions at the end of the run — recovery
+    /// churn (merges retiring ranges) is what drives these.
+    pub compactions: u64,
 }
 
 /// Mean of a slice (0 when empty).
@@ -231,6 +240,7 @@ pub fn measure_readapt(
 
     let p50_wall_ms = percentile(&mut wall_ms, 0.50);
     let p99_wall_ms = percentile(&mut wall_ms, 0.99);
+    let profile = index.last_reorg_profile();
     AdaptivityRow {
         scenario: label,
         mode,
@@ -246,6 +256,9 @@ pub fn measure_readapt(
         merges: index.total_merges() - merges0,
         splits: index.total_splits() - splits0,
         clusters: index.cluster_count(),
+        arena_live_bytes: profile.arena_live_bytes,
+        arena_capacity_bytes: profile.arena_capacity_bytes,
+        compactions: profile.compactions,
     }
 }
 

@@ -3,7 +3,7 @@
 
 use std::collections::HashMap;
 
-use acx_core::{IndexConfig, ReorgMode, ScanMode};
+use acx_core::{IndexConfig, ReorgMode, ScanMode, StatsLayout};
 
 /// Parsed `--key value` flags.
 pub struct Flags {
@@ -111,6 +111,14 @@ impl Flags {
         self.get_strict("reorg-mode", ReorgMode::Incremental)
     }
 
+    /// `--stats-layout arena|per-cluster`: where candidate statistics
+    /// live (one index-wide slab vs. one `Vec` set per cluster).
+    /// Decision-identical either way; only locality and allocation
+    /// behavior differ.
+    pub fn stats_layout(&self) -> StatsLayout {
+        self.get_strict("stats-layout", StatsLayout::Arena)
+    }
+
     /// `--merge-cooldown N`: the split→merge thrash hysteresis window
     /// in reorganization passes (`0` = off, the default). Unlike the
     /// [`Flags::apply_scan_flags`] toggles this **changes
@@ -122,15 +130,17 @@ impl Flags {
     }
 
     /// Applies the kernel and maintenance toggles (`--scan-mode`,
-    /// `--candidate-scan`, `--zone-maps`, `--reorg-mode`) to an index
-    /// configuration, so every experiment binary compares oracle vs.
-    /// columnar vs. bitmask/zone-map execution — and full-sweep vs.
-    /// incremental reorganization — without recompiling.
+    /// `--candidate-scan`, `--zone-maps`, `--reorg-mode`,
+    /// `--stats-layout`) to an index configuration, so every experiment
+    /// binary compares oracle vs. columnar vs. bitmask/zone-map
+    /// execution — and full-sweep vs. incremental reorganization, slab
+    /// vs. per-cluster statistics — without recompiling.
     pub fn apply_scan_flags(&self, mut config: IndexConfig) -> IndexConfig {
         config.scan_mode = self.scan_mode();
         config.candidate_scan = self.candidate_scan();
         config.zone_maps = self.zone_maps();
         config.reorg_mode = self.reorg_mode();
+        config.stats_layout = self.stats_layout();
         config
     }
 }

@@ -19,7 +19,7 @@
 //!     [--objects 20000] [--dims 8] [--warmup 3000] [--post 3000]
 //!     [--band 1.25] [--merge-cooldown 0] [--hysteresis-cooldown 8]
 //!     [--scan-mode columnar|oracle] [--candidate-scan columnar|oracle]
-//!     [--zone-maps on|off]
+//!     [--zone-maps on|off] [--stats-layout arena|per-cluster]
 //! ```
 //! `--scenario` restricts the zoo sweep to one scenario;
 //! `--merge-cooldown` applies to the zoo rows, while the dedicated
@@ -57,6 +57,12 @@ fn print_row(r: &AdaptivityRow) {
         r.splits,
         r.clusters,
     );
+    if r.arena_capacity_bytes > 0 {
+        println!(
+            "{:>20}   arena: {} live / {} capacity bytes, {} compactions",
+            "", r.arena_live_bytes, r.arena_capacity_bytes, r.compactions,
+        );
+    }
 }
 
 fn json_row(json: &mut String, r: &AdaptivityRow, last: bool) {
@@ -72,7 +78,8 @@ fn json_row(json: &mut String, r: &AdaptivityRow, last: bool) {
          \"steady_ms\": {:.5}, \"post_shift_ms\": {:.5}, \"readapt_queries\": {readapt_q}, \
          \"readapt_periods\": {readapt_p}, \"p50_wall_ms\": {:.5}, \"p99_wall_ms\": {:.5}, \
          \"thrash_cycles\": {}, \"cooldown_blocked\": {}, \"merges\": {}, \"splits\": {}, \
-         \"clusters\": {}}}",
+         \"clusters\": {}, \"arena_live_bytes\": {}, \"arena_capacity_bytes\": {}, \
+         \"compactions\": {}}}",
         r.scenario,
         r.mode,
         r.merge_cooldown,
@@ -85,6 +92,9 @@ fn json_row(json: &mut String, r: &AdaptivityRow, last: bool) {
         r.merges,
         r.splits,
         r.clusters,
+        r.arena_live_bytes,
+        r.arena_capacity_bytes,
+        r.compactions,
     );
     json.push_str(if last { "\n" } else { ",\n" });
 }

@@ -8,6 +8,7 @@
 //!     [--warmup 600] [--measured 200] [--seed 24029] [--full]
 //!     [--scan-mode columnar|oracle] [--candidate-scan columnar|oracle]
 //!     [--zone-maps on|off] [--reorg-mode incremental|full]
+//!     [--stats-layout arena|per-cluster]
 //! ```
 //! `--full` runs the paper's 2,000,000-object scale.
 

@@ -8,6 +8,7 @@
 //!     [--objects 50000] [--dims 16] [--warmup 600] [--measured 300]
 //!     [--scan-mode columnar|oracle] [--candidate-scan columnar|oracle]
 //!     [--zone-maps on|off] [--reorg-mode incremental|full]
+//!     [--stats-layout arena|per-cluster]
 //! ```
 
 use acx_bench::args::Flags;

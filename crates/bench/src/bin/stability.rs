@@ -8,6 +8,7 @@
 //!     [--objects 30000] [--dims 16] [--steps 15]
 //!     [--scan-mode columnar|oracle] [--candidate-scan columnar|oracle]
 //!     [--zone-maps on|off] [--reorg-mode incremental|full]
+//!     [--stats-layout arena|per-cluster]
 //! ```
 
 use acx_bench::args::Flags;

@@ -13,6 +13,7 @@
 //!     [--max-threads 8] [--flexibility 0.0] [--seed 24141]
 //!     [--scan-mode columnar|oracle] [--candidate-scan columnar|oracle]
 //!     [--zone-maps on|off] [--reorg-mode incremental|full]
+//!     [--stats-layout arena|per-cluster]
 //! ```
 
 use std::time::Instant;

@@ -159,6 +159,45 @@ pub fn reorg_strategies(dims: usize) -> [(&'static str, IndexConfig); 2] {
     ]
 }
 
+/// The reorganization strategies crossed with the statistics layout,
+/// compared by the `scan_bench` reorg section — the arena row against
+/// its per-cluster decision oracle, plus the full scalar sweep:
+///
+/// * `incremental_arena` — the default: dirty-set + O(1) screen +
+///   columnar benefit evaluation over the index-wide statistics slab;
+/// * `incremental_per_cluster` — the same pass over per-cluster `Vec`
+///   columns, isolating what the slab layout buys;
+/// * `full_oracle` — the decision-identical full scalar sweep, the
+///   reference row of `BENCH_reorg.json`.
+pub fn reorg_layout_strategies(dims: usize) -> [(&'static str, IndexConfig); 3] {
+    let base = IndexConfig::memory(dims);
+    [
+        (
+            "incremental_arena",
+            IndexConfig {
+                reorg_mode: acx_core::ReorgMode::Incremental,
+                stats_layout: acx_core::StatsLayout::Arena,
+                ..base.clone()
+            },
+        ),
+        (
+            "incremental_per_cluster",
+            IndexConfig {
+                reorg_mode: acx_core::ReorgMode::Incremental,
+                stats_layout: acx_core::StatsLayout::PerClusterOracle,
+                ..base.clone()
+            },
+        ),
+        (
+            "full_oracle",
+            IndexConfig {
+                reorg_mode: acx_core::ReorgMode::FullOracle,
+                ..base
+            },
+        ),
+    ]
+}
+
 /// Builds an R*-tree over the objects (structure is scenario-independent).
 pub fn build_rs(dims: usize, objects: &[HyperRect]) -> RStarTree {
     let mut tree = RStarTree::new(RStarConfig::memory(dims));

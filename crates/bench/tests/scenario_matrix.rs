@@ -4,16 +4,17 @@
 //! [`Flags::apply_scan_flags`] path the experiment binaries use.
 //!
 //! The toggles select *execution strategies* (`--scan-mode`,
-//! `--candidate-scan`, `--zone-maps`) and the maintenance strategy
-//! (`--reorg-mode`), none of which may change which objects a query
-//! returns or which clusters a reorganization pass builds. A config
-//! that crashes, hangs, or answers differently under some toggle
-//! combination would invalidate every ablation row built from it.
+//! `--candidate-scan`, `--zone-maps`, `--stats-layout`) and the
+//! maintenance strategy (`--reorg-mode`), none of which may change
+//! which objects a query returns or which clusters a reorganization
+//! pass builds. A config that crashes, hangs, or answers differently
+//! under some toggle combination would invalidate every ablation row
+//! built from it.
 
 use acx_bench::adaptivity::{make_objects, make_scenario, SCENARIOS};
 use acx_bench::args::Flags;
 use acx_bench::build_ac_with;
-use acx_core::{IndexConfig, ReorgMode, ScanMode};
+use acx_core::{IndexConfig, ReorgMode, ScanMode, StatsLayout};
 use acx_geom::ObjectId;
 use acx_workloads::WorkloadConfig;
 
@@ -24,7 +25,7 @@ const QUERIES_PER_PERIOD: usize = 45;
 const SHIFT_AT: usize = 2;
 
 /// Builds the argv a user would type for one toggle combination.
-fn combo_argv(scan: &str, cand: &str, zone_maps: &str, reorg: &str) -> Vec<String> {
+fn combo_argv(scan: &str, cand: &str, zone_maps: &str, reorg: &str, layout: &str) -> Vec<String> {
     [
         "--scan-mode",
         scan,
@@ -34,6 +35,8 @@ fn combo_argv(scan: &str, cand: &str, zone_maps: &str, reorg: &str) -> Vec<Strin
         zone_maps,
         "--reorg-mode",
         reorg,
+        "--stats-layout",
+        layout,
     ]
     .iter()
     .map(|s| s.to_string())
@@ -65,8 +68,8 @@ fn run_stream(name: &str, config: IndexConfig) -> Vec<Vec<ObjectId>> {
 }
 
 /// The full `{scan_mode} × {candidate_scan} × {zone_maps} ×
-/// {reorg_mode}` matrix over every zoo scenario: all 16 parsed configs
-/// run green and return the exact same answers.
+/// {reorg_mode} × {stats_layout}` matrix over every zoo scenario: all
+/// 32 parsed configs run green and return the exact same answers.
 #[test]
 fn zoo_is_green_and_answer_identical_across_strategy_matrix() {
     for name in SCENARIOS {
@@ -75,31 +78,39 @@ fn zoo_is_green_and_answer_identical_across_strategy_matrix() {
             for cand in ["columnar", "oracle"] {
                 for zone_maps in ["on", "off"] {
                     for reorg in ["incremental", "full"] {
-                        let flags = Flags::from_args(combo_argv(scan, cand, zone_maps, reorg));
-                        let config = flags.apply_scan_flags(IndexConfig::memory(DIMS));
-                        // Round-trip: the argv must reach the config.
-                        assert_eq!(
-                            config.scan_mode == ScanMode::Columnar,
-                            scan == "columnar"
-                        );
-                        assert_eq!(
-                            config.candidate_scan == ScanMode::Columnar,
-                            cand == "columnar"
-                        );
-                        assert_eq!(config.zone_maps, zone_maps == "on");
-                        assert_eq!(
-                            config.reorg_mode == ReorgMode::Incremental,
-                            reorg == "incremental"
-                        );
-                        let results = run_stream(name, config);
-                        match &reference {
-                            None => reference = Some(results),
-                            Some(expected) => assert_eq!(
-                                expected, &results,
-                                "{name}: --scan-mode {scan} --candidate-scan {cand} \
-                                 --zone-maps {zone_maps} --reorg-mode {reorg} \
-                                 changed query answers"
-                            ),
+                        for layout in ["arena", "per-cluster"] {
+                            let flags = Flags::from_args(combo_argv(
+                                scan, cand, zone_maps, reorg, layout,
+                            ));
+                            let config = flags.apply_scan_flags(IndexConfig::memory(DIMS));
+                            // Round-trip: the argv must reach the config.
+                            assert_eq!(
+                                config.scan_mode == ScanMode::Columnar,
+                                scan == "columnar"
+                            );
+                            assert_eq!(
+                                config.candidate_scan == ScanMode::Columnar,
+                                cand == "columnar"
+                            );
+                            assert_eq!(config.zone_maps, zone_maps == "on");
+                            assert_eq!(
+                                config.reorg_mode == ReorgMode::Incremental,
+                                reorg == "incremental"
+                            );
+                            assert_eq!(
+                                config.stats_layout == StatsLayout::Arena,
+                                layout == "arena"
+                            );
+                            let results = run_stream(name, config);
+                            match &reference {
+                                None => reference = Some(results),
+                                Some(expected) => assert_eq!(
+                                    expected, &results,
+                                    "{name}: --scan-mode {scan} --candidate-scan {cand} \
+                                     --zone-maps {zone_maps} --reorg-mode {reorg} \
+                                     --stats-layout {layout} changed query answers"
+                                ),
+                            }
                         }
                     }
                 }

@@ -33,8 +33,27 @@
 //! counter that hits `u32::MAX` stays pinned there (the benefit
 //! functions only compare magnitudes, so saturation is benign; wrapping
 //! would invert a reorganization decision).
+//!
+//! ## Index-wide statistics arena
+//!
+//! Under [`crate::StatsLayout::Arena`] (the default) clusters do **not**
+//! own their columns: the index holds one [`StatsArena`] — a single slab
+//! per column family — and each cluster slot owns a [`CandHandle`] naming
+//! a `(base, len)` range into the slabs. The reorganization pass then
+//! streams one contiguous counter column instead of pointer-chasing ~11
+//! separate `Vec`s per cluster. Ranges are bump-allocated at the tail,
+//! retired (not freed) when a cluster is merged away or re-materialized,
+//! and compacted during reorganization when dead bytes reach a quarter
+//! of capacity — the pass walks every slot anyway, so compaction is
+//! amortized free and keeps hot clusters' columns adjacent.
+//!
+//! All statistics logic is written once, on the borrowed views
+//! [`CandidateSlice`] / [`CandidateSliceMut`]: an owned [`CandidateSet`]
+//! (the [`crate::StatsLayout::PerClusterOracle`] layout) and an arena
+//! range both project to the same view types, so the two layouts are
+//! decision-identical by construction.
 
-use acx_geom::scan::CandidateColumns;
+use acx_geom::scan::{CandidateColumns, RunBounds};
 use acx_geom::{Scalar, SpatialQuery};
 
 use crate::signature::{SigInterval, Signature};
@@ -85,13 +104,372 @@ impl CandidateBounds {
     }
 }
 
+/// Borrowed, read-only view of one cluster's candidate statistics —
+/// the common projection of an owned [`CandidateSet`] and a
+/// [`StatsArena`] range. All read logic lives here; both layouts
+/// delegate, so their answers are bit-identical by construction.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CandidateSlice<'a> {
+    /// Candidate range per dimension, **range-relative** (first entry is
+    /// always `0`). Length `dims + 1`.
+    dim_offsets: &'a [u32],
+    /// Aggregate bounds per dimension run, driving the matches-all fast
+    /// path of [`acx_geom::scan::scan_candidates`]. Length `dims`.
+    run_bounds: &'a [RunBounds],
+    /// Specialized dimension per candidate.
+    dim: &'a [u16],
+    /// Start subinterval index per candidate.
+    sub_i: &'a [u8],
+    /// End subinterval index per candidate.
+    sub_j: &'a [u8],
+    /// Inclusive lower bound of the start variation subinterval.
+    start_lo: &'a [Scalar],
+    /// Largest value the start variation subinterval contains.
+    start_reach: &'a [Scalar],
+    /// Inclusive lower bound of the end variation subinterval.
+    end_lo: &'a [Scalar],
+    /// Largest value the end variation subinterval contains.
+    end_reach: &'a [Scalar],
+    /// Member objects of the parent qualifying for each candidate.
+    n: &'a [u32],
+    /// Queries matching each candidate since the last statistics epoch.
+    q: &'a [u32],
+    /// Exponentially decayed query count from previous epochs.
+    q_eff: &'a [f64],
+    /// Cached upper bound on `max(n)` (may be loose, never low).
+    n_hi: u32,
+    /// Statistics epoch up to which this set's decay is applied.
+    stamp: u64,
+}
+
+impl<'a> CandidateSlice<'a> {
+    /// Number of candidates.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.dim.len()
+    }
+
+    /// Whether the set holds no candidates.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.dim.is_empty()
+    }
+
+    /// Number of dimensions the candidates specialize.
+    #[inline]
+    pub fn dims(&self) -> usize {
+        self.dim_offsets.len() - 1
+    }
+
+    /// The bound columns as the batch kernel's borrowed view.
+    pub fn columns(&self) -> CandidateColumns<'a> {
+        CandidateColumns::new(
+            self.start_lo,
+            self.start_reach,
+            self.end_lo,
+            self.end_reach,
+            self.dim_offsets,
+            self.run_bounds,
+        )
+    }
+
+    /// The identity of candidate `ci`.
+    pub fn id(&self, ci: usize) -> CandidateId {
+        CandidateId {
+            dim: self.dim[ci],
+            i: self.sub_i[ci],
+            j: self.sub_j[ci],
+        }
+    }
+
+    /// The membership bounds of candidate `ci`, copied out.
+    pub fn bounds(&self, ci: usize) -> CandidateBounds {
+        CandidateBounds {
+            dim: self.dim[ci] as usize,
+            start_lo: self.start_lo[ci],
+            start_reach: self.start_reach[ci],
+            end_lo: self.end_lo[ci],
+            end_reach: self.end_reach[ci],
+        }
+    }
+
+    /// Qualifying-member count of candidate `ci`.
+    #[inline]
+    pub fn n(&self, ci: usize) -> u32 {
+        self.n[ci]
+    }
+
+    /// Matching-query count of candidate `ci` in the current epoch.
+    #[inline]
+    pub fn q(&self, ci: usize) -> u32 {
+        self.q[ci]
+    }
+
+    /// Decayed matching-query history of candidate `ci`.
+    #[inline]
+    pub fn q_eff(&self, ci: usize) -> f64 {
+        self.q_eff[ci]
+    }
+
+    /// The qualifying-member counter column (parallel to the candidate
+    /// index) — input of the batched benefit evaluation.
+    #[inline]
+    pub fn n_col(&self) -> &'a [u32] {
+        self.n
+    }
+
+    /// The epoch matching-query counter column.
+    #[inline]
+    pub fn q_col(&self) -> &'a [u32] {
+        self.q
+    }
+
+    /// The decayed matching-query history column.
+    #[inline]
+    pub fn q_eff_col(&self) -> &'a [f64] {
+        self.q_eff
+    }
+
+    /// Cached upper bound on the maximal qualifying-member count over
+    /// all candidates (may be loose, never low).
+    #[inline]
+    pub fn n_hi(&self) -> u32 {
+        self.n_hi
+    }
+
+    /// Statistics epoch up to which this set's lazy decay is applied.
+    #[inline]
+    pub fn stamp(&self) -> u64 {
+        self.stamp
+    }
+
+    /// Whether an object *that already satisfies the parent signature*
+    /// also satisfies candidate `ci`.
+    #[inline]
+    pub fn accepts_member(&self, ci: usize, flat: &[Scalar]) -> bool {
+        let d = self.dim[ci] as usize;
+        let a = flat[2 * d];
+        let b = flat[2 * d + 1];
+        self.start_lo[ci] <= a
+            && a <= self.start_reach[ci]
+            && self.end_lo[ci] <= b
+            && b <= self.end_reach[ci]
+    }
+
+    /// Whether a query *that already matches the parent signature* also
+    /// matches candidate `ci` (only the specialized dimension is
+    /// checked) — the scalar oracle of
+    /// [`acx_geom::scan::scan_candidates`], same comparisons in the same
+    /// order.
+    #[inline]
+    pub fn matches_query(&self, ci: usize, query: &SpatialQuery) -> bool {
+        let d = self.dim[ci] as usize;
+        match query {
+            SpatialQuery::Intersection(w) => {
+                let q = w.interval(d);
+                self.start_lo[ci] <= q.hi() && self.end_reach[ci] >= q.lo()
+            }
+            SpatialQuery::Containment(w) => {
+                let q = w.interval(d);
+                self.end_lo[ci] <= q.hi() && self.start_reach[ci] >= q.lo()
+            }
+            SpatialQuery::Enclosure(w) => {
+                let q = w.interval(d);
+                self.start_lo[ci] <= q.lo() && self.end_reach[ci] >= q.hi()
+            }
+            SpatialQuery::PointEnclosing(p) => {
+                let v = p[d];
+                self.start_lo[ci] <= v && self.end_reach[ci] >= v
+            }
+        }
+    }
+
+    /// Materializes the full signature of candidate `ci`.
+    pub fn signature(&self, ci: usize, parent: &Signature, f: u8) -> Signature {
+        parent.specialize(self.dim[ci] as usize, f, self.sub_i[ci], self.sub_j[ci])
+    }
+}
+
+/// Borrowed, mutable view of one cluster's candidate statistics — the
+/// single home of all counter-mutation logic (member recording, query
+/// counting, decay). Bound and identity columns stay immutable: they
+/// are fixed at generation.
+#[derive(Debug, PartialEq)]
+pub struct CandidateSliceMut<'a> {
+    dim_offsets: &'a [u32],
+    run_bounds: &'a [RunBounds],
+    dim: &'a [u16],
+    sub_i: &'a [u8],
+    sub_j: &'a [u8],
+    start_lo: &'a [Scalar],
+    start_reach: &'a [Scalar],
+    end_lo: &'a [Scalar],
+    end_reach: &'a [Scalar],
+    n: &'a mut [u32],
+    q: &'a mut [u32],
+    q_eff: &'a mut [f64],
+    n_hi: &'a mut u32,
+    stamp: &'a mut u64,
+}
+
+impl CandidateSliceMut<'_> {
+    /// Reborrows as the read-only view.
+    #[inline]
+    pub fn as_slice(&self) -> CandidateSlice<'_> {
+        CandidateSlice {
+            dim_offsets: self.dim_offsets,
+            run_bounds: self.run_bounds,
+            dim: self.dim,
+            sub_i: self.sub_i,
+            sub_j: self.sub_j,
+            start_lo: self.start_lo,
+            start_reach: self.start_reach,
+            end_lo: self.end_lo,
+            end_reach: self.end_reach,
+            n: self.n,
+            q: self.q,
+            q_eff: self.q_eff,
+            n_hi: *self.n_hi,
+            stamp: *self.stamp,
+        }
+    }
+
+    /// Number of candidates.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.dim.len()
+    }
+
+    /// Whether the set holds no candidates.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.dim.is_empty()
+    }
+
+    /// Number of dimensions the candidates specialize.
+    #[inline]
+    pub fn dims(&self) -> usize {
+        self.dim_offsets.len() - 1
+    }
+
+    /// Counts a new member of the parent cluster into every candidate
+    /// accepting it.
+    pub fn record_member(&mut self, flat: &[Scalar]) {
+        self.adjust_member(flat, true);
+    }
+
+    /// Removes a departing member of the parent cluster from every
+    /// candidate accepting it.
+    pub fn unrecord_member(&mut self, flat: &[Scalar]) {
+        self.adjust_member(flat, false);
+    }
+
+    fn adjust_member(&mut self, flat: &[Scalar], add: bool) {
+        for d in 0..self.dims() {
+            let a = flat[2 * d];
+            let b = flat[2 * d + 1];
+            let run = self.dim_offsets[d] as usize..self.dim_offsets[d + 1] as usize;
+            for ci in run {
+                let accepts = self.start_lo[ci] <= a
+                    && a <= self.start_reach[ci]
+                    && self.end_lo[ci] <= b
+                    && b <= self.end_reach[ci];
+                if accepts {
+                    if add {
+                        self.n[ci] += 1;
+                        *self.n_hi = (*self.n_hi).max(self.n[ci]);
+                    } else {
+                        debug_assert!(self.n[ci] > 0);
+                        self.n[ci] -= 1;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Adds `inc` matching queries to candidate `ci`, saturating at
+    /// `u32::MAX` instead of wrapping.
+    pub fn add_q(&mut self, ci: usize, inc: u32) {
+        self.q[ci] = self.q[ci].saturating_add(inc);
+    }
+
+    /// Adds a whole per-candidate increment vector (saturating) — the
+    /// branch-free bulk form [`crate::StatsDelta`] application uses.
+    /// `incs` may be shorter than the set; missing entries add nothing.
+    pub fn add_q_slice(&mut self, incs: &[u32]) {
+        for (q, &inc) in self.q.iter_mut().zip(incs) {
+            *q = q.saturating_add(inc);
+        }
+    }
+
+    /// Closes the statistics epoch: folds each candidate's `q` into its
+    /// decayed history with weight `gamma` and resets the epoch counter.
+    pub fn decay(&mut self, gamma: f64) {
+        for (q_eff, q) in self.q_eff.iter_mut().zip(self.q.iter_mut()) {
+            *q_eff = gamma * *q_eff + *q as f64;
+            *q = 0;
+        }
+    }
+
+    /// Replays `epochs` missed statistics-epoch closes at once — the
+    /// lazy-decay catch-up applied on the first touch after epoch rolls.
+    /// See [`CandidateSet::catch_up`] for the bit-identity argument.
+    pub fn catch_up(&mut self, gamma: f64, epochs: u64) {
+        if epochs == 0 {
+            return;
+        }
+        self.decay(gamma);
+        for q_eff in self.q_eff.iter_mut() {
+            for _ in 1..epochs {
+                if *q_eff == 0.0 {
+                    break;
+                }
+                *q_eff *= gamma;
+            }
+        }
+    }
+
+    /// Cached upper bound on the maximal qualifying-member count.
+    #[inline]
+    pub fn n_hi(&self) -> u32 {
+        *self.n_hi
+    }
+
+    /// Re-tightens the cached bound to the exact maximum, as computed by
+    /// a pass that walked the `n` column anyway.
+    ///
+    /// # Panics
+    ///
+    /// Debug-asserts that `exact_max` really bounds every counter.
+    pub(crate) fn set_n_hi(&mut self, exact_max: u32) {
+        debug_assert!(self.n.iter().all(|&n| n <= exact_max));
+        *self.n_hi = exact_max;
+    }
+
+    /// Statistics epoch up to which this set's lazy decay is applied.
+    #[inline]
+    pub fn stamp(&self) -> u64 {
+        *self.stamp
+    }
+
+    /// Advances the lazy-decay stamp to `epoch`.
+    pub(crate) fn set_stamp(&mut self, epoch: u64) {
+        *self.stamp = epoch;
+    }
+}
+
 /// The candidate subclusters of one materialized cluster, stored as
-/// dimension-grouped columns (see the module docs).
+/// dimension-grouped columns (see the module docs) — the owned,
+/// per-cluster layout ([`crate::StatsLayout::PerClusterOracle`]) and
+/// the staging value [`StatsArena::alloc`] copies from.
 #[derive(Debug, Clone, PartialEq)]
 pub struct CandidateSet {
     /// Candidate range per dimension: dimension `d` owns candidates
     /// `dim_offsets[d] .. dim_offsets[d + 1]`. Length `dims + 1`.
     dim_offsets: Vec<u32>,
+    /// Aggregate bounds per dimension run (length `dims`), computed once
+    /// at generation — bound columns never change afterwards.
+    run_bounds: Vec<RunBounds>,
     /// Specialized dimension per candidate (redundant with the offsets,
     /// kept for O(1) per-candidate access).
     dim: Vec<u16>,
@@ -123,6 +501,9 @@ pub struct CandidateSet {
     /// most-profitable-possible candidate with this bound; a loose bound
     /// only costs an unnecessary scan, never a wrong decision.
     n_hi: u32,
+    /// Statistics epoch up to which this set's lazy decay is applied
+    /// (the index's `stats_epoch` at the last touch).
+    stamp: u64,
 }
 
 impl CandidateSet {
@@ -133,6 +514,7 @@ impl CandidateSet {
         let cap = sig.dims() * (f as usize * (f as usize + 1)) / 2;
         let mut set = Self {
             dim_offsets: Vec::with_capacity(sig.dims() + 1),
+            run_bounds: Vec::new(),
             dim: Vec::with_capacity(cap),
             sub_i: Vec::with_capacity(cap),
             sub_j: Vec::with_capacity(cap),
@@ -144,6 +526,7 @@ impl CandidateSet {
             q: Vec::with_capacity(cap),
             q_eff: Vec::with_capacity(cap),
             n_hi: 0,
+            stamp: 0,
         };
         set.dim_offsets.push(0);
         for d in 0..sig.dims() {
@@ -169,7 +552,56 @@ impl CandidateSet {
             }
             set.dim_offsets.push(set.dim.len() as u32);
         }
+        set.run_bounds = RunBounds::compute_all(
+            &set.start_lo,
+            &set.start_reach,
+            &set.end_lo,
+            &set.end_reach,
+            &set.dim_offsets,
+        );
         set
+    }
+
+    /// Borrows the read-only view all read logic lives on.
+    #[inline]
+    pub fn as_slice(&self) -> CandidateSlice<'_> {
+        CandidateSlice {
+            dim_offsets: &self.dim_offsets,
+            run_bounds: &self.run_bounds,
+            dim: &self.dim,
+            sub_i: &self.sub_i,
+            sub_j: &self.sub_j,
+            start_lo: &self.start_lo,
+            start_reach: &self.start_reach,
+            end_lo: &self.end_lo,
+            end_reach: &self.end_reach,
+            n: &self.n,
+            q: &self.q,
+            q_eff: &self.q_eff,
+            n_hi: self.n_hi,
+            stamp: self.stamp,
+        }
+    }
+
+    /// Borrows the mutable view all mutation logic lives on.
+    #[inline]
+    pub fn as_slice_mut(&mut self) -> CandidateSliceMut<'_> {
+        CandidateSliceMut {
+            dim_offsets: &self.dim_offsets,
+            run_bounds: &self.run_bounds,
+            dim: &self.dim,
+            sub_i: &self.sub_i,
+            sub_j: &self.sub_j,
+            start_lo: &self.start_lo,
+            start_reach: &self.start_reach,
+            end_lo: &self.end_lo,
+            end_reach: &self.end_reach,
+            n: &mut self.n,
+            q: &mut self.q,
+            q_eff: &mut self.q_eff,
+            n_hi: &mut self.n_hi,
+            stamp: &mut self.stamp,
+        }
     }
 
     /// Number of candidates.
@@ -189,33 +621,17 @@ impl CandidateSet {
 
     /// The bound columns as the batch kernel's borrowed view.
     pub fn columns(&self) -> CandidateColumns<'_> {
-        CandidateColumns::new(
-            &self.start_lo,
-            &self.start_reach,
-            &self.end_lo,
-            &self.end_reach,
-            &self.dim_offsets,
-        )
+        self.as_slice().columns()
     }
 
     /// The identity of candidate `ci`.
     pub fn id(&self, ci: usize) -> CandidateId {
-        CandidateId {
-            dim: self.dim[ci],
-            i: self.sub_i[ci],
-            j: self.sub_j[ci],
-        }
+        self.as_slice().id(ci)
     }
 
     /// The membership bounds of candidate `ci`, copied out.
     pub fn bounds(&self, ci: usize) -> CandidateBounds {
-        CandidateBounds {
-            dim: self.dim[ci] as usize,
-            start_lo: self.start_lo[ci],
-            start_reach: self.start_reach[ci],
-            end_lo: self.end_lo[ci],
-            end_reach: self.end_reach[ci],
-        }
+        self.as_slice().bounds(ci)
     }
 
     /// Qualifying-member count of candidate `ci`.
@@ -261,22 +677,21 @@ impl CandidateSet {
     /// # Panics
     ///
     /// Debug-asserts that `exact_max` really bounds every counter.
+    #[cfg(test)]
     pub(crate) fn set_n_hi(&mut self, exact_max: u32) {
-        debug_assert!(self.n.iter().all(|&n| n <= exact_max));
-        self.n_hi = exact_max;
+        self.as_slice_mut().set_n_hi(exact_max);
+    }
+
+    /// Advances the lazy-decay stamp to `epoch`.
+    pub(crate) fn set_stamp(&mut self, epoch: u64) {
+        self.stamp = epoch;
     }
 
     /// Whether an object *that already satisfies the parent signature*
     /// also satisfies candidate `ci`.
     #[inline]
     pub fn accepts_member(&self, ci: usize, flat: &[Scalar]) -> bool {
-        let d = self.dim[ci] as usize;
-        let a = flat[2 * d];
-        let b = flat[2 * d + 1];
-        self.start_lo[ci] <= a
-            && a <= self.start_reach[ci]
-            && self.end_lo[ci] <= b
-            && b <= self.end_reach[ci]
+        self.as_slice().accepts_member(ci, flat)
     }
 
     /// Whether a query *that already matches the parent signature* also
@@ -286,84 +701,38 @@ impl CandidateSet {
     /// order.
     #[inline]
     pub fn matches_query(&self, ci: usize, query: &SpatialQuery) -> bool {
-        let d = self.dim[ci] as usize;
-        match query {
-            SpatialQuery::Intersection(w) => {
-                let q = w.interval(d);
-                self.start_lo[ci] <= q.hi() && self.end_reach[ci] >= q.lo()
-            }
-            SpatialQuery::Containment(w) => {
-                let q = w.interval(d);
-                self.end_lo[ci] <= q.hi() && self.start_reach[ci] >= q.lo()
-            }
-            SpatialQuery::Enclosure(w) => {
-                let q = w.interval(d);
-                self.start_lo[ci] <= q.lo() && self.end_reach[ci] >= q.hi()
-            }
-            SpatialQuery::PointEnclosing(p) => {
-                let v = p[d];
-                self.start_lo[ci] <= v && self.end_reach[ci] >= v
-            }
-        }
+        self.as_slice().matches_query(ci, query)
     }
 
     /// Counts a new member of the parent cluster into every candidate
     /// accepting it.
     pub fn record_member(&mut self, flat: &[Scalar]) {
-        self.adjust_member(flat, true);
+        self.as_slice_mut().record_member(flat);
     }
 
     /// Removes a departing member of the parent cluster from every
     /// candidate accepting it.
     pub fn unrecord_member(&mut self, flat: &[Scalar]) {
-        self.adjust_member(flat, false);
-    }
-
-    fn adjust_member(&mut self, flat: &[Scalar], add: bool) {
-        for d in 0..self.dims() {
-            let a = flat[2 * d];
-            let b = flat[2 * d + 1];
-            let run = self.dim_offsets[d] as usize..self.dim_offsets[d + 1] as usize;
-            for ci in run {
-                let accepts = self.start_lo[ci] <= a
-                    && a <= self.start_reach[ci]
-                    && self.end_lo[ci] <= b
-                    && b <= self.end_reach[ci];
-                if accepts {
-                    if add {
-                        self.n[ci] += 1;
-                        self.n_hi = self.n_hi.max(self.n[ci]);
-                    } else {
-                        debug_assert!(self.n[ci] > 0);
-                        self.n[ci] -= 1;
-                    }
-                }
-            }
-        }
+        self.as_slice_mut().unrecord_member(flat);
     }
 
     /// Adds `inc` matching queries to candidate `ci`, saturating at
     /// `u32::MAX` instead of wrapping.
     pub fn add_q(&mut self, ci: usize, inc: u32) {
-        self.q[ci] = self.q[ci].saturating_add(inc);
+        self.as_slice_mut().add_q(ci, inc);
     }
 
     /// Adds a whole per-candidate increment vector (saturating) — the
     /// branch-free bulk form [`crate::StatsDelta`] application uses.
     /// `incs` may be shorter than the set; missing entries add nothing.
     pub fn add_q_slice(&mut self, incs: &[u32]) {
-        for (q, &inc) in self.q.iter_mut().zip(incs) {
-            *q = q.saturating_add(inc);
-        }
+        self.as_slice_mut().add_q_slice(incs);
     }
 
     /// Closes the statistics epoch: folds each candidate's `q` into its
     /// decayed history with weight `gamma` and resets the epoch counter.
     pub fn decay(&mut self, gamma: f64) {
-        for (q_eff, q) in self.q_eff.iter_mut().zip(self.q.iter_mut()) {
-            *q_eff = gamma * *q_eff + *q as f64;
-            *q = 0;
-        }
+        self.as_slice_mut().decay(gamma);
     }
 
     /// Replays `epochs` missed statistics-epoch closes at once — the
@@ -387,23 +756,12 @@ impl CandidateSet {
     /// stretch — the same multiplications an eager fold would have
     /// spread across the idle epochs).
     pub fn catch_up(&mut self, gamma: f64, epochs: u64) {
-        if epochs == 0 {
-            return;
-        }
-        self.decay(gamma);
-        for q_eff in &mut self.q_eff {
-            for _ in 1..epochs {
-                if *q_eff == 0.0 {
-                    break;
-                }
-                *q_eff *= gamma;
-            }
-        }
+        self.as_slice_mut().catch_up(gamma, epochs);
     }
 
     /// Materializes the full signature of candidate `ci`.
     pub fn signature(&self, ci: usize, parent: &Signature, f: u8) -> Signature {
-        parent.specialize(self.dim[ci] as usize, f, self.sub_i[ci], self.sub_j[ci])
+        self.as_slice().signature(ci, parent, f)
     }
 }
 
@@ -411,6 +769,441 @@ impl CandidateSet {
 /// [`CandidateSet::generate`].
 pub fn generate_candidates(sig: &Signature, f: u8) -> CandidateSet {
     CandidateSet::generate(sig, f)
+}
+
+/// Opaque handle to one cluster's candidate range inside a
+/// [`StatsArena`]. Handles stay valid across compaction (ranges move,
+/// ids do not) and are invalidated only by [`StatsArena::retire`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CandHandle(u32);
+
+/// One allocated range of the arena: `base..base + len` into the
+/// candidate slabs, plus its private meta rows (offsets, run bounds)
+/// and the per-set scalars (`n_hi`, lazy-decay stamp).
+#[derive(Debug, Clone)]
+struct RangeEntry {
+    /// First candidate index in the per-candidate slabs.
+    base: u32,
+    /// Number of candidates.
+    len: u32,
+    /// First entry in the `dim_offsets` slab (`dims + 1` entries).
+    meta_base: u32,
+    /// First entry in the `run_bounds` slab (`dims` entries).
+    runs_base: u32,
+    /// Number of specialized dimensions.
+    dims: u32,
+    /// Whether the range is still owned by a cluster slot. Dead ranges
+    /// keep their bytes until the next compaction.
+    live: bool,
+    /// Cached upper bound on `max(n)` for this range.
+    n_hi: u32,
+    /// Statistics epoch up to which this range's lazy decay is applied.
+    stamp: u64,
+}
+
+/// Bytes per candidate across the per-candidate slabs
+/// (`dim` 2 + `sub_i` 1 + `sub_j` 1 + four `f32` bounds 16 + `n` 4 +
+/// `q` 4 + `q_eff` 8).
+const CAND_BYTES: usize = 36;
+/// Bytes per `dim_offsets` entry.
+const META_BYTES: usize = 4;
+/// Bytes per `run_bounds` entry (four `f32` aggregates).
+const RUNS_BYTES: usize = 16;
+
+/// Index-wide statistics arena: one contiguous slab per candidate
+/// column family, shared by every cluster slot. See the module docs for
+/// the layout rationale; the life cycle is:
+///
+/// 1. [`StatsArena::alloc`] copies a freshly generated (or staged)
+///    [`CandidateSet`] to the slab tail — bump allocation, O(len).
+/// 2. [`StatsArena::slice`] / [`StatsArena::slice_mut`] project a range
+///    to the shared view types; all statistics logic goes through them.
+/// 3. [`StatsArena::retire`] marks a range dead when its cluster is
+///    merged away or re-materialized. Bytes stay in place (no id reuse
+///    before compaction, so stale handles cannot alias a new range).
+/// 4. [`StatsArena::maybe_compact`] — called from the reorganization
+///    pass, which walks every slot anyway — slides live ranges down in
+///    allocation order once dead bytes reach a quarter of capacity,
+///    returning retired ids to the free list. Compaction moves bytes
+///    with `copy_within` and never allocates.
+///
+/// `dim_offsets` entries are stored **range-relative** (each range's
+/// first entry is `0`), so compaction moves them verbatim without
+/// rewriting.
+#[derive(Debug, Default)]
+pub struct StatsArena {
+    dim: Vec<u16>,
+    sub_i: Vec<u8>,
+    sub_j: Vec<u8>,
+    start_lo: Vec<Scalar>,
+    start_reach: Vec<Scalar>,
+    end_lo: Vec<Scalar>,
+    end_reach: Vec<Scalar>,
+    n: Vec<u32>,
+    q: Vec<u32>,
+    q_eff: Vec<f64>,
+    /// `dim_offsets` slab: `dims + 1` range-relative entries per range.
+    dim_offsets: Vec<u32>,
+    /// `run_bounds` slab: `dims` entries per range.
+    run_bounds: Vec<RunBounds>,
+    /// Range table, indexed by [`CandHandle`] id. Never shrinks.
+    ranges: Vec<RangeEntry>,
+    /// Ids available for reuse — replenished **only** by compaction, so
+    /// a dead range's id stays unique until its bytes are reclaimed.
+    free_ids: Vec<u32>,
+    /// Allocated ids in slab order (live and dead until compaction) —
+    /// ascending `base`, which makes the compaction slide-down a single
+    /// forward walk.
+    order: Vec<u32>,
+    /// Live candidates across all ranges.
+    live_candidates: usize,
+    /// Live `dim_offsets` entries.
+    live_meta: usize,
+    /// Live `run_bounds` entries.
+    live_runs: usize,
+    /// Number of compactions performed over the arena's lifetime.
+    compactions: u64,
+}
+
+impl StatsArena {
+    /// An empty arena.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Copies `set`'s columns to the slab tail and returns the handle of
+    /// the new range. The set's counters, `n_hi`, and stamp carry over.
+    pub fn alloc(&mut self, set: &CandidateSet) -> CandHandle {
+        let entry = RangeEntry {
+            base: self.dim.len() as u32,
+            len: set.len() as u32,
+            meta_base: self.dim_offsets.len() as u32,
+            runs_base: self.run_bounds.len() as u32,
+            dims: set.dims() as u32,
+            live: true,
+            n_hi: set.n_hi,
+            stamp: set.stamp,
+        };
+        self.dim.extend_from_slice(&set.dim);
+        self.sub_i.extend_from_slice(&set.sub_i);
+        self.sub_j.extend_from_slice(&set.sub_j);
+        self.start_lo.extend_from_slice(&set.start_lo);
+        self.start_reach.extend_from_slice(&set.start_reach);
+        self.end_lo.extend_from_slice(&set.end_lo);
+        self.end_reach.extend_from_slice(&set.end_reach);
+        self.n.extend_from_slice(&set.n);
+        self.q.extend_from_slice(&set.q);
+        self.q_eff.extend_from_slice(&set.q_eff);
+        // Owned sets index from 0 already, so the offsets are
+        // range-relative verbatim.
+        self.dim_offsets.extend_from_slice(&set.dim_offsets);
+        self.run_bounds.extend_from_slice(&set.run_bounds);
+        self.live_candidates += set.len();
+        self.live_meta += set.dims() + 1;
+        self.live_runs += set.dims();
+        let id = match self.free_ids.pop() {
+            Some(id) => {
+                self.ranges[id as usize] = entry;
+                id
+            }
+            None => {
+                self.ranges.push(entry);
+                (self.ranges.len() - 1) as u32
+            }
+        };
+        // The new range has the largest base, so pushing keeps `order`
+        // sorted by base.
+        self.order.push(id);
+        CandHandle(id)
+    }
+
+    /// Marks a range dead. Its bytes stay in place and its id stays
+    /// unavailable until the next compaction, so no live handle can
+    /// alias it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the handle was already retired.
+    pub fn retire(&mut self, h: CandHandle) {
+        let e = &mut self.ranges[h.0 as usize];
+        assert!(e.live, "candidate range retired twice");
+        e.live = false;
+        self.live_candidates -= e.len as usize;
+        self.live_meta -= e.dims as usize + 1;
+        self.live_runs -= e.dims as usize;
+    }
+
+    /// Read-only view of a live range.
+    #[inline]
+    pub fn slice(&self, h: CandHandle) -> CandidateSlice<'_> {
+        let e = &self.ranges[h.0 as usize];
+        debug_assert!(e.live, "viewing a retired candidate range");
+        let (base, len) = (e.base as usize, e.len as usize);
+        let (mb, rb, dims) = (e.meta_base as usize, e.runs_base as usize, e.dims as usize);
+        CandidateSlice {
+            dim_offsets: &self.dim_offsets[mb..mb + dims + 1],
+            run_bounds: &self.run_bounds[rb..rb + dims],
+            dim: &self.dim[base..base + len],
+            sub_i: &self.sub_i[base..base + len],
+            sub_j: &self.sub_j[base..base + len],
+            start_lo: &self.start_lo[base..base + len],
+            start_reach: &self.start_reach[base..base + len],
+            end_lo: &self.end_lo[base..base + len],
+            end_reach: &self.end_reach[base..base + len],
+            n: &self.n[base..base + len],
+            q: &self.q[base..base + len],
+            q_eff: &self.q_eff[base..base + len],
+            n_hi: e.n_hi,
+            stamp: e.stamp,
+        }
+    }
+
+    /// Mutable view of a live range.
+    #[inline]
+    pub fn slice_mut(&mut self, h: CandHandle) -> CandidateSliceMut<'_> {
+        let e = &mut self.ranges[h.0 as usize];
+        debug_assert!(e.live, "viewing a retired candidate range");
+        let (base, len) = (e.base as usize, e.len as usize);
+        let (mb, rb, dims) = (e.meta_base as usize, e.runs_base as usize, e.dims as usize);
+        CandidateSliceMut {
+            dim_offsets: &self.dim_offsets[mb..mb + dims + 1],
+            run_bounds: &self.run_bounds[rb..rb + dims],
+            dim: &self.dim[base..base + len],
+            sub_i: &self.sub_i[base..base + len],
+            sub_j: &self.sub_j[base..base + len],
+            start_lo: &self.start_lo[base..base + len],
+            start_reach: &self.start_reach[base..base + len],
+            end_lo: &self.end_lo[base..base + len],
+            end_reach: &self.end_reach[base..base + len],
+            n: &mut self.n[base..base + len],
+            q: &mut self.q[base..base + len],
+            q_eff: &mut self.q_eff[base..base + len],
+            n_hi: &mut e.n_hi,
+            stamp: &mut e.stamp,
+        }
+    }
+
+    /// Bytes owned by live ranges across all slabs.
+    pub fn live_bytes(&self) -> usize {
+        self.live_candidates * CAND_BYTES
+            + self.live_meta * META_BYTES
+            + self.live_runs * RUNS_BYTES
+    }
+
+    /// Bytes occupied by the slabs (live plus not-yet-compacted dead).
+    pub fn capacity_bytes(&self) -> usize {
+        self.dim.len() * CAND_BYTES
+            + self.dim_offsets.len() * META_BYTES
+            + self.run_bounds.len() * RUNS_BYTES
+    }
+
+    /// Number of compactions performed over the arena's lifetime.
+    pub fn compactions(&self) -> u64 {
+        self.compactions
+    }
+
+    /// Number of live ranges.
+    pub fn live_ranges(&self) -> usize {
+        self.order
+            .iter()
+            .filter(|&&id| self.ranges[id as usize].live)
+            .count()
+    }
+
+    /// Whether dead bytes have reached a quarter of slab capacity — the
+    /// compaction trigger.
+    pub fn should_compact(&self) -> bool {
+        let cap = self.capacity_bytes();
+        cap > 0 && (cap - self.live_bytes()) * 4 >= cap
+    }
+
+    /// Compacts if [`StatsArena::should_compact`]; returns whether a
+    /// compaction ran.
+    pub fn maybe_compact(&mut self) -> bool {
+        if self.should_compact() {
+            self.compact();
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Slides every live range down over the dead ones, in allocation
+    /// order, and returns retired ids to the free list. Handles stay
+    /// valid (only `base` moves); `dim_offsets` move verbatim because
+    /// they are range-relative. Moves bytes with `copy_within` within
+    /// the existing slabs — no allocation, no per-range scratch.
+    pub fn compact(&mut self) {
+        let mut cand_w = 0usize;
+        let mut meta_w = 0usize;
+        let mut runs_w = 0usize;
+        for &id in &self.order {
+            let (live, base, len, mb, rb, dims) = {
+                let e = &self.ranges[id as usize];
+                (
+                    e.live,
+                    e.base as usize,
+                    e.len as usize,
+                    e.meta_base as usize,
+                    e.runs_base as usize,
+                    e.dims as usize,
+                )
+            };
+            if !live {
+                self.free_ids.push(id);
+                continue;
+            }
+            // `order` is ascending in base and the write cursor never
+            // overtakes a live base, so the forward copies cannot clobber
+            // unread bytes.
+            if base != cand_w {
+                self.dim.copy_within(base..base + len, cand_w);
+                self.sub_i.copy_within(base..base + len, cand_w);
+                self.sub_j.copy_within(base..base + len, cand_w);
+                self.start_lo.copy_within(base..base + len, cand_w);
+                self.start_reach.copy_within(base..base + len, cand_w);
+                self.end_lo.copy_within(base..base + len, cand_w);
+                self.end_reach.copy_within(base..base + len, cand_w);
+                self.n.copy_within(base..base + len, cand_w);
+                self.q.copy_within(base..base + len, cand_w);
+                self.q_eff.copy_within(base..base + len, cand_w);
+            }
+            if mb != meta_w {
+                self.dim_offsets.copy_within(mb..mb + dims + 1, meta_w);
+            }
+            if rb != runs_w {
+                self.run_bounds.copy_within(rb..rb + dims, runs_w);
+            }
+            let e = &mut self.ranges[id as usize];
+            e.base = cand_w as u32;
+            e.meta_base = meta_w as u32;
+            e.runs_base = runs_w as u32;
+            cand_w += len;
+            meta_w += dims + 1;
+            runs_w += dims;
+        }
+        self.order.retain(|&id| self.ranges[id as usize].live);
+        self.dim.truncate(cand_w);
+        self.sub_i.truncate(cand_w);
+        self.sub_j.truncate(cand_w);
+        self.start_lo.truncate(cand_w);
+        self.start_reach.truncate(cand_w);
+        self.end_lo.truncate(cand_w);
+        self.end_reach.truncate(cand_w);
+        self.n.truncate(cand_w);
+        self.q.truncate(cand_w);
+        self.q_eff.truncate(cand_w);
+        self.dim_offsets.truncate(meta_w);
+        self.run_bounds.truncate(runs_w);
+        self.compactions += 1;
+    }
+
+    /// Structural self-check, used by the index's `check_invariants` and
+    /// the arena tests: slab lengths agree, every allocated id is
+    /// tracked exactly once, live ranges are disjoint, in-bounds, and
+    /// ascending in slab order, range-relative offsets partition each
+    /// range, and the live-byte accounting matches a linear rebuild.
+    pub fn check(&self) -> Result<(), String> {
+        let n = self.dim.len();
+        let cols_agree = self.sub_i.len() == n
+            && self.sub_j.len() == n
+            && self.start_lo.len() == n
+            && self.start_reach.len() == n
+            && self.end_lo.len() == n
+            && self.end_reach.len() == n
+            && self.n.len() == n
+            && self.q.len() == n
+            && self.q_eff.len() == n;
+        if !cols_agree {
+            return Err("candidate slabs disagree on length".into());
+        }
+        if self.order.len() + self.free_ids.len() != self.ranges.len() {
+            return Err(format!(
+                "id accounting broken: {} in order + {} free != {} ranges",
+                self.order.len(),
+                self.free_ids.len(),
+                self.ranges.len()
+            ));
+        }
+        let mut seen = vec![false; self.ranges.len()];
+        for &id in self.order.iter().chain(&self.free_ids) {
+            let slot = seen
+                .get_mut(id as usize)
+                .ok_or_else(|| format!("id {id} out of range"))?;
+            if std::mem::replace(slot, true) {
+                return Err(format!("id {id} tracked twice"));
+            }
+        }
+        let (mut cand_w, mut meta_w, mut runs_w) = (0usize, 0usize, 0usize);
+        let (mut live_c, mut live_m, mut live_r) = (0usize, 0usize, 0usize);
+        for &id in &self.order {
+            let e = &self.ranges[id as usize];
+            let (base, len) = (e.base as usize, e.len as usize);
+            let (mb, rb, dims) = (e.meta_base as usize, e.runs_base as usize, e.dims as usize);
+            if base < cand_w || mb < meta_w || rb < runs_w {
+                return Err(format!("range {id} overlaps its predecessor"));
+            }
+            if base + len > n || mb + dims + 1 > self.dim_offsets.len() || rb + dims > self.run_bounds.len() {
+                return Err(format!("range {id} exceeds slab bounds"));
+            }
+            let offs = &self.dim_offsets[mb..mb + dims + 1];
+            if offs[0] != 0 || offs[dims] as usize != len {
+                return Err(format!("range {id} offsets do not span its candidates"));
+            }
+            if offs.windows(2).any(|w| w[0] > w[1]) {
+                return Err(format!("range {id} offsets decrease"));
+            }
+            cand_w = base + len;
+            meta_w = mb + dims + 1;
+            runs_w = rb + dims;
+            if e.live {
+                live_c += len;
+                live_m += dims + 1;
+                live_r += dims;
+            }
+        }
+        if (live_c, live_m, live_r) != (self.live_candidates, self.live_meta, self.live_runs) {
+            return Err(format!(
+                "live accounting drifted: counted ({live_c}, {live_m}, {live_r}), \
+                 recorded ({}, {}, {})",
+                self.live_candidates, self.live_meta, self.live_runs
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Where one cluster's candidate statistics live: owned per-cluster
+/// columns (the [`crate::StatsLayout::PerClusterOracle`] decision
+/// oracle) or a range of the index-wide [`StatsArena`].
+#[derive(Debug, Clone)]
+pub(crate) enum CandStore {
+    /// The cluster owns its columns (boxed: the store is embedded in
+    /// every `Cluster`, and the arena variant is a 4-byte handle).
+    Owned(Box<CandidateSet>),
+    /// The cluster's columns live in the index's arena.
+    Arena(CandHandle),
+}
+
+/// Projects a store to the shared read-only view.
+#[inline]
+pub(crate) fn view<'a>(arena: &'a StatsArena, store: &'a CandStore) -> CandidateSlice<'a> {
+    match store {
+        CandStore::Owned(set) => set.as_slice(),
+        CandStore::Arena(h) => arena.slice(*h),
+    }
+}
+
+/// Projects a store to the shared mutable view.
+#[inline]
+pub(crate) fn view_mut<'a>(
+    arena: &'a mut StatsArena,
+    store: &'a mut CandStore,
+) -> CandidateSliceMut<'a> {
+    match store {
+        CandStore::Owned(set) => set.as_slice_mut(),
+        CandStore::Arena(h) => arena.slice_mut(*h),
+    }
 }
 
 #[cfg(test)]
@@ -670,6 +1463,138 @@ mod tests {
         cands.decay(0.5);
         assert_eq!(cands.q_eff(1), 9.0);
     }
+
+    /// A candidate set with pseudo-random member/query history, used as
+    /// arena test fodder.
+    fn seasoned_set(dims: usize, f: u8, seed: u64) -> CandidateSet {
+        let mut set = generate_candidates(&Signature::root(dims), f);
+        let mut s = seed;
+        let mut next = move || {
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((s >> 33) % 33) as Scalar / 32.0
+        };
+        for _ in 0..5 {
+            let mut flat = Vec::with_capacity(2 * dims);
+            for _ in 0..dims {
+                let (a, b) = (next(), next());
+                flat.push(a.min(b));
+                flat.push(a.max(b));
+            }
+            set.record_member(&flat);
+        }
+        for ci in 0..set.len().min(7) {
+            set.add_q(ci, (seed % 11) as u32 + ci as u32);
+        }
+        set.decay(0.5);
+        set.add_q(0, 3);
+        set.set_stamp(seed % 5);
+        set
+    }
+
+    #[test]
+    fn arena_ranges_project_identically_to_owned_sets() {
+        let mut arena = StatsArena::new();
+        let sets: Vec<CandidateSet> =
+            (0..4).map(|k| seasoned_set(1 + k, 4, 17 * k as u64 + 1)).collect();
+        let handles: Vec<CandHandle> = sets.iter().map(|s| arena.alloc(s)).collect();
+        arena.check().unwrap();
+        for (set, &h) in sets.iter().zip(&handles) {
+            assert_eq!(arena.slice(h), set.as_slice());
+        }
+        assert_eq!(arena.live_bytes(), arena.capacity_bytes());
+        assert_eq!(arena.live_ranges(), 4);
+    }
+
+    #[test]
+    fn mutations_through_arena_views_match_owned_mutations() {
+        let mut arena = StatsArena::new();
+        let mut owned = seasoned_set(3, 4, 99);
+        let h = arena.alloc(&owned);
+        let flat = rect(&[0.1, 0.4, 0.6], &[0.3, 0.5, 0.9]).to_flat();
+        let incs = [2u32, 0, 5, 1];
+        for (target, is_arena) in [(true, true), (false, false)] {
+            let _ = target;
+            let mut view = if is_arena {
+                arena.slice_mut(h)
+            } else {
+                owned.as_slice_mut()
+            };
+            view.record_member(&flat);
+            view.add_q_slice(&incs);
+            view.add_q(1, 7);
+            view.catch_up(0.5, 2);
+            view.unrecord_member(&flat);
+            view.set_stamp(9);
+        }
+        assert_eq!(arena.slice(h), owned.as_slice());
+        for ci in 0..owned.len() {
+            assert_eq!(arena.slice(h).q_eff(ci).to_bits(), owned.q_eff(ci).to_bits());
+        }
+    }
+
+    #[test]
+    fn retire_and_compact_preserve_survivors_and_recycle_ids() {
+        let mut arena = StatsArena::new();
+        let sets: Vec<CandidateSet> =
+            (0..5).map(|k| seasoned_set(2, 4, 1000 + k as u64)).collect();
+        let handles: Vec<CandHandle> = sets.iter().map(|s| arena.alloc(s)).collect();
+        // Retire the middle and last ranges.
+        arena.retire(handles[2]);
+        arena.retire(handles[4]);
+        arena.check().unwrap();
+        let live_before = arena.live_bytes();
+        assert!(arena.should_compact(), "2/5 dead is past the quarter trigger");
+        assert!(arena.maybe_compact());
+        arena.check().unwrap();
+        assert_eq!(arena.compactions(), 1);
+        assert_eq!(arena.live_bytes(), live_before, "compaction conserves live bytes");
+        assert_eq!(arena.capacity_bytes(), live_before, "compaction reclaims all dead bytes");
+        for (k, (&h, set)) in handles.iter().zip(&sets).enumerate() {
+            if k != 2 && k != 4 {
+                assert_eq!(arena.slice(h), set.as_slice(), "survivor {k} moved intact");
+            }
+        }
+        // Retired ids are recycled only after compaction.
+        let fresh = seasoned_set(2, 4, 7);
+        let h_new = arena.alloc(&fresh);
+        assert!(
+            h_new == handles[2] || h_new == handles[4],
+            "freed id is reused: {h_new:?}"
+        );
+        assert_eq!(arena.slice(h_new), fresh.as_slice());
+        arena.check().unwrap();
+        // An idle arena with no dead bytes declines to compact.
+        assert!(!arena.maybe_compact());
+        assert_eq!(arena.compactions(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "retired twice")]
+    fn double_retire_panics() {
+        let mut arena = StatsArena::new();
+        let h = arena.alloc(&seasoned_set(1, 2, 3));
+        arena.retire(h);
+        arena.retire(h);
+    }
+
+    #[test]
+    fn cand_store_views_dispatch_to_both_layouts() {
+        let mut arena = StatsArena::new();
+        let set = seasoned_set(2, 4, 42);
+        let h = arena.alloc(&set);
+        let mut owned_store = CandStore::Owned(Box::new(set.clone()));
+        let mut arena_store = CandStore::Arena(h);
+        assert_eq!(
+            view(&arena, &owned_store),
+            view(&arena, &arena_store),
+            "both stores project the same statistics"
+        );
+        view_mut(&mut arena, &mut owned_store).add_q(0, 9);
+        view_mut(&mut arena, &mut arena_store).add_q(0, 9);
+        assert_eq!(view(&arena, &owned_store), view(&arena, &arena_store));
+    }
 }
 
 #[cfg(test)]
@@ -746,6 +1671,161 @@ mod proptests {
                 want += oracle as usize;
             }
             prop_assert_eq!(matched, want);
+        }
+
+        /// The per-run matches-all fast path (a query interval spanning
+        /// the full domain of a specialized dimension) is bit-identical
+        /// to the per-candidate evaluation: masks equal the scalar
+        /// oracle, and full-domain intersection/containment runs are
+        /// all-ones.
+        #[test]
+        fn full_domain_query_intervals_match_whole_runs(
+            dims in 1usize..=6,
+            f in prop_oneof![Just(2u8), Just(4u8)],
+            spec_dim in 0usize..6,
+            spec_i in 0u8..4,
+            spec_j in 0u8..4,
+            full_mask in 0u8..64,
+            pairs in prop::collection::vec((coord(), coord()), 6),
+            kind in 0usize..3,
+        ) {
+            let spec_dim = spec_dim % dims;
+            let (spec_i, spec_j) = (spec_i % f, spec_j % f);
+            let sig = if spec_i <= spec_j {
+                Signature::root(dims).specialize(spec_dim, f, spec_i, spec_j)
+            } else {
+                Signature::root(dims)
+            };
+            let cands = CandidateSet::generate(&sig, f);
+
+            // Force the full [0, 1] domain on the masked dimensions so
+            // the kernel's run screen fires; the rest stay random.
+            let mut lo = Vec::with_capacity(dims);
+            let mut hi = Vec::with_capacity(dims);
+            for (d, &(a, b)) in pairs.iter().take(dims).enumerate() {
+                if full_mask >> d & 1 == 1 {
+                    lo.push(0.0);
+                    hi.push(1.0);
+                } else {
+                    lo.push(a.min(b));
+                    hi.push(a.max(b));
+                }
+            }
+            let w = HyperRect::from_bounds(&lo, &hi).unwrap();
+            let query = match kind {
+                0 => SpatialQuery::intersection(w),
+                1 => SpatialQuery::containment(w),
+                _ => SpatialQuery::enclosure(w),
+            };
+
+            let mut scratch = ScanScratch::new();
+            scan_candidates(&query, &cands.columns(), &mut scratch);
+            for ci in 0..cands.len() {
+                let bit = scratch.mask_words()[ci / BLOCK] >> (ci % BLOCK) & 1 == 1;
+                prop_assert_eq!(
+                    bit,
+                    cands.matches_query(ci, &query),
+                    "candidate {} under {:?}", ci, &query
+                );
+                // A full-domain interval cannot discriminate candidates
+                // of its dimension for intersection/containment: all
+                // bounds live inside the domain, so the whole run
+                // matches.
+                let d = cands.id(ci).dim as usize;
+                if full_mask >> d & 1 == 1 && kind < 2 {
+                    prop_assert!(bit, "full-domain run candidate {} must match", ci);
+                }
+            }
+        }
+
+        /// Arena life-cycle invariants across random interleavings of
+        /// alloc / retire / mutate / compact, mirrored against owned
+        /// [`CandidateSet`]s: the structural `check()` holds after every
+        /// step, live bytes are conserved across compaction, and every
+        /// live range stays bit-identical to its independently mutated
+        /// mirror (the "linear rebuild" of the slot→range map).
+        #[test]
+        fn compaction_preserves_live_ranges_and_accounting(
+            ops in prop::collection::vec((0usize..6, 0usize..8, 0u64..u64::MAX), 1..40),
+        ) {
+            let mut arena = StatsArena::new();
+            // Mirror of every live slot: the handle plus an owned set
+            // receiving the same mutations.
+            let mut mirror: Vec<(CandHandle, CandidateSet)> = Vec::new();
+            for (op, pick, seed) in ops {
+                match op {
+                    // Alloc (twice as likely as the others).
+                    0 | 1 => {
+                        let dims = 1 + (seed % 3) as usize;
+                        let f = if seed & 4 == 0 { 2 } else { 4 };
+                        let set = CandidateSet::generate(&Signature::root(dims), f);
+                        let h = arena.alloc(&set);
+                        mirror.push((h, set));
+                    }
+                    2 => {
+                        if !mirror.is_empty() {
+                            let (h, _) = mirror.swap_remove(pick % mirror.len());
+                            arena.retire(h);
+                        }
+                    }
+                    3 => {
+                        if !mirror.is_empty() {
+                            let idx = pick % mirror.len();
+                            let (h, set) = &mut mirror[idx];
+                            let dims = set.dims();
+                            let mut s = seed;
+                            let mut next = move || {
+                                s = s
+                                    .wrapping_mul(6364136223846793005)
+                                    .wrapping_add(1442695040888963407);
+                                ((s >> 33) % 33) as Scalar / 32.0
+                            };
+                            let mut flat = Vec::with_capacity(2 * dims);
+                            for _ in 0..dims {
+                                let (a, b) = (next(), next());
+                                flat.push(a.min(b));
+                                flat.push(a.max(b));
+                            }
+                            arena.slice_mut(*h).record_member(&flat);
+                            set.record_member(&flat);
+                        }
+                    }
+                    4 => {
+                        if !mirror.is_empty() {
+                            let idx = pick % mirror.len();
+                            let (h, set) = &mut mirror[idx];
+                            let ci = pick % set.len();
+                            let inc = (seed % 100) as u32;
+                            arena.slice_mut(*h).add_q(ci, inc);
+                            set.add_q(ci, inc);
+                            arena.slice_mut(*h).catch_up(0.5, seed % 3);
+                            set.catch_up(0.5, seed % 3);
+                        }
+                    }
+                    _ => {
+                        let live = arena.live_bytes();
+                        arena.compact();
+                        prop_assert_eq!(arena.live_bytes(), live);
+                        prop_assert_eq!(arena.capacity_bytes(), live);
+                    }
+                }
+                prop_assert!(arena.check().is_ok(), "{:?}", arena.check());
+                prop_assert_eq!(arena.live_ranges(), mirror.len());
+            }
+            // Final compaction, then the whole map must equal the
+            // mirror's linear rebuild.
+            arena.compact();
+            prop_assert!(arena.check().is_ok());
+            prop_assert_eq!(arena.capacity_bytes(), arena.live_bytes());
+            for (h, set) in &mirror {
+                prop_assert_eq!(arena.slice(*h), set.as_slice());
+                for ci in 0..set.len() {
+                    prop_assert_eq!(
+                        arena.slice(*h).q_eff(ci).to_bits(),
+                        set.q_eff(ci).to_bits()
+                    );
+                }
+            }
         }
     }
 }

@@ -73,6 +73,45 @@ impl std::str::FromStr for ReorgMode {
     }
 }
 
+/// Where candidate statistics columns live.
+///
+/// Both layouts hold **bit-identical data** operated on by the **same
+/// view code** ([`crate::candidates::CandidateSlice`] /
+/// [`crate::candidates::CandidateSliceMut`]), so every recorded
+/// statistic, every [`crate::ReorgReport`], and every snapshot is
+/// identical across the toggle; only the memory placement — and
+/// therefore the cache behavior of the reorganization pass — differs.
+/// The per-cluster layout is kept as the *oracle* for equivalence
+/// tests and as the reference row of the reorganization benchmarks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum StatsLayout {
+    /// One index-wide slab per column family
+    /// ([`crate::candidates::StatsArena`]): each cluster owns a
+    /// `(base, len)` range, ranges are bump-allocated at the tail and
+    /// compacted during the reorganization pass, so the pass streams
+    /// contiguous columns instead of chasing per-cluster heap `Vec`s.
+    #[default]
+    Arena,
+    /// The pre-arena layout: every cluster owns its own
+    /// [`crate::candidates::CandidateSet`] with ~11 private heap
+    /// `Vec`s — scattered, but simple; the decision oracle.
+    PerClusterOracle,
+}
+
+impl std::str::FromStr for StatsLayout {
+    type Err = String;
+
+    /// Parses `"arena"` or `"per-cluster"`/`"per_cluster"`/`"oracle"`
+    /// (case-insensitive) — the spelling used by the bench CLI flags.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "arena" => Ok(StatsLayout::Arena),
+            "per-cluster" | "per_cluster" | "oracle" => Ok(StatsLayout::PerClusterOracle),
+            other => Err(format!("unknown stats layout {other:?}")),
+        }
+    }
+}
+
 /// Configuration of an [`crate::AdaptiveClusterIndex`].
 #[derive(Debug, Clone, PartialEq)]
 pub struct IndexConfig {
@@ -146,6 +185,11 @@ pub struct IndexConfig {
     /// [`crate::ReorgProfile::thrash_cycles`]); the cool-down only
     /// changes whether they are acted on.
     pub merge_cooldown: u64,
+    /// Memory placement of the candidate statistics columns. Defaults
+    /// to [`StatsLayout::Arena`] (one index-wide slab, compacted at
+    /// reorganization); [`StatsLayout::PerClusterOracle`] selects the
+    /// bit-identical per-cluster-`Vec` reference layout.
+    pub stats_layout: StatsLayout,
 }
 
 impl IndexConfig {
@@ -168,6 +212,7 @@ impl IndexConfig {
             zone_maps: true,
             reorg_mode: ReorgMode::Incremental,
             merge_cooldown: 0,
+            stats_layout: StatsLayout::Arena,
         }
     }
 
@@ -268,6 +313,22 @@ mod tests {
         assert_eq!("full-oracle".parse::<ReorgMode>(), Ok(ReorgMode::FullOracle));
         assert!("fullish".parse::<ReorgMode>().is_err());
         assert_eq!(ReorgMode::default(), ReorgMode::Incremental);
+    }
+
+    #[test]
+    fn stats_layout_parses_strictly() {
+        assert_eq!("arena".parse::<StatsLayout>(), Ok(StatsLayout::Arena));
+        assert_eq!(
+            "per-cluster".parse::<StatsLayout>(),
+            Ok(StatsLayout::PerClusterOracle)
+        );
+        assert_eq!(
+            "Per_Cluster".parse::<StatsLayout>(),
+            Ok(StatsLayout::PerClusterOracle)
+        );
+        assert_eq!("oracle".parse::<StatsLayout>(), Ok(StatsLayout::PerClusterOracle));
+        assert!("slab".parse::<StatsLayout>().is_err());
+        assert_eq!(StatsLayout::default(), StatsLayout::Arena);
     }
 
     #[test]

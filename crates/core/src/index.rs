@@ -16,8 +16,10 @@ use acx_geom::{HyperRect, ObjectId, Scalar, SpatialQuery, OBJECT_ID_BYTES};
 use acx_storage::{AccessStats, ClusterRecord, CostModel, FileStore, SegmentId, SegmentStore};
 
 use crate::batch::StatsDelta;
-use crate::candidates::{generate_candidates, CandidateSet};
-use crate::config::{ReorgMode, ScanMode};
+use crate::candidates::{
+    generate_candidates, view, view_mut, CandStore, CandidateSet, StatsArena,
+};
+use crate::config::{ReorgMode, ScanMode, StatsLayout};
 use crate::cost::{
     materialization_benefit, materialization_benefit_column, merging_benefit,
     merging_benefit_column,
@@ -177,7 +179,12 @@ struct Cluster {
     parent: Option<u32>,
     children: Vec<u32>,
     segment: SegmentId,
-    candidates: CandidateSet,
+    /// Where the cluster's candidate statistics live: an owned
+    /// [`CandidateSet`] ([`StatsLayout::PerClusterOracle`]) or a range
+    /// of the index-wide [`StatsArena`] ([`StatsLayout::Arena`]). The
+    /// lazy-decay stamp travels with the statistics (see
+    /// `AdaptiveClusterIndex::materialize_candidates`).
+    candidates: CandStore,
     /// Queries whose signature matched this cluster since `epoch_start`.
     q_count: u64,
     /// Global query counter value when this cluster's statistics epoch
@@ -188,12 +195,6 @@ struct Cluster {
     /// Exponentially decayed length (in queries) of completed epochs —
     /// the denominator paired with `q_eff`.
     weight: f64,
-    /// Statistics epoch the candidate counters are materialized to.
-    /// Candidate decay is **lazy**: an epoch close only rolls the
-    /// index-global epoch number, and a cluster skipped by the close
-    /// replays the missed folds exactly (`decay^k` catch-up) on its next
-    /// touch — see `AdaptiveClusterIndex::materialize_candidates`.
-    cand_stamp: u64,
     /// Whether this cluster is on the index's reorganization dirty set
     /// (statistics changed since the last pass).
     dirty: bool,
@@ -217,6 +218,10 @@ pub struct AdaptiveClusterIndex {
     config: IndexConfig,
     model: CostModel,
     store: SegmentStore,
+    /// The index-wide candidate statistics slabs (empty under
+    /// [`StatsLayout::PerClusterOracle`], where clusters own their
+    /// columns). Compacted by the reorganization pass.
+    stats_arena: StatsArena,
     clusters: Vec<Option<Cluster>>,
     free_slots: Vec<u32>,
     root: u32,
@@ -282,6 +287,8 @@ pub struct AdaptiveClusterIndex {
 /// are then reused, so a warmed-up pass allocates nothing.
 #[derive(Debug, Default)]
 struct ReorgScratch {
+    /// The pass's slot snapshot (live clusters at pass start).
+    snapshot: Vec<u32>,
     /// Candidate materialization benefits (one per candidate).
     benefits: Vec<f64>,
     /// Per-snapshot-slot access probability of each cluster.
@@ -294,6 +301,21 @@ struct ReorgScratch {
     merge_benefits: Vec<f64>,
 }
 
+impl ReorgScratch {
+    /// Pre-sizes the benefit column to the widest candidate set any
+    /// cluster can own (`dims · f(f+1)/2` virtual subclusters), so a
+    /// settled pass never grows it mid-scan: the first scan that prices
+    /// its column — possibly long after warm-up, once a cached verdict
+    /// expires — must not be the one that pays the allocation.
+    fn with_candidate_capacity(config: &IndexConfig) -> Self {
+        let f = config.division_factor as usize;
+        Self {
+            benefits: Vec::with_capacity(config.dims * (f * (f + 1)) / 2),
+            ..Self::default()
+        }
+    }
+}
+
 impl AdaptiveClusterIndex {
     /// Creates an empty index: a single root cluster whose general
     /// signature accepts any spatial object.
@@ -303,7 +325,12 @@ impl AdaptiveClusterIndex {
         let mut store = SegmentStore::with_reserve(config.dims, config.reserve_fraction);
         let segment = store.create(16);
         let signature = Signature::root(config.dims);
+        let mut stats_arena = StatsArena::new();
         let candidates = generate_candidates(&signature, config.division_factor);
+        let candidates = match config.stats_layout {
+            StatsLayout::Arena => CandStore::Arena(stats_arena.alloc(&candidates)),
+            StatsLayout::PerClusterOracle => CandStore::Owned(Box::new(candidates)),
+        };
         let root = Cluster {
             signature,
             parent: None,
@@ -314,13 +341,14 @@ impl AdaptiveClusterIndex {
             epoch_start: 0,
             q_eff: 0.0,
             weight: 0.0,
-            cand_stamp: 0,
             dirty: false,
         };
+        let reorg_scratch = ReorgScratch::with_candidate_capacity(&config);
         Ok(Self {
             config,
             model,
             store,
+            stats_arena,
             clusters: vec![Some(root)],
             free_slots: Vec::new(),
             root: 0,
@@ -340,7 +368,7 @@ impl AdaptiveClusterIndex {
             stats_epoch: 0,
             dirty_slots: Vec::new(),
             scan_caches: Vec::new(),
-            reorg_scratch: ReorgScratch::default(),
+            reorg_scratch,
             last_profile: ReorgProfile::default(),
             recent_merges: HashMap::new(),
             pass_thrash: 0,
@@ -545,7 +573,7 @@ impl AdaptiveClusterIndex {
         let cluster = self.clusters[slot as usize]
             .as_mut()
             .expect("cluster slot is live");
-        cluster.candidates.record_member(&flat);
+        view_mut(&mut self.stats_arena, &mut cluster.candidates).record_member(&flat);
         self.store.push(cluster.segment, id.raw(), &flat);
         self.object_cluster.insert(id.raw(), slot);
         self.mark_dirty(slot);
@@ -576,13 +604,15 @@ impl AdaptiveClusterIndex {
     /// are indistinguishable from eagerly decayed ones at every read.
     fn materialize_candidates(&mut self, slot: u32) {
         let epoch = self.stats_epoch;
+        let gamma = self.config.stats_decay;
         let cluster = self.clusters[slot as usize]
             .as_mut()
             .expect("cluster slot is live");
-        let behind = epoch - cluster.cand_stamp;
+        let mut cands = view_mut(&mut self.stats_arena, &mut cluster.candidates);
+        let behind = epoch - cands.stamp();
         if behind > 0 {
-            cluster.candidates.catch_up(self.config.stats_decay, behind);
-            cluster.cand_stamp = epoch;
+            cands.catch_up(gamma, behind);
+            cands.set_stamp(epoch);
         }
     }
 
@@ -602,7 +632,7 @@ impl AdaptiveClusterIndex {
             .as_mut()
             .expect("cluster slot is live");
         debug_assert_eq!(cluster.segment, segment);
-        cluster.candidates.unrecord_member(&flat);
+        view_mut(&mut self.stats_arena, &mut cluster.candidates).unrecord_member(&flat);
         self.store.swap_remove(cluster.segment, idx);
         self.object_cluster.remove(&id.raw());
         self.mark_dirty(slot);
@@ -687,16 +717,17 @@ impl AdaptiveClusterIndex {
             // so the candidate mask must be consumed into the delta
             // before member verification overwrites it.
             if let Some(delta) = delta.as_deref_mut() {
-                let recorded = delta.cluster_mut(slot, cluster.candidates.len());
+                let cands = view(&self.stats_arena, &cluster.candidates);
+                let recorded = delta.cluster_mut(slot, cands.len());
                 recorded.q_count += 1;
                 match self.config.candidate_scan {
                     ScanMode::Columnar => {
-                        scan_candidates(query, &cluster.candidates.columns(), &mut scratch.scan);
+                        scan_candidates(query, &cands.columns(), &mut scratch.scan);
                         recorded.add_candidate_mask(scratch.scan.mask_words());
                     }
                     ScanMode::ScalarOracle => {
-                        for ci in 0..cluster.candidates.len() {
-                            if cluster.candidates.matches_query(ci, query) {
+                        for ci in 0..cands.len() {
+                            if cands.matches_query(ci, query) {
                                 recorded.bump_candidate(ci as u32);
                             }
                         }
@@ -900,7 +931,8 @@ impl AdaptiveClusterIndex {
                     .and_then(|c| c.as_mut())
                     .expect("delta epoch matches, so its cluster slots are live");
                 cluster.q_count += recorded.q_count;
-                cluster.candidates.add_q_slice(&recorded.cand_q);
+                view_mut(&mut self.stats_arena, &mut cluster.candidates)
+                    .add_q_slice(&recorded.cand_q);
                 // Inline `mark_dirty` (the cluster is already borrowed):
                 // the new increments void the cached no-split verdict
                 // and put the slot on the dirty set.
@@ -1120,15 +1152,24 @@ impl AdaptiveClusterIndex {
         };
         self.pass_thrash = 0;
         self.pass_cooldown_blocked = 0;
-        let snapshot: Vec<u32> = (0..self.clusters.len() as u32)
-            .filter(|&s| self.clusters[s as usize].is_some())
-            .collect();
+        let mut snapshot = std::mem::take(&mut self.reorg_scratch.snapshot);
+        snapshot.clear();
+        snapshot.extend(
+            (0..self.clusters.len() as u32).filter(|&s| self.clusters[s as usize].is_some()),
+        );
         match self.config.reorg_mode {
             ReorgMode::FullOracle => self.full_pass(&snapshot, &mut report, &mut profile),
             ReorgMode::Incremental => self.incremental_pass(&snapshot, &mut report, &mut profile),
         }
+        self.reorg_scratch.snapshot = snapshot;
         profile.thrash_cycles = self.pass_thrash;
         profile.cooldown_blocked = self.pass_cooldown_blocked;
+        // Structural changes retired candidate ranges; reclaim the dead
+        // arena bytes here, off the query path, once they dominate.
+        self.stats_arena.maybe_compact();
+        profile.arena_live_bytes = self.stats_arena.live_bytes() as u64;
+        profile.arena_capacity_bytes = self.stats_arena.capacity_bytes() as u64;
+        profile.compactions = self.stats_arena.compactions();
         self.decay_statistics();
         self.reorganizations += 1;
         // Forget merges too old to matter for either the thrash window
@@ -1204,6 +1245,9 @@ impl AdaptiveClusterIndex {
         profile: &mut ReorgProfile,
     ) {
         let mut scratch = std::mem::take(&mut self.reorg_scratch);
+        // This pass only needs the merge columns; park the benefit
+        // column back where the nested split scans will look for it.
+        self.reorg_scratch.benefits = std::mem::take(&mut scratch.benefits);
         scratch.merge_p_c.clear();
         scratch.merge_p_a.clear();
         scratch.merge_n.clear();
@@ -1320,7 +1364,7 @@ impl AdaptiveClusterIndex {
                 // the scan it skipped and insist it finds nothing.
                 #[cfg(debug_assertions)]
                 {
-                    let n_hi = self.cluster(slot).candidates.n_hi();
+                    let n_hi = view(&self.stats_arena, &self.cluster(slot).candidates).n_hi();
                     let splits = self.try_cluster_split_columnar_entry(
                         slot,
                         epoch_len,
@@ -1349,6 +1393,10 @@ impl AdaptiveClusterIndex {
                 }
             }
         }
+        // The nested split scans parked the benefit column back into
+        // `self.reorg_scratch` (this pass holds the merge columns via
+        // `take`); carry it over or its capacity is dropped every pass.
+        scratch.benefits = std::mem::take(&mut self.reorg_scratch.benefits);
         self.reorg_scratch = scratch;
     }
 
@@ -1419,7 +1467,7 @@ impl AdaptiveClusterIndex {
         p_c: f64,
     ) -> bool {
         let cluster = self.cluster(slot);
-        let n_hi = cluster.candidates.n_hi() as usize;
+        let n_hi = view(&self.stats_arena, &cluster.candidates).n_hi() as usize;
         if n_hi == 0 {
             return true; // no candidate holds members: the scan skips them all
         }
@@ -1514,6 +1562,11 @@ impl AdaptiveClusterIndex {
             .take()
             .expect("cluster slot is live");
         self.free_slots.push(slot);
+        // The dying cluster's statistics range is dead arena bytes from
+        // here on; the next reorganization-pass compaction reclaims it.
+        if let CandStore::Arena(h) = cluster.candidates {
+            self.stats_arena.retire(h);
+        }
         // Remember the dying signature: a near-term re-materialization
         // of it is a thrash cycle (and, under the cool-down, vetoed).
         self.recent_merges
@@ -1526,11 +1579,13 @@ impl AdaptiveClusterIndex {
                 .as_mut()
                 .expect("parent slot is live");
             parent.children.retain(|&c| c != slot);
+            let parent_segment = parent.segment;
+            let mut pcands = view_mut(&mut self.stats_arena, &mut parent.candidates);
             for (i, oid) in ids.iter().enumerate() {
                 let flat = &coords[i * width..(i + 1) * width];
                 debug_assert!(parent.signature.accepts_flat(flat));
-                parent.candidates.record_member(flat);
-                self.store.push(parent.segment, *oid, flat);
+                pcands.record_member(flat);
+                self.store.push(parent_segment, *oid, flat);
                 self.object_cluster.insert(*oid, parent_slot);
             }
         }
@@ -1582,10 +1637,11 @@ impl AdaptiveClusterIndex {
                 let cluster = self.cluster(slot);
                 let p_c = self.access_probability(cluster);
                 let denom = cluster.weight + epoch_len as f64;
+                let cands = view(&self.stats_arena, &cluster.candidates);
                 let mut best: Option<(usize, f64)> = None;
                 let mut max_n = 0u32;
-                for idx in 0..cluster.candidates.len() {
-                    let n = cluster.candidates.n(idx);
+                for idx in 0..cands.len() {
+                    let n = cands.n(idx);
                     max_n = max_n.max(n);
                     if n == 0 {
                         continue;
@@ -1593,7 +1649,7 @@ impl AdaptiveClusterIndex {
                     let p_s = if denom <= 0.0 {
                         0.0
                     } else {
-                        (cluster.candidates.q_eff(idx) + cluster.candidates.q(idx) as f64) / denom
+                        (cands.q_eff(idx) + cands.q(idx) as f64) / denom
                     };
                     let benefit = materialization_benefit(a, b, c, p_c, p_s, n as usize);
                     let threshold = self.move_margin(n as usize)
@@ -1610,7 +1666,12 @@ impl AdaptiveClusterIndex {
             };
             // The scan walked every counter anyway: re-tighten the
             // cached bound the incremental screen prices.
-            self.cluster_mut(slot).candidates.set_n_hi(max_n);
+            {
+                let cluster = self.clusters[slot as usize]
+                    .as_mut()
+                    .expect("cluster slot is live");
+                view_mut(&mut self.stats_arena, &mut cluster.candidates).set_n_hi(max_n);
+            }
             let Some((cand_idx, _)) = best else {
                 break;
             };
@@ -1652,7 +1713,7 @@ impl AdaptiveClusterIndex {
                 let cluster = self.cluster(slot);
                 debug_assert_eq!(p_c.to_bits(), self.access_probability(cluster).to_bits());
                 let denom = cluster.weight + epoch_len as f64;
-                let cands = &cluster.candidates;
+                let cands = view(&self.stats_arena, &cluster.candidates);
                 // Division- and sqrt-free threshold floor, hoisted per
                 // scan: a candidate's significance threshold is at
                 // least `2nC/H + (z/D)(nC + B)` (move margin plus the
@@ -1739,7 +1800,12 @@ impl AdaptiveClusterIndex {
                 }
                 (best, max_n)
             };
-            self.cluster_mut(slot).candidates.set_n_hi(max_n);
+            {
+                let cluster = self.clusters[slot as usize]
+                    .as_mut()
+                    .expect("cluster slot is live");
+                view_mut(&mut self.stats_arena, &mut cluster.candidates).set_n_hi(max_n);
+            }
             let Some((cand_idx, _)) = best else {
                 break;
             };
@@ -1772,7 +1838,7 @@ impl AdaptiveClusterIndex {
         if self.config.merge_cooldown == 0 || self.recent_merges.is_empty() {
             return false;
         }
-        let sig = cluster.candidates.signature(
+        let sig = view(&self.stats_arena, &cluster.candidates).signature(
             idx,
             &cluster.signature,
             self.config.division_factor,
@@ -1792,6 +1858,7 @@ impl AdaptiveClusterIndex {
         use std::fmt::Write as _;
         self.materialize_candidates(slot);
         let cluster = self.cluster(slot);
+        let cands = view(&self.stats_arena, &cluster.candidates);
         let p_c = self.access_probability(cluster);
         let denom = cluster.weight + epoch_len as f64;
         let mut out = format!(
@@ -1801,19 +1868,19 @@ impl AdaptiveClusterIndex {
             cluster.epoch_start,
             cluster.q_count,
             cluster.q_eff,
-            cluster.cand_stamp,
+            cands.stamp(),
             self.stats_epoch,
-            cluster.candidates.n_hi(),
+            cands.n_hi(),
         );
-        for idx in 0..cluster.candidates.len() {
-            let n = cluster.candidates.n(idx);
+        for idx in 0..cands.len() {
+            let n = cands.n(idx);
             if n == 0 {
                 continue;
             }
             let p_s = if denom <= 0.0 {
                 0.0
             } else {
-                (cluster.candidates.q_eff(idx) + cluster.candidates.q(idx) as f64) / denom
+                (cands.q_eff(idx) + cands.q(idx) as f64) / denom
             };
             let benefit =
                 materialization_benefit(costs.a, costs.b, costs.c, p_c, p_s, n as usize);
@@ -1824,8 +1891,8 @@ impl AdaptiveClusterIndex {
                     out,
                     "  QUALIFIES idx={idx}: n={n} q={} q_eff={} p_s={p_s} \
                      benefit={benefit} threshold={threshold} g_i={}",
-                    cluster.candidates.q(idx),
-                    cluster.candidates.q_eff(idx),
+                    cands.q(idx),
+                    cands.q_eff(idx),
                     if p_c > 0.0 { (benefit + costs.a) / p_c } else { f64::NAN },
                 );
             }
@@ -1888,7 +1955,7 @@ impl AdaptiveClusterIndex {
         let width = 2 * self.config.dims;
         let (new_signature, expected, inherited_q, inherited_q_eff, parent_epoch, parent_weight) = {
             let cluster = self.cluster(slot);
-            let cands = &cluster.candidates;
+            let cands = view(&self.stats_arena, &cluster.candidates);
             (
                 cands.signature(cand_idx, &cluster.signature, f),
                 cands.n(cand_idx) as usize,
@@ -1909,19 +1976,20 @@ impl AdaptiveClusterIndex {
             }
         }
         let new_segment = self.store.create(expected.max(1));
-        let new_candidates = generate_candidates(&new_signature, f);
+        let mut new_candidates = generate_candidates(&new_signature, f);
+        // Fresh counters are de-facto materialized to the open epoch.
+        new_candidates.set_stamp(self.stats_epoch);
+        let candidates = self.store_candidates(new_candidates);
         let new_slot = self.alloc_slot(Cluster {
             signature: new_signature,
             parent: Some(slot),
             children: Vec::new(),
             segment: new_segment,
-            candidates: new_candidates,
+            candidates,
             q_count: inherited_q,
             epoch_start: parent_epoch,
             q_eff: inherited_q_eff,
             weight: parent_weight,
-            // Fresh counters are de-facto materialized to the open epoch.
-            cand_stamp: self.stats_epoch,
             dirty: false,
         });
 
@@ -1931,7 +1999,7 @@ impl AdaptiveClusterIndex {
             .as_mut()
             .expect("cluster slot is live");
         let parent_segment = parent_cluster.segment;
-        let cand = parent_cluster.candidates.bounds(cand_idx);
+        let cand = view(&self.stats_arena, &parent_cluster.candidates).bounds(cand_idx);
         let mut moved: Vec<(u32, Vec<Scalar>)> = Vec::with_capacity(expected);
         let mut flat = Vec::with_capacity(width);
         let mut idx = 0;
@@ -1945,22 +2013,40 @@ impl AdaptiveClusterIndex {
                 idx += 1;
             }
         }
-        for (oid, flat) in &moved {
-            parent_cluster.candidates.unrecord_member(flat);
-            self.object_cluster.insert(*oid, new_slot);
+        {
+            let mut pcands = view_mut(&mut self.stats_arena, &mut parent_cluster.candidates);
+            for (oid, flat) in &moved {
+                pcands.unrecord_member(flat);
+                self.object_cluster.insert(*oid, new_slot);
+            }
         }
         parent_cluster.children.push(new_slot);
-        debug_assert_eq!(parent_cluster.candidates.n(cand_idx), 0);
+        debug_assert_eq!(
+            view(&self.stats_arena, &parent_cluster.candidates).n(cand_idx),
+            0
+        );
 
         let new_cluster = self.clusters[new_slot as usize]
             .as_mut()
             .expect("new slot is live");
+        let mut ncands = view_mut(&mut self.stats_arena, &mut new_cluster.candidates);
         for (oid, flat) in &moved {
-            new_cluster.candidates.record_member(flat);
-            self.store.push(new_cluster.segment, *oid, flat);
+            ncands.record_member(flat);
+            self.store.push(new_segment, *oid, flat);
         }
         self.mark_dirty(slot);
         self.mark_dirty(new_slot);
+    }
+
+    /// Places a freshly generated candidate set into the layout the
+    /// index runs under: copied into the arena slabs
+    /// ([`StatsLayout::Arena`]) or kept as an owned per-cluster value
+    /// ([`StatsLayout::PerClusterOracle`]).
+    fn store_candidates(&mut self, set: CandidateSet) -> CandStore {
+        match self.config.stats_layout {
+            StatsLayout::Arena => CandStore::Arena(self.stats_arena.alloc(&set)),
+            StatsLayout::PerClusterOracle => CandStore::Owned(Box::new(set)),
+        }
     }
 
     fn alloc_slot(&mut self, cluster: Cluster) -> u32 {
@@ -2092,6 +2178,7 @@ impl AdaptiveClusterIndex {
         let f = config.division_factor;
         let width = 2 * dims;
         let mut store = SegmentStore::with_reserve(dims, config.reserve_fraction);
+        let mut stats_arena = StatsArena::new();
         let mut clusters: Vec<Option<Cluster>> = Vec::with_capacity(records.len());
         let mut object_cluster = HashMap::new();
         let mut root = None;
@@ -2147,6 +2234,10 @@ impl AdaptiveClusterIndex {
                 Some(parent)
             };
             parents.push(parent);
+            let candidates = match config.stats_layout {
+                StatsLayout::Arena => CandStore::Arena(stats_arena.alloc(&candidates)),
+                StatsLayout::PerClusterOracle => CandStore::Owned(Box::new(candidates)),
+            };
             clusters.push(Some(Cluster {
                 signature,
                 parent,
@@ -2157,7 +2248,6 @@ impl AdaptiveClusterIndex {
                 epoch_start: 0,
                 q_eff: 0.0,
                 weight: 0.0,
-                cand_stamp: 0,
                 dirty: false,
             }));
         }
@@ -2174,10 +2264,12 @@ impl AdaptiveClusterIndex {
             }
         }
         let model = config.cost_model();
+        let reorg_scratch = ReorgScratch::with_candidate_capacity(&config);
         Ok(Self {
             config,
             model,
             store,
+            stats_arena,
             clusters,
             free_slots: Vec::new(),
             root,
@@ -2197,7 +2289,7 @@ impl AdaptiveClusterIndex {
             stats_epoch: 0,
             dirty_slots: Vec::new(),
             scan_caches: Vec::new(),
-            reorg_scratch: ReorgScratch::default(),
+            reorg_scratch,
             last_profile: ReorgProfile::default(),
             recent_merges: HashMap::new(),
             pass_thrash: 0,
@@ -2215,11 +2307,16 @@ impl AdaptiveClusterIndex {
     pub fn check_invariants(&self) -> Result<(), String> {
         let mut seen_objects = 0usize;
         let mut flat = Vec::new();
+        let mut arena_stored = 0usize;
         for (slot, cluster) in self.clusters.iter().enumerate() {
             let Some(cluster) = cluster else { continue };
+            if matches!(cluster.candidates, CandStore::Arena(_)) {
+                arena_stored += 1;
+            }
+            let cands = view(&self.stats_arena, &cluster.candidates);
             let ids = self.store.ids(cluster.segment);
             seen_objects += ids.len();
-            let mut expected_n = vec![0u32; cluster.candidates.len()];
+            let mut expected_n = vec![0u32; cands.len()];
             for (k, &oid) in ids.iter().enumerate() {
                 self.store.read_object_into(cluster.segment, k, &mut flat);
                 if !cluster.signature.accepts_flat(&flat) {
@@ -2229,25 +2326,25 @@ impl AdaptiveClusterIndex {
                     return Err(format!("object #{oid} map entry disagrees with cluster {slot}"));
                 }
                 for (ci, expected) in expected_n.iter_mut().enumerate() {
-                    if cluster.candidates.accepts_member(ci, &flat) {
+                    if cands.accepts_member(ci, &flat) {
                         *expected += 1;
                     }
                 }
             }
             for (ci, &expected) in expected_n.iter().enumerate() {
-                if cluster.candidates.n(ci) != expected {
+                if cands.n(ci) != expected {
                     return Err(format!(
                         "cluster {slot} candidate {ci}: n={} but {} members qualify",
-                        cluster.candidates.n(ci),
+                        cands.n(ci),
                         expected
                     ));
                 }
             }
             let max_n = expected_n.iter().copied().max().unwrap_or(0);
-            if cluster.candidates.n_hi() < max_n {
+            if cands.n_hi() < max_n {
                 return Err(format!(
                     "cluster {slot}: cached member-count bound {} below actual maximum {max_n}",
-                    cluster.candidates.n_hi()
+                    cands.n_hi()
                 ));
             }
             for &child in &cluster.children {
@@ -2292,6 +2389,14 @@ impl AdaptiveClusterIndex {
                     }
                 }
             }
+        }
+        self.stats_arena.check()?;
+        if self.stats_arena.live_ranges() != arena_stored {
+            return Err(format!(
+                "{} live arena ranges but {} clusters store their statistics there",
+                self.stats_arena.live_ranges(),
+                arena_stored
+            ));
         }
         Ok(())
     }

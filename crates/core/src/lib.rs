@@ -36,7 +36,7 @@ mod metrics;
 pub mod signature;
 
 pub use batch::StatsDelta;
-pub use config::{IndexConfig, ReorgMode, ScanMode};
+pub use config::{IndexConfig, ReorgMode, ScanMode, StatsLayout};
 pub use error::IndexError;
 pub use index::{AdaptiveClusterIndex, QueryScratch};
 pub use metrics::{ClusterSnapshot, QueryMetrics, QueryResult, ReorgProfile, ReorgReport};

@@ -58,6 +58,19 @@ pub struct ReorgProfile {
     /// [`crate::IndexConfig::merge_cooldown`] hysteresis (always `0`
     /// when the cool-down is disabled).
     pub cooldown_blocked: u64,
+    /// Bytes of live candidate statistics in the index-wide arena at
+    /// pass end (always `0` under
+    /// [`crate::StatsLayout::PerClusterOracle`], where every cluster
+    /// owns its columns).
+    pub arena_live_bytes: u64,
+    /// Bytes the arena slabs currently occupy, live or dead. The gap to
+    /// [`ReorgProfile::arena_live_bytes`] is garbage from retired
+    /// ranges awaiting the next compaction.
+    pub arena_capacity_bytes: u64,
+    /// Arena compactions performed over the index's lifetime (cumulative,
+    /// not per-pass: compactions are rare enough that the running total
+    /// is the useful signal).
+    pub compactions: u64,
 }
 
 /// A read-only view of one materialized cluster, for inspection, tests

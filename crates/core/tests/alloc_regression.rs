@@ -1,16 +1,25 @@
 //! Regression test: once its scratch buffers are warm, the read-only
 //! matching phase (`query_with` / `query_recorded_with` with a reused
-//! [`StatsDelta`]) performs **zero heap allocations per query**.
+//! [`StatsDelta`]) performs **zero heap allocations per query** — and
+//! under [`StatsLayout::Arena`] a settled reorganization pass performs
+//! **zero heap allocations** outright: every candidate column it scans
+//! lives in the index-wide statistics slab, and the pass scratch is
+//! index-owned.
 //!
-//! A counting global allocator wraps the system allocator; the test
-//! warms the (scratch, delta) pair over the full query set, then asserts
-//! the allocation counter does not move across a second pass.
+//! A counting global allocator wraps the system allocator; the tests
+//! warm the relevant state over the full stream, then assert the
+//! allocation counter does not move across a second pass.
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
 
-use acx_core::{AdaptiveClusterIndex, IndexConfig, QueryScratch, StatsDelta};
+use acx_core::{AdaptiveClusterIndex, IndexConfig, QueryScratch, StatsDelta, StatsLayout};
 use acx_geom::{HyperRect, ObjectId, SpatialQuery};
+
+/// The allocation counter is process-global, so tests measuring it must
+/// not run concurrently — each one holds this lock across its body.
+static SERIAL: Mutex<()> = Mutex::new(());
 
 /// Counts every allocation (alloc, alloc_zeroed, realloc) delegated to
 /// the system allocator.
@@ -52,6 +61,7 @@ fn coord(state: &mut u64) -> f32 {
 
 #[test]
 fn warmed_up_read_path_allocates_nothing_per_query() {
+    let _serial = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
     let dims = 6;
     let mut state = 0x5EED_u64;
     let mut index = AdaptiveClusterIndex::new(IndexConfig::memory(dims)).unwrap();
@@ -138,5 +148,81 @@ fn warmed_up_read_path_allocates_nothing_per_query() {
          (expected at most one match-vector clone each)",
         after - before,
         queries.len()
+    );
+}
+
+/// Under the arena layout, a *settled* reorganization pass — the stream
+/// has stopped forcing splits and merges, so the pass only screens,
+/// scans candidate columns, and folds the epoch — allocates nothing:
+/// the columns live in the statistics slab and every scratch buffer is
+/// index-owned and warm.
+#[test]
+fn warmed_reorg_pass_allocates_nothing_under_arena() {
+    let _serial = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+    let dims = 5;
+    let mut state = 0xA2E7A_u64;
+    let mut config = IndexConfig::memory(dims);
+    config.reorg_period = 0; // explicit passes below
+    config.stats_layout = StatsLayout::Arena;
+    let mut index = AdaptiveClusterIndex::new(config).unwrap();
+    for i in 0..2000u32 {
+        let (lo, hi): (Vec<f32>, Vec<f32>) = (0..dims)
+            .map(|_| {
+                let a = coord(&mut state);
+                let b = coord(&mut state);
+                (a.min(b), a.max(b))
+            })
+            .unzip();
+        index
+            .insert(ObjectId(i), HyperRect::from_bounds(&lo, &hi).unwrap())
+            .unwrap();
+    }
+    // A fixed, skewed query set replayed every round: the clustering
+    // converges on it, after which passes stop restructuring.
+    let queries: Vec<SpatialQuery> = (0..48)
+        .map(|_| {
+            SpatialQuery::point_enclosing(
+                (0..dims).map(|_| coord(&mut state) * 0.4).collect(),
+            )
+        })
+        .collect();
+    let mut settled_rounds = 0;
+    for _ in 0..30 {
+        for q in &queries {
+            index.execute(q);
+        }
+        let report = index.reorganize();
+        if report.splits == 0 && report.merges == 0 {
+            settled_rounds += 1;
+            if settled_rounds >= 2 {
+                break;
+            }
+        } else {
+            settled_rounds = 0;
+        }
+    }
+    assert!(
+        settled_rounds >= 2,
+        "stream must settle for the measured pass to be structural-change-free"
+    );
+
+    // Measured pass: same query window, then one pass through warm
+    // arena columns and warm pass scratch.
+    for q in &queries {
+        index.execute(q);
+    }
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    let report = index.reorganize();
+    let after = ALLOCATIONS.load(Ordering::Relaxed);
+    assert_eq!((report.splits, report.merges), (0, 0), "test premise: settled pass");
+    let profile = index.last_reorg_profile();
+    assert!(profile.evaluated > 0, "test premise: the pass must evaluate clusters");
+    assert!(index.cluster_count() > 1, "test premise: clusters must have materialized");
+    assert!(profile.arena_capacity_bytes > 0, "test premise: arena layout in use");
+    assert_eq!(
+        after - before,
+        0,
+        "settled arena reorganization pass allocated {} times",
+        after - before
     );
 }

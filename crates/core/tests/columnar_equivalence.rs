@@ -2,28 +2,37 @@
 //! oracle — not just in match sets, but in every access counter
 //! (`AccessStats`), every recorded statistic (`StatsDelta`), and every
 //! reorganization decision derived from them. Indexes differing only in
-//! [`ScanMode`] (member verification *and* candidate matching), and in
-//! whether zone maps may skip blocks, are driven through identical
-//! workloads and compared query by query.
+//! [`ScanMode`] (member verification *and* candidate matching), in
+//! whether zone maps may skip blocks, and in where the candidate
+//! statistics live ([`StatsLayout`]: index-wide arena vs per-cluster
+//! columns) are driven through identical workloads and compared query
+//! by query.
 
-use acx_core::{AdaptiveClusterIndex, IndexConfig, QueryScratch, ScanMode, StatsDelta};
+use acx_core::{
+    AdaptiveClusterIndex, IndexConfig, QueryScratch, ScanMode, StatsDelta, StatsLayout,
+};
 use acx_geom::{HyperRect, ObjectId, SpatialQuery};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-/// The full oracle: scalar member verification, scalar candidate loop.
+/// The full oracle: scalar member verification, scalar candidate loop,
+/// per-cluster statistics columns.
 fn oracle_config(config: &IndexConfig) -> IndexConfig {
     IndexConfig {
         scan_mode: ScanMode::ScalarOracle,
         candidate_scan: ScanMode::ScalarOracle,
+        stats_layout: StatsLayout::PerClusterOracle,
         ..config.clone()
     }
 }
 
-/// Every bitmask/zone-map execution strategy that must equal the
-/// oracle: the default (all columnar, zones on), zones off, and the
-/// mixed modes keeping one scalar loop each.
+/// Every bitmask/zone-map/statistics-layout execution strategy that
+/// must equal the oracle: the default (all columnar, zones on, arena
+/// statistics), zones off, the mixed modes keeping one scalar loop
+/// each, and the two variants isolating the statistics layout — the
+/// columnar kernels fed from per-cluster columns, and the scalar loops
+/// fed from the arena.
 fn variant_configs(config: &IndexConfig) -> Vec<(&'static str, IndexConfig)> {
     vec![
         (
@@ -32,6 +41,7 @@ fn variant_configs(config: &IndexConfig) -> Vec<(&'static str, IndexConfig)> {
                 scan_mode: ScanMode::Columnar,
                 candidate_scan: ScanMode::Columnar,
                 zone_maps: true,
+                stats_layout: StatsLayout::Arena,
                 ..config.clone()
             },
         ),
@@ -41,6 +51,7 @@ fn variant_configs(config: &IndexConfig) -> Vec<(&'static str, IndexConfig)> {
                 scan_mode: ScanMode::Columnar,
                 candidate_scan: ScanMode::Columnar,
                 zone_maps: false,
+                stats_layout: StatsLayout::Arena,
                 ..config.clone()
             },
         ),
@@ -58,6 +69,25 @@ fn variant_configs(config: &IndexConfig) -> Vec<(&'static str, IndexConfig)> {
             IndexConfig {
                 scan_mode: ScanMode::ScalarOracle,
                 candidate_scan: ScanMode::Columnar,
+                ..config.clone()
+            },
+        ),
+        (
+            "columnar-per-cluster-stats",
+            IndexConfig {
+                scan_mode: ScanMode::Columnar,
+                candidate_scan: ScanMode::Columnar,
+                zone_maps: true,
+                stats_layout: StatsLayout::PerClusterOracle,
+                ..config.clone()
+            },
+        ),
+        (
+            "scalar-arena-stats",
+            IndexConfig {
+                scan_mode: ScanMode::ScalarOracle,
+                candidate_scan: ScanMode::ScalarOracle,
+                stats_layout: StatsLayout::Arena,
                 ..config.clone()
             },
         ),
@@ -275,16 +305,16 @@ fn boundary_coincident_edges_agree() {
 proptest! {
     /// Random workloads in 1–8 dimensions, all query kinds, with
     /// boundary-coincident edges (grid-snapped coordinates): executing
-    /// the same stream under a random bitmask/zone-map variant and the
-    /// scalar oracle leaves identical matches, `AccessStats`, recorded
-    /// `StatsDelta`s and clustering state.
+    /// the same stream under a random bitmask/zone-map/stats-layout
+    /// variant and the scalar oracle leaves identical matches,
+    /// `AccessStats`, recorded `StatsDelta`s and clustering state.
     #[test]
     fn prop_columnar_equals_oracle(
         dims in 1usize..=8,
         n_objects in 1usize..140,
         n_queries in 1usize..40,
         seed in 0u64..1_000_000,
-        variant in 0usize..4,
+        variant in 0usize..6,
     ) {
         let mut config = IndexConfig::memory(dims);
         config.reorg_period = 25;

@@ -748,6 +748,59 @@ fn run_interleaved<P: Pred>(
     }
 }
 
+/// Per-dimension-run aggregate bounds over the candidate bound columns
+/// — the sparse-query fast path's screen. A query interval that spans
+/// the full domain of a specialized dimension cannot discriminate that
+/// dimension's candidates: when the run's *worst* candidate passes the
+/// relation's `x ≤ t1 ∧ y ≥ t2` condition, every candidate does, and
+/// the kernel sets the whole run's match bits without evaluating
+/// per-candidate bounds. Candidate bounds are immutable after
+/// generation, so these aggregates are computed once.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RunBounds {
+    /// Maximum of `start_lo` over the run (`-∞` for an empty run).
+    pub start_lo_max: Scalar,
+    /// Minimum of `start_reach` over the run (`+∞` for an empty run).
+    pub start_reach_min: Scalar,
+    /// Maximum of `end_lo` over the run (`-∞` for an empty run).
+    pub end_lo_max: Scalar,
+    /// Minimum of `end_reach` over the run (`+∞` for an empty run).
+    pub end_reach_min: Scalar,
+}
+
+impl RunBounds {
+    /// Folds the aggregate bounds of every dimension run. The inputs
+    /// are the four bound columns and the run offsets exactly as passed
+    /// to [`CandidateColumns::new`]; the result has one entry per
+    /// dimension.
+    pub fn compute_all(
+        start_lo: &[Scalar],
+        start_reach: &[Scalar],
+        end_lo: &[Scalar],
+        end_reach: &[Scalar],
+        dim_offsets: &[u32],
+    ) -> Vec<RunBounds> {
+        assert!(!dim_offsets.is_empty());
+        let mut out = Vec::with_capacity(dim_offsets.len() - 1);
+        for w in dim_offsets.windows(2) {
+            let run = w[0] as usize..w[1] as usize;
+            let fold = |col: &[Scalar], max: bool| {
+                col[run.clone()].iter().copied().fold(
+                    if max { Scalar::NEG_INFINITY } else { Scalar::INFINITY },
+                    if max { Scalar::max } else { Scalar::min },
+                )
+            };
+            out.push(RunBounds {
+                start_lo_max: fold(start_lo, true),
+                start_reach_min: fold(start_reach, false),
+                end_lo_max: fold(end_lo, true),
+                end_reach_min: fold(end_reach, false),
+            });
+        }
+        out
+    }
+}
+
 /// Dimension-major candidate-subcluster bound columns — the statistics
 /// side of the adaptive index, laid out exactly like object coordinates
 /// so the same kernel shape applies.
@@ -772,17 +825,23 @@ pub struct CandidateColumns<'a> {
     /// Candidate range of each dimension: dimension `d` owns candidates
     /// `dim_offsets[d] .. dim_offsets[d + 1]`.
     dim_offsets: &'a [u32],
+    /// Aggregate bounds per dimension run (length `dims`), driving the
+    /// per-run matches-all fast path of [`scan_candidates`].
+    run_bounds: &'a [RunBounds],
 }
 
 impl<'a> CandidateColumns<'a> {
     /// Builds the view; all four bound columns must have equal length
-    /// matching the last offset, and offsets must be non-decreasing.
+    /// matching the last offset, offsets must be non-decreasing, and
+    /// `run_bounds` must hold one entry per dimension (see
+    /// [`RunBounds::compute_all`]).
     pub fn new(
         start_lo: &'a [Scalar],
         start_reach: &'a [Scalar],
         end_lo: &'a [Scalar],
         end_reach: &'a [Scalar],
         dim_offsets: &'a [u32],
+        run_bounds: &'a [RunBounds],
     ) -> Self {
         let n = start_lo.len();
         assert!(start_reach.len() == n && end_lo.len() == n && end_reach.len() == n);
@@ -792,6 +851,7 @@ impl<'a> CandidateColumns<'a> {
         // offsets' runs, so an uncovered prefix would read stale bytes.
         assert_eq!(dim_offsets[0], 0, "first dimension run must start at 0");
         assert_eq!(*dim_offsets.last().expect("non-empty") as usize, n);
+        assert_eq!(run_bounds.len(), dim_offsets.len() - 1);
         debug_assert!(dim_offsets.windows(2).all(|w| w[0] <= w[1]));
         Self {
             start_lo,
@@ -799,6 +859,7 @@ impl<'a> CandidateColumns<'a> {
             end_lo,
             end_reach,
             dim_offsets,
+            run_bounds,
         }
     }
 
@@ -960,6 +1021,22 @@ fn fill_candidate_bytes_impl(
             Relation::Intersection | Relation::Containment => (qb[d], qa[d]),
             Relation::Enclosure => (qa[d], qb[d]),
         };
+        // Sparse-query fast path: when even the run's worst candidate
+        // passes (its largest `x` and smallest `y` — typically a query
+        // interval spanning the dimension's full domain), the run
+        // cannot be discriminated and every bit is set without touching
+        // the bound columns. Exact by monotonicity: all values are
+        // finite, so `max(x) ≤ t1` implies every `x ≤ t1` and
+        // `min(y) ≥ t2` implies every `y ≥ t2`.
+        let rb = &cols.run_bounds[d];
+        let (x_max, y_min) = match rel {
+            Relation::Intersection | Relation::Enclosure => (rb.start_lo_max, rb.end_reach_min),
+            Relation::Containment => (rb.end_lo_max, rb.start_reach_min),
+        };
+        if x_max <= t1 && y_min >= t2 {
+            bytes[run].fill(1);
+            continue;
+        }
         let x = &x_col[run.clone()];
         let y = &y_col[run.clone()];
         for ((byte, &xv), &yv) in bytes[run.clone()].iter_mut().zip(x).zip(y) {
@@ -1265,7 +1342,8 @@ mod tests {
         ];
         let offsets = [0u32, 3, 6];
         let (sl, sr, el, er, off) = cand_cols(&start, &end, &offsets);
-        let cols = CandidateColumns::new(&sl, &sr, &el, &er, &off);
+        let rb = RunBounds::compute_all(&sl, &sr, &el, &er, &off);
+        let cols = CandidateColumns::new(&sl, &sr, &el, &er, &off, &rb);
         let w = HyperRect::from_bounds(&[0.25, 0.5], &[0.5, 0.75]).unwrap();
         for q in [
             SpatialQuery::intersection(w.clone()),
@@ -1293,7 +1371,8 @@ mod tests {
         let end: Vec<(Scalar, Scalar, bool)> = (0..70).map(|_| (0.0, 1.0, false)).collect();
         let offsets = [0u32, 70];
         let (sl, sr, el, er, off) = cand_cols(&start, &end, &offsets);
-        let cols = CandidateColumns::new(&sl, &sr, &el, &er, &off);
+        let rb = RunBounds::compute_all(&sl, &sr, &el, &er, &off);
+        let cols = CandidateColumns::new(&sl, &sr, &el, &er, &off, &rb);
         let mut scratch = ScanScratch::new();
         let q = SpatialQuery::point_enclosing(vec![0.5]);
         let matched = scan_candidates(&q, &cols, &mut scratch);
@@ -1304,6 +1383,52 @@ mod tests {
             let got = scratch.mask_words()[i / BLOCK] >> (i % BLOCK) & 1 == 1;
             assert_eq!(got, w, "candidate {i}");
         }
+    }
+
+    #[test]
+    fn full_domain_runs_take_the_matches_all_path_bit_identically() {
+        // Dimension 0's candidates are all reachable by a full-domain
+        // interval (the fast path fills the whole run); dimension 1 has
+        // one candidate that fails, forcing the per-candidate loop. The
+        // mask must equal the scalar oracle bit for bit either way.
+        let start = [
+            (0.0, 0.25, true), (0.25, 0.5, true), (0.5, 1.0, false),
+            (0.0, 0.5, true), (0.5, 0.75, true), (0.75, 1.0, false),
+        ];
+        let end = [
+            (0.0, 0.25, true), (0.25, 0.75, true), (0.75, 1.0, false),
+            (0.0, 0.5, false), (0.5, 1.0, true), (0.0, 1.0, false),
+        ];
+        let offsets = [0u32, 3, 6];
+        let (sl, sr, el, er, off) = cand_cols(&start, &end, &offsets);
+        let rb = RunBounds::compute_all(&sl, &sr, &el, &er, &off);
+        let cols = CandidateColumns::new(&sl, &sr, &el, &er, &off, &rb);
+        // Full domain in dim 0, narrow in dim 1: intersection cannot
+        // discriminate dim 0's run.
+        let w = HyperRect::from_bounds(&[0.0, 0.6], &[1.0, 0.6]).unwrap();
+        let full = HyperRect::from_bounds(&[0.0, 0.0], &[1.0, 1.0]).unwrap();
+        for q in [
+            SpatialQuery::intersection(w),
+            SpatialQuery::intersection(full.clone()),
+            SpatialQuery::containment(full.clone()),
+            SpatialQuery::enclosure(full),
+        ] {
+            let mut scratch = ScanScratch::new();
+            let matched = scan_candidates(&q, &cols, &mut scratch);
+            let want = cand_oracle(&q, &start, &end, &offsets);
+            for (i, &w) in want.iter().enumerate() {
+                let got = scratch.mask_words()[i / BLOCK] >> (i % BLOCK) & 1 == 1;
+                assert_eq!(got, w, "candidate {i} diverged on {q:?}");
+            }
+            assert_eq!(matched, want.iter().filter(|&&m| m).count());
+        }
+        // Premise: the intersection over the full window really is
+        // all-match on dim 0's run (fast path taken, not vacuous).
+        let q = SpatialQuery::intersection(
+            HyperRect::from_bounds(&[0.0, 0.6], &[1.0, 0.6]).unwrap(),
+        );
+        let want = cand_oracle(&q, &start, &end, &offsets);
+        assert!(want[..3].iter().all(|&m| m), "dim 0 run must be all-match");
     }
 
     #[test]
