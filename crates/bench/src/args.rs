@@ -2,8 +2,10 @@
 //! dependency needed for `--key value` flags).
 
 use std::collections::HashMap;
+use std::path::PathBuf;
 
-use acx_core::{IndexConfig, ReorgMode, ScanMode, StatsLayout};
+use acx_core::{AdaptiveClusterIndex, IndexConfig, ReorgMode, ScanMode, StatsLayout};
+use acx_storage::{FileBacking, FlushPolicy, Wal};
 
 /// Parsed `--key value` flags.
 pub struct Flags {
@@ -127,6 +129,41 @@ impl Flags {
     /// that expose it.
     pub fn merge_cooldown(&self) -> u64 {
         self.get_strict("merge-cooldown", 0)
+    }
+
+    /// `--flush-policy record|batch[:N]|epoch`: WAL durability policy,
+    /// meaningful only together with [`Flags::wal_path`]. Defaults to
+    /// `record` (every record flushed before the mutation applies).
+    pub fn flush_policy(&self) -> FlushPolicy {
+        self.get_strict("flush-policy", FlushPolicy::PerRecord)
+    }
+
+    /// `--wal PATH`: log every structural mutation to a write-ahead log
+    /// at `PATH`. Off by default — the experiments measure the index
+    /// itself unless durability overhead is the point.
+    pub fn wal_path(&self) -> Option<PathBuf> {
+        self.values.get("wal").map(PathBuf::from)
+    }
+
+    /// Attaches a [`FileBacking`] WAL to `index` when `--wal PATH` was
+    /// passed (with the [`Flags::flush_policy`] durability policy) and
+    /// returns whether one was attached. Deliberately **not** part of
+    /// [`Flags::apply_scan_flags`]: logging adds I/O on the mutation
+    /// path but never changes a clustering decision, and the bins that
+    /// report decision-surface metrics must stay byte-identical with
+    /// and without it.
+    pub fn attach_wal(&self, index: &mut AdaptiveClusterIndex) -> bool {
+        let Some(path) = self.wal_path() else {
+            return false;
+        };
+        let backing =
+            FileBacking::create(&path).unwrap_or_else(|e| panic!("--wal {}: {e}", path.display()));
+        let wal = Wal::create(Box::new(backing), self.flush_policy(), index.config().dims)
+            .unwrap_or_else(|e| panic!("--wal {}: {e}", path.display()));
+        index
+            .attach_wal(wal)
+            .unwrap_or_else(|e| panic!("--wal {}: {e}", path.display()));
+        true
     }
 
     /// Applies the kernel and maintenance toggles (`--scan-mode`,

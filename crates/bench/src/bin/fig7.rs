@@ -9,6 +9,7 @@
 //!     [--scan-mode columnar|oracle] [--candidate-scan columnar|oracle]
 //!     [--zone-maps on|off] [--reorg-mode incremental|full]
 //!     [--stats-layout arena|per-cluster]
+//!     [--wal PATH] [--flush-policy record|batch[:N]|epoch]
 //! ```
 //! `--full` runs the paper's 2,000,000-object scale.
 
@@ -36,8 +37,7 @@ fn main() {
         "objects={objects} dims={dims} warmup={warmup_n} measured={measured_n} seed={seed:#x}"
     );
 
-    let workload =
-        UniformWorkload::with_max_length(WorkloadConfig::new(dims, objects, seed), 0.5);
+    let workload = UniformWorkload::with_max_length(WorkloadConfig::new(dims, objects, seed), 0.5);
     eprintln!("generating {objects} objects …");
     let data = workload.generate_objects();
 
@@ -61,13 +61,19 @@ fn main() {
         let measured = make(&mut qrng, measured_n);
 
         eprintln!("selectivity {sel:.0e}: extent {extent:.4} — adaptive clustering (memory) …");
-        let mut ac_mem =
-            build_ac_with(flags.apply_scan_flags(ac_config(dims, StorageScenario::Memory)), &data);
+        let mut ac_mem = build_ac_with(
+            flags.apply_scan_flags(ac_config(dims, StorageScenario::Memory)),
+            &data,
+        );
+        flags.attach_wal(&mut ac_mem);
         let ac_mem_report = run_ac(&mut ac_mem, &warmup, &measured, objects);
 
         eprintln!("selectivity {sel:.0e}: adaptive clustering (disk) …");
-        let mut ac_disk =
-            build_ac_with(flags.apply_scan_flags(ac_config(dims, StorageScenario::Disk)), &data);
+        let mut ac_disk = build_ac_with(
+            flags.apply_scan_flags(ac_config(dims, StorageScenario::Disk)),
+            &data,
+        );
+        flags.attach_wal(&mut ac_disk);
         let ac_disk_report = run_ac(&mut ac_disk, &warmup, &measured, objects);
 
         let rs_report = run_baseline("RS", rs.node_count(), objects, dims, &measured, |q| {

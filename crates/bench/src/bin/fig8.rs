@@ -10,6 +10,7 @@
 //!     [--scan-mode columnar|oracle] [--candidate-scan columnar|oracle]
 //!     [--zone-maps on|off] [--reorg-mode incremental|full]
 //!     [--stats-layout arena|per-cluster]
+//!     [--wal PATH] [--flush-policy record|batch[:N]|epoch]
 //! ```
 
 use acx_bench::args::Flags;
@@ -34,8 +35,13 @@ fn main() {
     println!("== Fig. 8: skewed workload, varying space dimensionality ==");
     println!("objects={objects} selectivity=0.05% warmup={warmup_n} measured={measured_n}");
 
-    let mut rows: Vec<(usize, MethodReport, MethodReport, MethodReport, MethodReport)> =
-        Vec::new();
+    let mut rows: Vec<(
+        usize,
+        MethodReport,
+        MethodReport,
+        MethodReport,
+        MethodReport,
+    )> = Vec::new();
 
     for &dims in &dims_list {
         eprintln!("dims={dims}: calibrating base object length …");
@@ -57,13 +63,19 @@ fn main() {
         let ss = build_ss(dims, &data);
 
         eprintln!("dims={dims}: adaptive clustering (memory) …");
-        let mut ac_mem =
-            build_ac_with(flags.apply_scan_flags(ac_config(dims, StorageScenario::Memory)), &data);
+        let mut ac_mem = build_ac_with(
+            flags.apply_scan_flags(ac_config(dims, StorageScenario::Memory)),
+            &data,
+        );
+        flags.attach_wal(&mut ac_mem);
         let ac_mem_report = run_ac(&mut ac_mem, &warmup, &measured, objects);
 
         eprintln!("dims={dims}: adaptive clustering (disk) …");
-        let mut ac_disk =
-            build_ac_with(flags.apply_scan_flags(ac_config(dims, StorageScenario::Disk)), &data);
+        let mut ac_disk = build_ac_with(
+            flags.apply_scan_flags(ac_config(dims, StorageScenario::Disk)),
+            &data,
+        );
+        flags.attach_wal(&mut ac_disk);
         let ac_disk_report = run_ac(&mut ac_disk, &warmup, &measured, objects);
 
         let rs_report = run_baseline("RS", rs.node_count(), objects, dims, &measured, |q| {

@@ -9,6 +9,7 @@
 //!     [--scan-mode columnar|oracle] [--candidate-scan columnar|oracle]
 //!     [--zone-maps on|off] [--reorg-mode incremental|full]
 //!     [--stats-layout arena|per-cluster]
+//!     [--wal PATH] [--flush-policy record|batch[:N]|epoch]
 //! ```
 
 use acx_bench::args::Flags;
@@ -36,12 +37,10 @@ fn main() {
         ),
         (
             "skewed",
-            SkewedWorkload::new(WorkloadConfig::new(dims, objects, seed), 0.3)
-                .generate_objects(),
+            SkewedWorkload::new(WorkloadConfig::new(dims, objects, seed), 0.3).generate_objects(),
         ),
     ] {
-        let workload =
-            UniformWorkload::new(WorkloadConfig::new(dims, objects, seed ^ 0xF00D));
+        let workload = UniformWorkload::new(WorkloadConfig::new(dims, objects, seed ^ 0xF00D));
         let mut qrng = WorkloadConfig::new(dims, objects, seed ^ 0xF1E1D).rng();
         let make = |rng: &mut rand::rngs::StdRng, n: usize| -> Vec<SpatialQuery> {
             (0..n)
@@ -52,14 +51,19 @@ fn main() {
         let measured = make(&mut qrng, measured_n);
 
         let ss = build_ss(dims, &data);
-        let ss_report =
-            run_baseline("SS", 1, objects, dims, &measured, |q| ss.execute(q));
+        let ss_report = run_baseline("SS", 1, objects, dims, &measured, |q| ss.execute(q));
 
-        let mut ac_mem =
-            build_ac_with(flags.apply_scan_flags(ac_config(dims, StorageScenario::Memory)), &data);
+        let mut ac_mem = build_ac_with(
+            flags.apply_scan_flags(ac_config(dims, StorageScenario::Memory)),
+            &data,
+        );
+        flags.attach_wal(&mut ac_mem);
         let ac_mem_report = run_ac(&mut ac_mem, &warmup, &measured, objects);
-        let mut ac_disk =
-            build_ac_with(flags.apply_scan_flags(ac_config(dims, StorageScenario::Disk)), &data);
+        let mut ac_disk = build_ac_with(
+            flags.apply_scan_flags(ac_config(dims, StorageScenario::Disk)),
+            &data,
+        );
+        flags.attach_wal(&mut ac_disk);
         let ac_disk_report = run_ac(&mut ac_disk, &warmup, &measured, objects);
 
         let mem_speedup = ss_report.priced_memory_ms / ac_mem_report.priced_memory_ms;

@@ -9,6 +9,7 @@
 //!     [--scan-mode columnar|oracle] [--candidate-scan columnar|oracle]
 //!     [--zone-maps on|off] [--reorg-mode incremental|full]
 //!     [--stats-layout arena|per-cluster]
+//!     [--wal PATH] [--flush-policy record|batch[:N]|epoch]
 //! ```
 
 use acx_bench::args::Flags;
@@ -25,14 +26,16 @@ fn main() {
     let seed: u64 = flags.get("seed", 0x5EED);
 
     println!("== Clustering stability under a fixed query distribution ==");
-    let workload =
-        UniformWorkload::with_max_length(WorkloadConfig::new(dims, objects, seed), 0.5);
+    let workload = UniformWorkload::with_max_length(WorkloadConfig::new(dims, objects, seed), 0.5);
     let data = workload.generate_objects();
     let extent = calibrate::uniform_query_extent(&workload, 5e-4, seed);
     let mut qrng = WorkloadConfig::new(dims, objects, seed ^ 0xF1E1D).rng();
 
-    let mut index =
-        build_ac_with(flags.apply_scan_flags(ac_config(dims, StorageScenario::Memory)), &data);
+    let mut index = build_ac_with(
+        flags.apply_scan_flags(ac_config(dims, StorageScenario::Memory)),
+        &data,
+    );
+    flags.attach_wal(&mut index);
     println!(
         "{:>5} {:>8} {:>8} {:>10} {:>8}",
         "step", "merges", "splits", "clusters", "churn%"

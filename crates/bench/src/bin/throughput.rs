@@ -14,6 +14,7 @@
 //!     [--scan-mode columnar|oracle] [--candidate-scan columnar|oracle]
 //!     [--zone-maps on|off] [--reorg-mode incremental|full]
 //!     [--stats-layout arena|per-cluster]
+//!     [--wal PATH] [--flush-policy record|batch[:N]|epoch]
 //! ```
 
 use std::time::Instant;
@@ -21,12 +22,10 @@ use std::time::Instant;
 use acx_baselines::BatchExecute;
 use acx_bench::args::Flags;
 use acx_bench::{ac_config, build_ac_with, build_rs, build_ss, run_ac_batch, MethodReport};
-use acx_geom::{HyperRect, SpatialQuery};
 use acx_core::IndexConfig;
+use acx_geom::{HyperRect, SpatialQuery};
 use acx_storage::StorageScenario;
-use acx_workloads::{
-    EventStream, PubSubGenerator, SkewedWorkload, Workload, WorkloadConfig,
-};
+use acx_workloads::{EventStream, PubSubGenerator, SkewedWorkload, Workload, WorkloadConfig};
 
 fn thread_counts(max: usize) -> Vec<usize> {
     let mut counts = vec![1usize];
@@ -52,6 +51,7 @@ fn qps(queries: usize, elapsed_secs: f64) -> f64 {
 /// adapted clustering (the batch path reaches the identical state
 /// regardless of `threads`).
 fn measure_ac(
+    flags: &Flags,
     config: IndexConfig,
     objects: &[HyperRect],
     warmup: &[SpatialQuery],
@@ -59,6 +59,7 @@ fn measure_ac(
     threads: usize,
 ) -> MethodReport {
     let mut index = build_ac_with(config, objects);
+    flags.attach_wal(&mut index);
     run_ac_batch(&mut index, warmup, measured, threads, objects.len())
 }
 
@@ -72,9 +73,7 @@ fn main() {
     let seed: u64 = flags.get("seed", 0x5E41);
 
     println!("== Serving throughput: concurrent read path vs baselines ==");
-    println!(
-        "objects={objects} events={events} warmup={warmup_n} max_threads={max_threads}"
-    );
+    println!("objects={objects} events={events} warmup={warmup_n} max_threads={max_threads}");
 
     // Workload 1: pub/sub — subscriptions as objects, offers as queries.
     let generator = PubSubGenerator::apartments();
@@ -87,7 +86,15 @@ fn main() {
     let warmup = stream.next_batch(warmup_n);
     let measured = stream.next_batch(events);
     let ac_cfg = flags.apply_scan_flags(ac_config(dims, StorageScenario::Memory));
-    run_workload("pub/sub", &ac_cfg, &subscriptions, &warmup, &measured, max_threads);
+    run_workload(
+        &flags,
+        "pub/sub",
+        &ac_cfg,
+        &subscriptions,
+        &warmup,
+        &measured,
+        max_threads,
+    );
 
     // Workload 2: skewed objects, point-enclosing events.
     let dims = 16;
@@ -102,10 +109,19 @@ fn main() {
     let warmup = make(&mut qrng, warmup_n);
     let measured = make(&mut qrng, events);
     let ac_cfg = flags.apply_scan_flags(ac_config(dims, StorageScenario::Memory));
-    run_workload("skewed", &ac_cfg, &data, &warmup, &measured, max_threads);
+    run_workload(
+        &flags,
+        "skewed",
+        &ac_cfg,
+        &data,
+        &warmup,
+        &measured,
+        max_threads,
+    );
 }
 
 fn run_workload(
+    flags: &Flags,
     name: &str,
     config: &IndexConfig,
     objects: &[HyperRect],
@@ -120,7 +136,7 @@ fn run_workload(
     let mut ac_base = 0.0f64;
     let mut clusters = 0usize;
     for &t in &counts {
-        let report = measure_ac(config.clone(), objects, warmup, measured, t);
+        let report = measure_ac(flags, config.clone(), objects, warmup, measured, t);
         let rate = 1000.0 / report.wall_ms.max(1e-12); // wall_ms is per query
         if t == 1 {
             ac_base = rate;

@@ -687,6 +687,33 @@ impl CandidateSet {
         self.stamp = epoch;
     }
 
+    /// Restores persisted query counters onto a freshly regenerated set —
+    /// the checkpoint-recovery path. The `n` column is never persisted
+    /// (membership replay recomputes it exactly), so only the query
+    /// columns, the `n_hi` bound, and the decay stamp come from disk.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the column lengths do not match this set's candidate
+    /// count; callers validate against the checkpoint before reaching
+    /// here, so a mismatch is a logic error.
+    pub(crate) fn restore_counters(&mut self, q: &[u32], q_eff: &[f64], n_hi: u32, stamp: u64) {
+        assert_eq!(q.len(), self.q.len(), "restored q column length");
+        assert_eq!(
+            q_eff.len(),
+            self.q_eff.len(),
+            "restored q_eff column length"
+        );
+        self.q.copy_from_slice(q);
+        self.q_eff.copy_from_slice(q_eff);
+        // The persisted bound was valid for the persisted membership; the
+        // members replayed so far may already exceed a stale bound, so
+        // keep whichever is higher (the bound may be loose, never low).
+        let replayed_max = self.n.iter().copied().max().unwrap_or(0);
+        self.n_hi = n_hi.max(replayed_max);
+        self.stamp = stamp;
+    }
+
     /// Whether an object *that already satisfies the parent signature*
     /// also satisfies candidate `ci`.
     #[inline]
@@ -1143,7 +1170,10 @@ impl StatsArena {
             if base < cand_w || mb < meta_w || rb < runs_w {
                 return Err(format!("range {id} overlaps its predecessor"));
             }
-            if base + len > n || mb + dims + 1 > self.dim_offsets.len() || rb + dims > self.run_bounds.len() {
+            if base + len > n
+                || mb + dims + 1 > self.dim_offsets.len()
+                || rb + dims > self.run_bounds.len()
+            {
                 return Err(format!("range {id} exceeds slab bounds"));
             }
             let offs = &self.dim_offsets[mb..mb + dims + 1];
@@ -1233,7 +1263,11 @@ mod tests {
         // intervals, d0 contributes up to 16 combinations.
         let sig = Signature::root(4).specialize(0, 4, 0, 3);
         let cands = generate_candidates(&sig, 4);
-        assert!(cands.len() > 4 * 10 && cands.len() <= 4 * 16, "{}", cands.len());
+        assert!(
+            cands.len() > 4 * 10 && cands.len() <= 4 * 16,
+            "{}",
+            cands.len()
+        );
     }
 
     #[test]
@@ -1268,8 +1302,12 @@ mod tests {
         assert!(cands.accepts_member(c, &rect(&[0.1, 0.9], &[0.2, 1.0]).to_flat()));
         assert!(!cands.accepts_member(c, &rect(&[0.1, 0.9], &[0.3, 1.0]).to_flat()));
         // The copied-out bounds agree.
-        assert!(cands.bounds(c).accepts_member(&rect(&[0.1, 0.9], &[0.2, 1.0]).to_flat()));
-        assert!(!cands.bounds(c).accepts_member(&rect(&[0.1, 0.9], &[0.3, 1.0]).to_flat()));
+        assert!(cands
+            .bounds(c)
+            .accepts_member(&rect(&[0.1, 0.9], &[0.2, 1.0]).to_flat()));
+        assert!(!cands
+            .bounds(c)
+            .accepts_member(&rect(&[0.1, 0.9], &[0.3, 1.0]).to_flat()));
     }
 
     #[test]
@@ -1496,8 +1534,9 @@ mod tests {
     #[test]
     fn arena_ranges_project_identically_to_owned_sets() {
         let mut arena = StatsArena::new();
-        let sets: Vec<CandidateSet> =
-            (0..4).map(|k| seasoned_set(1 + k, 4, 17 * k as u64 + 1)).collect();
+        let sets: Vec<CandidateSet> = (0..4)
+            .map(|k| seasoned_set(1 + k, 4, 17 * k as u64 + 1))
+            .collect();
         let handles: Vec<CandHandle> = sets.iter().map(|s| arena.alloc(s)).collect();
         arena.check().unwrap();
         for (set, &h) in sets.iter().zip(&handles) {
@@ -1530,27 +1569,42 @@ mod tests {
         }
         assert_eq!(arena.slice(h), owned.as_slice());
         for ci in 0..owned.len() {
-            assert_eq!(arena.slice(h).q_eff(ci).to_bits(), owned.q_eff(ci).to_bits());
+            assert_eq!(
+                arena.slice(h).q_eff(ci).to_bits(),
+                owned.q_eff(ci).to_bits()
+            );
         }
     }
 
     #[test]
     fn retire_and_compact_preserve_survivors_and_recycle_ids() {
         let mut arena = StatsArena::new();
-        let sets: Vec<CandidateSet> =
-            (0..5).map(|k| seasoned_set(2, 4, 1000 + k as u64)).collect();
+        let sets: Vec<CandidateSet> = (0..5)
+            .map(|k| seasoned_set(2, 4, 1000 + k as u64))
+            .collect();
         let handles: Vec<CandHandle> = sets.iter().map(|s| arena.alloc(s)).collect();
         // Retire the middle and last ranges.
         arena.retire(handles[2]);
         arena.retire(handles[4]);
         arena.check().unwrap();
         let live_before = arena.live_bytes();
-        assert!(arena.should_compact(), "2/5 dead is past the quarter trigger");
+        assert!(
+            arena.should_compact(),
+            "2/5 dead is past the quarter trigger"
+        );
         assert!(arena.maybe_compact());
         arena.check().unwrap();
         assert_eq!(arena.compactions(), 1);
-        assert_eq!(arena.live_bytes(), live_before, "compaction conserves live bytes");
-        assert_eq!(arena.capacity_bytes(), live_before, "compaction reclaims all dead bytes");
+        assert_eq!(
+            arena.live_bytes(),
+            live_before,
+            "compaction conserves live bytes"
+        );
+        assert_eq!(
+            arena.capacity_bytes(),
+            live_before,
+            "compaction reclaims all dead bytes"
+        );
         for (k, (&h, set)) in handles.iter().zip(&sets).enumerate() {
             if k != 2 && k != 4 {
                 assert_eq!(arena.slice(h), set.as_slice(), "survivor {k} moved intact");

@@ -1,5 +1,5 @@
 use acx_geom::GeomError;
-use acx_storage::StoreError;
+use acx_storage::{StoreError, WalError};
 
 /// Errors raised by the adaptive clustering index.
 #[derive(Debug)]
@@ -21,6 +21,18 @@ pub enum IndexError {
     Geom(GeomError),
     /// Underlying persistence error.
     Store(StoreError),
+    /// Underlying write-ahead-log error.
+    Wal(WalError),
+    /// A surviving WAL record could not be applied to the checkpoint it
+    /// was logged against — the two artifacts are mismatched or one of
+    /// them is corrupt past what checksums can detect.
+    Recovery {
+        /// Zero-based index of the offending record in the replayed
+        /// suffix.
+        record: u64,
+        /// What went wrong applying it.
+        detail: String,
+    },
 }
 
 impl std::fmt::Display for IndexError {
@@ -34,6 +46,10 @@ impl std::fmt::Display for IndexError {
             IndexError::UnknownObject(id) => write!(f, "object #{id} not found"),
             IndexError::Geom(e) => write!(f, "geometry error: {e}"),
             IndexError::Store(e) => write!(f, "store error: {e}"),
+            IndexError::Wal(e) => write!(f, "wal error: {e}"),
+            IndexError::Recovery { record, detail } => {
+                write!(f, "recovery failed at wal record {record}: {detail}")
+            }
         }
     }
 }
@@ -43,6 +59,7 @@ impl std::error::Error for IndexError {
         match self {
             IndexError::Geom(e) => Some(e),
             IndexError::Store(e) => Some(e),
+            IndexError::Wal(e) => Some(e),
             _ => None,
         }
     }
@@ -57,6 +74,12 @@ impl From<GeomError> for IndexError {
 impl From<StoreError> for IndexError {
     fn from(e: StoreError) -> Self {
         IndexError::Store(e)
+    }
+}
+
+impl From<WalError> for IndexError {
+    fn from(e: WalError) -> Self {
+        IndexError::Wal(e)
     }
 }
 
@@ -82,5 +105,72 @@ mod tests {
         let e: IndexError = ge.into();
         assert!(matches!(e, IndexError::Geom(_)));
         assert!(std::error::Error::source(&e).is_some());
+    }
+
+    #[test]
+    fn wraps_wal_errors_with_fault_context() {
+        let we = WalError::Io {
+            op: "append",
+            offset: 96,
+            source: std::io::Error::from(std::io::ErrorKind::StorageFull),
+        };
+        let e: IndexError = we.into();
+        let text = e.to_string();
+        assert!(text.contains("append"), "io op surfaces: {text}");
+        assert!(text.contains("96"), "byte offset surfaces: {text}");
+        assert!(std::error::Error::source(&e).is_some());
+        match &e {
+            IndexError::Wal(w) => assert_eq!(w.io_kind(), Some(std::io::ErrorKind::StorageFull)),
+            other => panic!("expected Wal variant, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn wraps_corrupt_wal_with_record_index() {
+        let we = WalError::Corrupt {
+            offset: 44,
+            record: 7,
+            reason: "checksum mismatch".into(),
+        };
+        let e: IndexError = we.into();
+        let text = e.to_string();
+        assert!(text.contains("44") && text.contains('7'), "{text}");
+        assert!(text.contains("checksum mismatch"), "{text}");
+    }
+
+    #[test]
+    fn recovery_error_reports_record_index() {
+        let e = IndexError::Recovery {
+            record: 12,
+            detail: "object #3 already indexed".into(),
+        };
+        let text = e.to_string();
+        assert!(text.contains("12") && text.contains("#3"), "{text}");
+        assert!(std::error::Error::source(&e).is_none());
+    }
+
+    #[test]
+    fn store_tail_corruption_carries_fault_context() {
+        let se = StoreError::CorruptTail(acx_storage::TailCorruption {
+            record: 5,
+            offset: 1024,
+            reason: "record checksum mismatch".into(),
+        });
+        assert_eq!(se.io_kind(), None);
+        let e: IndexError = se.into();
+        let text = e.to_string();
+        assert!(text.contains('5') && text.contains("1024"), "{text}");
+    }
+
+    #[test]
+    fn io_conversions_preserve_kind() {
+        let io = std::io::Error::from(std::io::ErrorKind::UnexpectedEof);
+        let se: StoreError = io.into();
+        assert_eq!(se.io_kind(), Some(std::io::ErrorKind::UnexpectedEof));
+        let io = std::io::Error::from(std::io::ErrorKind::PermissionDenied);
+        let we: WalError = io.into();
+        assert_eq!(we.io_kind(), Some(std::io::ErrorKind::PermissionDenied));
+        let e: IndexError = IndexError::Wal(we);
+        assert!(e.to_string().contains("wal error"));
     }
 }

@@ -13,18 +13,21 @@ use std::time::Instant;
 
 use acx_geom::scan::{scan_candidates, scan_columns, ScanScratch};
 use acx_geom::{HyperRect, ObjectId, Scalar, SpatialQuery, OBJECT_ID_BYTES};
-use acx_storage::{AccessStats, ClusterRecord, CostModel, FileStore, SegmentId, SegmentStore};
+use acx_storage::{
+    AccessStats, BackingStore, ClusterRecord, CostModel, FileStore, FlushPolicy, SegmentId,
+    SegmentStore, Wal, WalError, WalRecord,
+};
 
 use crate::batch::StatsDelta;
-use crate::candidates::{
-    generate_candidates, view, view_mut, CandStore, CandidateSet, StatsArena,
-};
+use crate::candidates::{generate_candidates, view, view_mut, CandStore, CandidateSet, StatsArena};
 use crate::config::{ReorgMode, ScanMode, StatsLayout};
 use crate::cost::{
     materialization_benefit, materialization_benefit_column, merging_benefit,
     merging_benefit_column,
 };
-use crate::metrics::{ClusterSnapshot, QueryMetrics, QueryResult, ReorgProfile, ReorgReport};
+use crate::metrics::{
+    ClusterSnapshot, QueryMetrics, QueryResult, RecoveryReport, ReorgProfile, ReorgReport,
+};
 use crate::signature::Signature;
 use crate::{IndexConfig, IndexError};
 
@@ -278,6 +281,39 @@ pub struct AdaptiveClusterIndex {
     pass_cooldown_blocked: u64,
     /// Cumulative thrash cycles across all passes.
     total_thrash: u64,
+    /// The attached write-ahead log, when durability is enabled. Every
+    /// structural mutation is appended (and, per the flush policy, made
+    /// durable) *before* it is applied in memory.
+    wal: Option<Wal>,
+    /// First WAL failure swallowed inside a reorganization pass: the
+    /// pass cannot abort between its atomic units without losing the
+    /// log/memory correspondence, so it completes in memory, the log is
+    /// poisoned, and the failure is surfaced here for the caller
+    /// ([`AdaptiveClusterIndex::take_wal_failure`]).
+    wal_failure: Option<WalError>,
+    /// Test-only fault hook fired at the boundaries of a pass's atomic
+    /// structural units ([`ReorgFaultPoint`]); `None` in production.
+    reorg_fault_hook: Option<Box<dyn FnMut(ReorgFaultPoint) + Send + Sync>>,
+}
+
+/// Boundaries of the atomic structural units of a reorganization pass.
+/// The test-only fault hook
+/// ([`AdaptiveClusterIndex::set_reorg_fault_hook`]) fires at each one;
+/// panicking there unwinds out of the pass *between* units, which must
+/// leave the index valid and queryable — the contract the panic-safety
+/// suite asserts with `catch_unwind`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReorgFaultPoint {
+    /// About to merge a cluster into its parent.
+    BeforeMerge,
+    /// A merge completed.
+    AfterMerge,
+    /// About to materialize a candidate subcluster.
+    BeforeMaterialize,
+    /// A materialization completed.
+    AfterMaterialize,
+    /// The pass is about to close the statistics epoch.
+    BeforeEpochClose,
 }
 
 /// Reusable column buffers of the incremental reorganization pass: the
@@ -374,6 +410,9 @@ impl AdaptiveClusterIndex {
             pass_thrash: 0,
             pass_cooldown_blocked: 0,
             total_thrash: 0,
+            wal: None,
+            wal_failure: None,
+            reorg_fault_hook: None,
         })
     }
 
@@ -437,6 +476,13 @@ impl AdaptiveClusterIndex {
     /// Whether the object id is currently indexed.
     pub fn contains(&self, id: ObjectId) -> bool {
         self.object_cluster.contains_key(&id.raw())
+    }
+
+    /// All indexed object ids, in arbitrary order. Pair with
+    /// [`AdaptiveClusterIndex::get`] to enumerate the full contents —
+    /// e.g. to diff two indexes after crash recovery.
+    pub fn object_ids(&self) -> impl Iterator<Item = ObjectId> + '_ {
+        self.object_cluster.keys().map(|&id| ObjectId(id))
     }
 
     fn cluster(&self, slot: u32) -> &Cluster {
@@ -540,6 +586,15 @@ impl AdaptiveClusterIndex {
             return Err(IndexError::DuplicateObject(id.raw()));
         }
         let flat = rect.to_flat();
+        // Write-ahead: the record is logged (and, per the flush policy,
+        // durable) before any in-memory state moves, so a logged insert
+        // either fully applies or — on append failure — not at all.
+        if self.wal.is_some() {
+            self.wal_append(WalRecord::Insert {
+                id: id.raw(),
+                coords: flat.clone(),
+            })?;
+        }
 
         // Backward compatibility makes acceptance hereditary: descend the
         // tree, pruning subtrees whose root rejects the object.
@@ -623,6 +678,7 @@ impl AdaptiveClusterIndex {
             .object_cluster
             .get(&id.raw())
             .ok_or(IndexError::UnknownObject(id.raw()))?;
+        self.wal_append(WalRecord::Remove { id: id.raw() })?;
         let (segment, idx) = self
             .store
             .position_of(id.raw())
@@ -655,9 +711,24 @@ impl AdaptiveClusterIndex {
                 actual: rect.dims(),
             });
         }
-        let old = self.remove(id)?;
-        self.insert(id, rect)?;
-        Ok(old)
+        if !self.object_cluster.contains_key(&id.raw()) {
+            return Err(IndexError::UnknownObject(id.raw()));
+        }
+        if self.wal.is_some() {
+            self.wal_append(WalRecord::Update {
+                id: id.raw(),
+                coords: rect.to_flat(),
+            })?;
+        }
+        // One logical mutation, one WAL record: detach the log so the
+        // internal remove+insert pair does not log again.
+        let wal = self.wal.take();
+        let result = self.remove(id).and_then(|old| {
+            self.insert(id, rect)?;
+            Ok(old)
+        });
+        self.wal = wal;
+        result
     }
 
     fn check_query_dims(&self, query: &SpatialQuery) -> Result<(), IndexError> {
@@ -811,7 +882,8 @@ impl AdaptiveClusterIndex {
     /// Panics if the query dimensionality differs from the index's; use
     /// [`AdaptiveClusterIndex::try_query`] for a fallible variant.
     pub fn query(&self, query: &SpatialQuery) -> QueryResult {
-        self.try_query(query).unwrap_or_else(|e| panic!("{}", Self::dims_panic(&e)))
+        self.try_query(query)
+            .unwrap_or_else(|e| panic!("{}", Self::dims_panic(&e)))
     }
 
     /// Fallible variant of [`AdaptiveClusterIndex::query`]: returns
@@ -954,9 +1026,9 @@ impl AdaptiveClusterIndex {
 
     fn dims_panic(e: &IndexError) -> String {
         match e {
-            IndexError::DimensionMismatch { expected, actual } => format!(
-                "query dimensionality {actual} != index dimensionality {expected}"
-            ),
+            IndexError::DimensionMismatch { expected, actual } => {
+                format!("query dimensionality {actual} != index dimensionality {expected}")
+            }
             other => other.to_string(),
         }
     }
@@ -1105,8 +1177,7 @@ impl AdaptiveClusterIndex {
                         let chunk_results: Vec<QueryResult> = chunk_queries
                             .iter()
                             .map(|q| {
-                                let metrics =
-                                    self.explore(q, Some(&mut delta), &mut scratch);
+                                let metrics = self.explore(q, Some(&mut delta), &mut scratch);
                                 QueryResult {
                                     matches: scratch.matches.clone(),
                                     metrics,
@@ -1164,28 +1235,39 @@ impl AdaptiveClusterIndex {
         self.reorg_scratch.snapshot = snapshot;
         profile.thrash_cycles = self.pass_thrash;
         profile.cooldown_blocked = self.pass_cooldown_blocked;
-        // Structural changes retired candidate ranges; reclaim the dead
-        // arena bytes here, off the query path, once they dominate.
-        self.stats_arena.maybe_compact();
+        report.clusters_after = self.cluster_count();
+        self.reorg_fault(ReorgFaultPoint::BeforeEpochClose);
+        if self.wal.is_some() {
+            self.wal_log_structural(WalRecord::EpochClose);
+        }
+        self.close_epoch(report.changed());
         profile.arena_live_bytes = self.stats_arena.live_bytes() as u64;
         profile.arena_capacity_bytes = self.stats_arena.capacity_bytes() as u64;
         profile.compactions = self.stats_arena.compactions();
-        self.decay_statistics();
-        self.reorganizations += 1;
-        // Forget merges too old to matter for either the thrash window
-        // or the cool-down, keeping the map proportional to recent churn.
-        let passes = self.reorganizations;
-        let retention = THRASH_WINDOW.max(self.config.merge_cooldown);
-        self.recent_merges.retain(|_, at| passes - *at < retention);
-        self.queries_since_reorg = 0;
-        report.clusters_after = self.cluster_count();
-        if report.changed() {
-            self.structure_epoch += 1;
-        }
         self.total_merges += report.merges;
         self.total_splits += report.splits;
         self.last_profile = profile;
         report
+    }
+
+    /// The epoch-close tail shared by a live pass and WAL replay:
+    /// compact the arena (structural changes retired candidate ranges —
+    /// reclaim the dead bytes here, off the query path, once they
+    /// dominate), fold the statistics epoch, advance the pass clock,
+    /// prune merge memory too old to matter for either the thrash
+    /// window or the cool-down, and — when the pass changed the
+    /// clustering — open a new structure epoch.
+    fn close_epoch(&mut self, structure_changed: bool) {
+        self.stats_arena.maybe_compact();
+        self.decay_statistics();
+        self.reorganizations += 1;
+        let passes = self.reorganizations;
+        let retention = THRASH_WINDOW.max(self.config.merge_cooldown);
+        self.recent_merges.retain(|_, at| passes - *at < retention);
+        self.queries_since_reorg = 0;
+        if structure_changed {
+            self.structure_epoch += 1;
+        }
     }
 
     /// Work profile of the most recent reorganization pass — how many
@@ -1200,7 +1282,12 @@ impl AdaptiveClusterIndex {
     /// epoch gate is merge-evaluated and candidate-scanned with scalar
     /// benefit arithmetic — the decision oracle the incremental pass is
     /// tested against.
-    fn full_pass(&mut self, snapshot: &[u32], report: &mut ReorgReport, profile: &mut ReorgProfile) {
+    fn full_pass(
+        &mut self,
+        snapshot: &[u32],
+        report: &mut ReorgReport,
+        profile: &mut ReorgProfile,
+    ) {
         for &slot in snapshot {
             if self.clusters[slot as usize].is_none() {
                 continue; // removed by an earlier merge in this pass
@@ -1265,8 +1352,12 @@ impl AdaptiveClusterIndex {
             scratch.merge_p_c.push(self.access_probability(cluster));
             match cluster.parent {
                 Some(parent) => {
-                    scratch.merge_p_a.push(self.access_probability(self.cluster(parent)));
-                    scratch.merge_n.push(self.store.segment_len(cluster.segment) as u32);
+                    scratch
+                        .merge_p_a
+                        .push(self.access_probability(self.cluster(parent)));
+                    scratch
+                        .merge_n
+                        .push(self.store.segment_len(cluster.segment) as u32);
                 }
                 // The root never merges; its benefit entry is never read.
                 None => {
@@ -1421,8 +1512,7 @@ impl AdaptiveClusterIndex {
         let cluster = self.cluster(slot);
         let p_c = self.access_probability(cluster);
         let n_c = self.store.segment_len(cluster.segment);
-        let n_eff =
-            cluster.weight + self.total_queries.saturating_sub(cluster.epoch_start) as f64;
+        let n_eff = cluster.weight + self.total_queries.saturating_sub(cluster.epoch_start) as f64;
         self.move_margin(n_c) + self.confidence_margin(p_c, n_eff, n_c)
     }
 
@@ -1488,8 +1578,7 @@ impl AdaptiveClusterIndex {
         // prefilter) resolves almost every screened cluster without the
         // sqrt-bearing confidence margin.
         let zd = if costs.z > 0.0 { costs.z / denom } else { 0.0 };
-        let floor = (n_hi as f64 * (2.0 * costs.c / costs.horizon + zd * costs.c)
-            + zd * costs.b)
+        let floor = (n_hi as f64 * (2.0 * costs.c / costs.horizon + zd * costs.c) + zd * costs.b)
             * (1.0 - FLOOR_SLACK);
         if benefit_hi <= floor {
             return true;
@@ -1510,13 +1599,7 @@ impl AdaptiveClusterIndex {
     /// `g_i` invariant (up to an effective `C` that must not have
     /// grown) — so on workloads with any skew most clusters resolve
     /// here, without even the screen's benefit pricing.
-    fn scan_cache_rules_out(
-        &self,
-        slot: u32,
-        epoch_len: u64,
-        costs: &PassCosts,
-        p_c: f64,
-    ) -> bool {
+    fn scan_cache_rules_out(&self, slot: u32, epoch_len: u64, costs: &PassCosts, p_c: f64) -> bool {
         let Some(cache) = self.scan_caches.get(slot as usize).copied().flatten() else {
             return false;
         };
@@ -1544,8 +1627,7 @@ impl AdaptiveClusterIndex {
         } else {
             0.0
         };
-        let thr1 =
-            (2.0 * costs.c / costs.horizon + zd * (costs.c + costs.b)) * (1.0 - FLOOR_SLACK);
+        let thr1 = (2.0 * costs.c / costs.horizon + zd * (costs.c + costs.b)) * (1.0 - FLOOR_SLACK);
         benefit_hi <= thr1
     }
 
@@ -1553,6 +1635,11 @@ impl AdaptiveClusterIndex {
     /// the parent's candidate statistics, reparents the children, and
     /// removes the cluster.
     fn merge_cluster(&mut self, slot: u32) {
+        self.reorg_fault(ReorgFaultPoint::BeforeMerge);
+        if self.wal.is_some() {
+            let signature = self.cluster(slot).signature.to_bytes();
+            self.wal_log_structural(WalRecord::Merge { signature });
+        }
         // The dying slot's verdict must not leak to a later occupant.
         if let Some(cache) = self.scan_caches.get_mut(slot as usize) {
             *cache = None;
@@ -1594,6 +1681,7 @@ impl AdaptiveClusterIndex {
             self.cluster_mut(parent_slot).children.push(child);
         }
         self.mark_dirty(parent_slot);
+        self.reorg_fault(ReorgFaultPoint::AfterMerge);
     }
 
     /// Paper Fig. 3: greedily materializes the best positive-benefit
@@ -1731,8 +1819,7 @@ impl AdaptiveClusterIndex {
                 } else {
                     0.0
                 };
-                let r_floor =
-                    (2.0 * costs.c / costs.horizon + zd * costs.c) * (1.0 - FLOOR_SLACK);
+                let r_floor = (2.0 * costs.c / costs.horizon + zd * costs.c) * (1.0 - FLOOR_SLACK);
                 let s_floor = zd * costs.b * (1.0 - FLOOR_SLACK);
                 let summary = materialization_benefit_column(
                     costs.a,
@@ -1758,9 +1845,7 @@ impl AdaptiveClusterIndex {
                 // decision-identical.
                 let mut best: Option<(usize, f64)> = None;
                 if summary.any_above_floor {
-                    for ((idx, &bound), &n_s) in
-                        benefits.iter().enumerate().zip(cands.n_col())
-                    {
+                    for ((idx, &bound), &n_s) in benefits.iter().enumerate().zip(cands.n_col()) {
                         if n_s == 0 || bound <= n_s as f64 * r_floor + s_floor {
                             continue;
                         }
@@ -1787,8 +1872,8 @@ impl AdaptiveClusterIndex {
                         if benefit <= margin {
                             continue;
                         }
-                        let threshold = margin
-                            + confidence_margin_c(costs.z, costs.c, costs.b, p_s, denom, n);
+                        let threshold =
+                            margin + confidence_margin_c(costs.z, costs.c, costs.b, p_s, denom, n);
                         if benefit > threshold {
                             if self.candidate_on_cooldown(cluster, idx) {
                                 blocked += 1;
@@ -1882,10 +1967,9 @@ impl AdaptiveClusterIndex {
             } else {
                 (cands.q_eff(idx) + cands.q(idx) as f64) / denom
             };
-            let benefit =
-                materialization_benefit(costs.a, costs.b, costs.c, p_c, p_s, n as usize);
-            let threshold = self.move_margin(n as usize)
-                + self.confidence_margin(p_s, denom, n as usize);
+            let benefit = materialization_benefit(costs.a, costs.b, costs.c, p_c, p_s, n as usize);
+            let threshold =
+                self.move_margin(n as usize) + self.confidence_margin(p_s, denom, n as usize);
             if benefit > threshold {
                 let _ = writeln!(
                     out,
@@ -1893,7 +1977,11 @@ impl AdaptiveClusterIndex {
                      benefit={benefit} threshold={threshold} g_i={}",
                     cands.q(idx),
                     cands.q_eff(idx),
-                    if p_c > 0.0 { (benefit + costs.a) / p_c } else { f64::NAN },
+                    if p_c > 0.0 {
+                        (benefit + costs.a) / p_c
+                    } else {
+                        f64::NAN
+                    },
                 );
             }
         }
@@ -1951,6 +2039,14 @@ impl AdaptiveClusterIndex {
     /// Materializes candidate `cand_idx` of cluster `slot` as a new
     /// cluster, moving the qualifying objects.
     fn materialize_candidate(&mut self, slot: u32, cand_idx: usize) {
+        self.reorg_fault(ReorgFaultPoint::BeforeMaterialize);
+        if self.wal.is_some() {
+            let signature = self.cluster(slot).signature.to_bytes();
+            self.wal_log_structural(WalRecord::Materialize {
+                signature,
+                candidate: cand_idx as u32,
+            });
+        }
         let f = self.config.division_factor;
         let width = 2 * self.config.dims;
         let (new_signature, expected, inherited_q, inherited_q_eff, parent_epoch, parent_weight) = {
@@ -2036,6 +2132,7 @@ impl AdaptiveClusterIndex {
         }
         self.mark_dirty(slot);
         self.mark_dirty(new_slot);
+        self.reorg_fault(ReorgFaultPoint::AfterMaterialize);
     }
 
     /// Places a freshly generated candidate set into the layout the
@@ -2096,7 +2193,11 @@ impl AdaptiveClusterIndex {
             // Entries may point at clusters merged away since they were
             // marked (or, rarely, at a recycled slot — clearing a fresh
             // cluster's flag is a no-op either way).
-            if let Some(cluster) = self.clusters.get_mut(slot as usize).and_then(|c| c.as_mut()) {
+            if let Some(cluster) = self
+                .clusters
+                .get_mut(slot as usize)
+                .and_then(|c| c.as_mut())
+            {
                 cluster.dirty = false;
             }
         }
@@ -2135,23 +2236,33 @@ impl AdaptiveClusterIndex {
         self.store.relocations()
     }
 
-    /// Persists the cluster tree (signatures and members) to `path`
-    /// following the paper's recovery scheme (§6): signatures are stored
-    /// with the member objects behind a one-block directory. Statistics
-    /// are not persisted — they are re-gathered after a restart.
+    /// Persists a full-fidelity checkpoint to `path` following the
+    /// paper's recovery scheme (§6): signatures are stored with the
+    /// member objects behind a one-block directory. A leading metadata
+    /// record additionally carries the adaptive state — per-cluster
+    /// access statistics, candidate query counters, the slot layout,
+    /// and the pass clocks — so a reloaded index resumes making exactly
+    /// the reorganization decisions it would have made without the
+    /// restart (the crash-recovery equivalence the durability suite
+    /// asserts). Candidate `n` counters are *not* persisted: membership
+    /// replay recomputes them exactly from the stored objects.
     pub fn save(&self, path: &Path) -> Result<(), IndexError> {
         let live: Vec<u32> = (0..self.clusters.len() as u32)
             .filter(|&s| self.clusters[s as usize].is_some())
             .collect();
-        let dense: HashMap<u32, u32> = live
-            .iter()
-            .enumerate()
-            .map(|(i, &s)| (s, i as u32))
-            .collect();
-        let mut records = Vec::with_capacity(live.len());
+        let mut records = Vec::with_capacity(live.len() + 1);
+        records.push(ClusterRecord {
+            signature: self.checkpoint_meta(&live).encode(),
+            ids: Vec::new(),
+            coords: Vec::new(),
+        });
         for &slot in &live {
             let cluster = self.cluster(slot);
-            let parent = cluster.parent.map_or(NO_PARENT, |p| dense[&p]);
+            // Parents stay in slot space: the metadata record carries
+            // the slot of every record, so no densification is needed
+            // (and replayed WAL suffixes address clusters by signature,
+            // which slot fidelity keeps deterministic).
+            let parent = cluster.parent.unwrap_or(NO_PARENT);
             let mut signature = parent.to_le_bytes().to_vec();
             signature.extend_from_slice(&cluster.signature.to_bytes());
             records.push(ClusterRecord {
@@ -2164,8 +2275,62 @@ impl AdaptiveClusterIndex {
         Ok(())
     }
 
+    /// Gathers the adaptive state of the index into the checkpoint
+    /// metadata record. `live` is the ascending slot list matching the
+    /// cluster records that follow the metadata in the file.
+    fn checkpoint_meta(&self, live: &[u32]) -> CheckpointMeta {
+        let clusters = live
+            .iter()
+            .map(|&slot| {
+                let cluster = self.cluster(slot);
+                let cands = view(&self.stats_arena, &cluster.candidates);
+                ClusterMeta {
+                    slot,
+                    q_count: cluster.q_count,
+                    epoch_start: cluster.epoch_start,
+                    q_eff: cluster.q_eff,
+                    weight: cluster.weight,
+                    stamp: cands.stamp(),
+                    n_hi: cands.n_hi(),
+                    cand_q: cands.q_col().to_vec(),
+                    cand_q_eff: cands.q_eff_col().to_vec(),
+                }
+            })
+            .collect();
+        // Sorted for a byte-deterministic checkpoint (the map iterates
+        // in arbitrary order).
+        let mut recent_merges: Vec<(Vec<u8>, u64)> = self
+            .recent_merges
+            .iter()
+            .map(|(sig, &pass)| (sig.clone(), pass))
+            .collect();
+        recent_merges.sort();
+        CheckpointMeta {
+            total_queries: self.total_queries,
+            queries_since_reorg: self.queries_since_reorg,
+            structure_epoch: self.structure_epoch,
+            reorganizations: self.reorganizations,
+            stats_epoch: self.stats_epoch,
+            total_merges: self.total_merges,
+            total_splits: self.total_splits,
+            total_thrash: self.total_thrash,
+            epoch_verified_bytes: self.epoch_verified_bytes,
+            epoch_full_bytes: self.epoch_full_bytes,
+            hist_verified_bytes: self.hist_verified_bytes,
+            hist_full_bytes: self.hist_full_bytes,
+            clusters,
+            free_slots: self.free_slots.clone(),
+            recent_merges,
+        }
+    }
+
     /// Restores an index persisted by [`AdaptiveClusterIndex::save`].
     /// The configuration must use the same dimensionality.
+    ///
+    /// Checkpoints carrying the metadata record restore the full
+    /// adaptive state (slot layout, statistics, pass clocks); files
+    /// without one — e.g. hand-built fixtures — load with dense slots
+    /// and zeroed statistics, exactly as before the metadata existed.
     pub fn load(path: &Path, config: IndexConfig) -> Result<Self, IndexError> {
         config.validate()?;
         let (dims, records) = FileStore::load(path)?;
@@ -2175,26 +2340,54 @@ impl AdaptiveClusterIndex {
                 actual: dims,
             });
         }
+        let (meta, cluster_records) = match records.first() {
+            Some(first) if CheckpointMeta::is_meta(first) => {
+                let meta = CheckpointMeta::decode(&first.signature).map_err(corrupt)?;
+                (Some(meta), &records[1..])
+            }
+            _ => (None, &records[..]),
+        };
+        // The slot of each cluster record: from the metadata when
+        // present (parents are then in slot space), dense otherwise.
+        let slots: Vec<u32> = match &meta {
+            Some(meta) => {
+                if meta.clusters.len() != cluster_records.len() {
+                    return Err(corrupt(format!(
+                        "metadata describes {} clusters but the file holds {}",
+                        meta.clusters.len(),
+                        cluster_records.len()
+                    )));
+                }
+                for pair in meta.clusters.windows(2) {
+                    if pair[1].slot <= pair[0].slot {
+                        return Err(corrupt("cluster slots not strictly ascending".into()));
+                    }
+                }
+                meta.clusters.iter().map(|c| c.slot).collect()
+            }
+            None => (0..cluster_records.len() as u32).collect(),
+        };
+        let capacity = slots.last().map_or(0, |&s| s as usize + 1);
+        let mut live = vec![false; capacity];
+        for &slot in &slots {
+            live[slot as usize] = true;
+        }
         let f = config.division_factor;
         let width = 2 * dims;
         let mut store = SegmentStore::with_reserve(dims, config.reserve_fraction);
         let mut stats_arena = StatsArena::new();
-        let mut clusters: Vec<Option<Cluster>> = Vec::with_capacity(records.len());
+        let mut clusters: Vec<Option<Cluster>> = (0..capacity).map(|_| None).collect();
         let mut object_cluster = HashMap::new();
         let mut root = None;
-        let mut parents: Vec<Option<u32>> = Vec::with_capacity(records.len());
-        for (i, rec) in records.iter().enumerate() {
+        let mut parents: Vec<Option<u32>> = Vec::with_capacity(cluster_records.len());
+        for (i, rec) in cluster_records.iter().enumerate() {
+            let slot = slots[i];
             if rec.signature.len() < 4 {
-                return Err(IndexError::Store(acx_storage::StoreError::Corrupt(
-                    format!("cluster {i}: signature blob too short"),
-                )));
+                return Err(corrupt(format!("cluster {i}: signature blob too short")));
             }
             let parent = u32::from_le_bytes(rec.signature[..4].try_into().unwrap());
-            let signature = Signature::from_bytes(&rec.signature[4..]).ok_or_else(|| {
-                IndexError::Store(acx_storage::StoreError::Corrupt(format!(
-                    "cluster {i}: undecodable signature"
-                )))
-            })?;
+            let signature = Signature::from_bytes(&rec.signature[4..])
+                .ok_or_else(|| corrupt(format!("cluster {i}: undecodable signature")))?;
             if signature.dims() != dims {
                 return Err(IndexError::DimensionMismatch {
                     expected: dims,
@@ -2206,30 +2399,53 @@ impl AdaptiveClusterIndex {
             for (k, &oid) in rec.ids.iter().enumerate() {
                 let flat = &rec.coords[k * width..(k + 1) * width];
                 if !signature.accepts_flat(flat) {
-                    return Err(IndexError::Store(acx_storage::StoreError::Corrupt(
-                        format!("cluster {i}: object #{oid} violates signature"),
+                    return Err(corrupt(format!(
+                        "cluster {i}: object #{oid} violates signature"
                     )));
                 }
                 store.push(segment, oid, flat);
-                if object_cluster.insert(oid, i as u32).is_some() {
-                    return Err(IndexError::Store(acx_storage::StoreError::Corrupt(
-                        format!("object #{oid} appears in two clusters"),
-                    )));
+                if object_cluster.insert(oid, slot).is_some() {
+                    return Err(corrupt(format!("object #{oid} appears in two clusters")));
                 }
                 candidates.record_member(flat);
             }
-            let parent = if parent == NO_PARENT {
-                if root.replace(i as u32).is_some() {
-                    return Err(IndexError::Store(acx_storage::StoreError::Corrupt(
-                        "multiple root clusters".into(),
+            let mut cluster_meta = None;
+            if let Some(meta) = &meta {
+                let cm = &meta.clusters[i];
+                if cm.cand_q.len() != candidates.len() || cm.cand_q_eff.len() != candidates.len() {
+                    return Err(corrupt(format!(
+                        "cluster {i}: {} persisted candidate counters but the signature \
+                         generates {}",
+                        cm.cand_q.len(),
+                        candidates.len()
                     )));
+                }
+                if cm.stamp > meta.stats_epoch {
+                    return Err(corrupt(format!(
+                        "cluster {i}: decay stamp {} ahead of the statistics epoch {}",
+                        cm.stamp, meta.stats_epoch
+                    )));
+                }
+                if cm.epoch_start > meta.total_queries {
+                    return Err(corrupt(format!(
+                        "cluster {i}: epoch start {} ahead of the query clock {}",
+                        cm.epoch_start, meta.total_queries
+                    )));
+                }
+                if !(cm.q_eff.is_finite() && cm.weight.is_finite()) {
+                    return Err(corrupt(format!("cluster {i}: non-finite statistics")));
+                }
+                candidates.restore_counters(&cm.cand_q, &cm.cand_q_eff, cm.n_hi, cm.stamp);
+                cluster_meta = Some((cm.q_count, cm.epoch_start, cm.q_eff, cm.weight));
+            }
+            let parent = if parent == NO_PARENT {
+                if root.replace(slot).is_some() {
+                    return Err(corrupt("multiple root clusters".into()));
                 }
                 None
             } else {
-                if parent as usize >= records.len() {
-                    return Err(IndexError::Store(acx_storage::StoreError::Corrupt(
-                        format!("cluster {i}: dangling parent {parent}"),
-                    )));
+                if (parent as usize) >= capacity || !live[parent as usize] {
+                    return Err(corrupt(format!("cluster {i}: dangling parent {parent}")));
                 }
                 Some(parent)
             };
@@ -2238,40 +2454,63 @@ impl AdaptiveClusterIndex {
                 StatsLayout::Arena => CandStore::Arena(stats_arena.alloc(&candidates)),
                 StatsLayout::PerClusterOracle => CandStore::Owned(Box::new(candidates)),
             };
-            clusters.push(Some(Cluster {
+            let (q_count, epoch_start, q_eff, weight) = cluster_meta.unwrap_or((0, 0, 0.0, 0.0));
+            clusters[slot as usize] = Some(Cluster {
                 signature,
                 parent,
                 children: Vec::new(),
                 segment,
                 candidates,
-                q_count: 0,
-                epoch_start: 0,
-                q_eff: 0.0,
-                weight: 0.0,
+                q_count,
+                epoch_start,
+                q_eff,
+                weight,
                 dirty: false,
-            }));
+            });
         }
-        let root = root.ok_or_else(|| {
-            IndexError::Store(acx_storage::StoreError::Corrupt("no root cluster".into()))
-        })?;
+        let root = root.ok_or_else(|| corrupt("no root cluster".into()))?;
         for (i, parent) in parents.iter().enumerate() {
             if let Some(p) = parent {
                 clusters[*p as usize]
                     .as_mut()
                     .expect("parents are live")
                     .children
-                    .push(i as u32);
+                    .push(slots[i]);
             }
         }
+        // The free list must account for exactly the holes in the slot
+        // space, so recycled slot numbers stay replay-stable.
+        let free_slots = match &meta {
+            Some(meta) => {
+                let mut seen = vec![false; capacity];
+                for &slot in &meta.free_slots {
+                    if (slot as usize) >= capacity || live[slot as usize] {
+                        return Err(corrupt(format!("free slot {slot} is live or out of range")));
+                    }
+                    if std::mem::replace(&mut seen[slot as usize], true) {
+                        return Err(corrupt(format!("free slot {slot} listed twice")));
+                    }
+                }
+                if meta.free_slots.len() + slots.len() != capacity {
+                    return Err(corrupt(format!(
+                        "{} free + {} live slots do not cover the {capacity}-slot space",
+                        meta.free_slots.len(),
+                        slots.len()
+                    )));
+                }
+                meta.free_slots.clone()
+            }
+            None => Vec::new(),
+        };
         let model = config.cost_model();
         let reorg_scratch = ReorgScratch::with_candidate_capacity(&config);
-        Ok(Self {
+        let mut index = Self {
             config,
             model,
             store,
             stats_arena,
             clusters,
-            free_slots: Vec::new(),
+            free_slots,
             root,
             object_cluster,
             total_queries: 0,
@@ -2295,6 +2534,247 @@ impl AdaptiveClusterIndex {
             pass_thrash: 0,
             pass_cooldown_blocked: 0,
             total_thrash: 0,
+            wal: None,
+            wal_failure: None,
+            reorg_fault_hook: None,
+        };
+        if let Some(meta) = meta {
+            if !(meta.hist_verified_bytes.is_finite() && meta.hist_full_bytes.is_finite()) {
+                return Err(corrupt("non-finite byte history".into()));
+            }
+            index.total_queries = meta.total_queries;
+            index.queries_since_reorg = meta.queries_since_reorg;
+            index.structure_epoch = meta.structure_epoch;
+            index.reorganizations = meta.reorganizations;
+            index.stats_epoch = meta.stats_epoch;
+            index.total_merges = meta.total_merges;
+            index.total_splits = meta.total_splits;
+            index.total_thrash = meta.total_thrash;
+            index.epoch_verified_bytes = meta.epoch_verified_bytes;
+            index.epoch_full_bytes = meta.epoch_full_bytes;
+            index.hist_verified_bytes = meta.hist_verified_bytes;
+            index.hist_full_bytes = meta.hist_full_bytes;
+            index.recent_merges = meta.recent_merges.into_iter().collect();
+        }
+        Ok(index)
+    }
+
+    /// Attaches a write-ahead log: every structural mutation from here
+    /// on is appended to `wal` — and made durable per its flush policy
+    /// — before being applied in memory. The log's dimensionality must
+    /// match the index's.
+    pub fn attach_wal(&mut self, wal: Wal) -> Result<(), IndexError> {
+        if wal.dims() != self.config.dims {
+            return Err(IndexError::DimensionMismatch {
+                expected: self.config.dims,
+                actual: wal.dims(),
+            });
+        }
+        self.wal = Some(wal);
+        Ok(())
+    }
+
+    /// Detaches and returns the write-ahead log, if one is attached.
+    pub fn detach_wal(&mut self) -> Option<Wal> {
+        self.wal.take()
+    }
+
+    /// Whether a write-ahead log is attached.
+    pub fn wal_attached(&self) -> bool {
+        self.wal.is_some()
+    }
+
+    /// Forces every appended WAL record down to durable storage,
+    /// regardless of the flush policy.
+    pub fn sync_wal(&mut self) -> Result<(), IndexError> {
+        if let Some(wal) = self.wal.as_mut() {
+            wal.sync().map_err(IndexError::Wal)?;
+        }
+        Ok(())
+    }
+
+    /// The first WAL failure swallowed inside a reorganization pass, if
+    /// any — the pass completes in memory and poisons the log instead
+    /// of aborting between its atomic units (graceful degradation).
+    pub fn wal_failure(&self) -> Option<&WalError> {
+        self.wal_failure.as_ref()
+    }
+
+    /// Takes (and clears) the stashed reorganization WAL failure.
+    pub fn take_wal_failure(&mut self) -> Option<WalError> {
+        self.wal_failure.take()
+    }
+
+    /// Installs (or clears) the test-only reorganization fault hook
+    /// fired at every [`ReorgFaultPoint`].
+    #[doc(hidden)]
+    pub fn set_reorg_fault_hook(
+        &mut self,
+        hook: Option<Box<dyn FnMut(ReorgFaultPoint) + Send + Sync>>,
+    ) {
+        self.reorg_fault_hook = hook;
+    }
+
+    #[inline]
+    fn reorg_fault(&mut self, point: ReorgFaultPoint) {
+        if let Some(hook) = self.reorg_fault_hook.as_mut() {
+            hook(point);
+        }
+    }
+
+    /// Appends a record on a user-facing mutation path: the failure
+    /// aborts the mutation before any in-memory state has moved.
+    fn wal_append(&mut self, record: WalRecord) -> Result<(), IndexError> {
+        if let Some(wal) = self.wal.as_mut() {
+            wal.append(&record).map_err(IndexError::Wal)?;
+        }
+        Ok(())
+    }
+
+    /// Appends a record inside a reorganization pass, which cannot
+    /// abort between its atomic units: the first failure is stashed
+    /// (the log is poisoned by the failed append, so no later record
+    /// can silently succeed past the gap) and the pass completes in
+    /// memory.
+    fn wal_log_structural(&mut self, record: WalRecord) {
+        let Some(wal) = self.wal.as_mut() else { return };
+        if let Err(e) = wal.append(&record) {
+            self.wal_failure.get_or_insert(e);
+        }
+    }
+
+    /// Writes a checkpoint to `path` and, on success, truncates the
+    /// attached WAL: the checkpoint now carries everything the log
+    /// recorded, so recovery needs only the records appended after it.
+    pub fn checkpoint(&mut self, path: &Path) -> Result<(), IndexError> {
+        self.save(path)?;
+        if let Some(wal) = self.wal.as_mut() {
+            wal.reset().map_err(IndexError::Wal)?;
+        }
+        Ok(())
+    }
+
+    /// Recovers an index after a crash: loads the `checkpoint` (an
+    /// empty index under `config` when `None`), replays the surviving
+    /// WAL suffix from `store` — [`Wal::reopen`] truncates the torn
+    /// tail at the first bad checksum — validates the result via
+    /// [`AdaptiveClusterIndex::check_invariants`], and re-attaches the
+    /// repaired log under `policy` so logging continues seamlessly.
+    ///
+    /// Replay drives the same public mutation paths a live index runs,
+    /// so the recovered index is decision- and answer-identical to one
+    /// that executed the surviving operation prefix directly.
+    pub fn recover(
+        checkpoint: Option<&Path>,
+        store: Box<dyn BackingStore>,
+        policy: FlushPolicy,
+        config: IndexConfig,
+    ) -> Result<(Self, RecoveryReport), IndexError> {
+        let mut index = match checkpoint {
+            Some(path) => Self::load(path, config)?,
+            None => Self::new(config)?,
+        };
+        let (wal, replay) = Wal::reopen(store, policy, index.config.dims)?;
+        let mut epoch_changed = false;
+        for (i, record) in replay.records.iter().enumerate() {
+            index
+                .apply_wal_record(record, &mut epoch_changed)
+                .map_err(|detail| IndexError::Recovery {
+                    record: i as u64,
+                    detail,
+                })?;
+        }
+        index
+            .check_invariants()
+            .map_err(|detail| IndexError::Recovery {
+                record: replay.records.len() as u64,
+                detail,
+            })?;
+        let report = RecoveryReport {
+            replayed_records: replay.records.len() as u64,
+            torn_tail: replay.torn,
+            clusters: index.cluster_count(),
+            objects: index.len(),
+        };
+        index.wal = Some(wal);
+        Ok((index, report))
+    }
+
+    /// Applies one replayed WAL record. Membership records run the
+    /// public mutation paths (no log is attached yet, so nothing
+    /// double-logs); structural records address their cluster by
+    /// signature — slot numbers are checkpoint-stable but not
+    /// log-stable, signatures are both — and mirror exactly the state
+    /// transitions the live pass performs around them.
+    fn apply_wal_record(
+        &mut self,
+        record: &WalRecord,
+        epoch_changed: &mut bool,
+    ) -> Result<(), String> {
+        match record {
+            WalRecord::Insert { id, coords } => {
+                let rect = HyperRect::from_flat(coords).map_err(|e| e.to_string())?;
+                self.insert(ObjectId(*id), rect).map_err(|e| e.to_string())
+            }
+            WalRecord::Remove { id } => self
+                .remove(ObjectId(*id))
+                .map(|_| ())
+                .map_err(|e| e.to_string()),
+            WalRecord::Update { id, coords } => {
+                let rect = HyperRect::from_flat(coords).map_err(|e| e.to_string())?;
+                self.update(ObjectId(*id), rect)
+                    .map(|_| ())
+                    .map_err(|e| e.to_string())
+            }
+            WalRecord::Merge { signature } => {
+                let slot = self
+                    .slot_of_signature(signature)
+                    .ok_or("merge of an unknown cluster signature")?;
+                if slot == self.root {
+                    return Err("merge of the root cluster".into());
+                }
+                self.merge_cluster(slot);
+                self.total_merges += 1;
+                *epoch_changed = true;
+                Ok(())
+            }
+            WalRecord::Materialize {
+                signature,
+                candidate,
+            } => {
+                let slot = self
+                    .slot_of_signature(signature)
+                    .ok_or("materialization from an unknown cluster signature")?;
+                // The live scan catches the counters up to the open
+                // epoch before picking a candidate; mirror it so the
+                // child inherits identically decayed statistics.
+                self.materialize_candidates(slot);
+                let ci = *candidate as usize;
+                let ncand = view(&self.stats_arena, &self.cluster(slot).candidates).len();
+                if ci >= ncand {
+                    return Err(format!("candidate {ci} out of range ({ncand} candidates)"));
+                }
+                self.materialize_candidate(slot, ci);
+                self.total_splits += 1;
+                *epoch_changed = true;
+                Ok(())
+            }
+            WalRecord::EpochClose => {
+                self.close_epoch(*epoch_changed);
+                *epoch_changed = false;
+                Ok(())
+            }
+        }
+    }
+
+    /// The live cluster carrying `signature` (rendered bytes), if any.
+    /// Signatures are unique across live clusters: every child's
+    /// signature strictly specializes its parent's.
+    fn slot_of_signature(&self, signature: &[u8]) -> Option<u32> {
+        (0..self.clusters.len() as u32).find(|&slot| {
+            self.clusters[slot as usize]
+                .as_ref()
+                .is_some_and(|c| c.signature.to_bytes() == signature)
         })
     }
 
@@ -2320,10 +2800,14 @@ impl AdaptiveClusterIndex {
             for (k, &oid) in ids.iter().enumerate() {
                 self.store.read_object_into(cluster.segment, k, &mut flat);
                 if !cluster.signature.accepts_flat(&flat) {
-                    return Err(format!("object #{oid} violates signature of cluster {slot}"));
+                    return Err(format!(
+                        "object #{oid} violates signature of cluster {slot}"
+                    ));
                 }
                 if self.object_cluster.get(&oid) != Some(&(slot as u32)) {
-                    return Err(format!("object #{oid} map entry disagrees with cluster {slot}"));
+                    return Err(format!(
+                        "object #{oid} map entry disagrees with cluster {slot}"
+                    ));
                 }
                 for (ci, expected) in expected_n.iter_mut().enumerate() {
                     if cands.accepts_member(ci, &flat) {
@@ -2399,6 +2883,236 @@ impl AdaptiveClusterIndex {
             ));
         }
         Ok(())
+    }
+}
+
+/// Shorthand for a corrupt-checkpoint error.
+fn corrupt(msg: String) -> IndexError {
+    IndexError::Store(acx_storage::StoreError::Corrupt(msg))
+}
+
+/// Magic prefix of the checkpoint metadata record (record 0 of a
+/// full-fidelity checkpoint). A legacy cluster record cannot collide:
+/// its blob starts with a parent index (`0x4D58_4341` would require
+/// over a billion clusters) and always carries members or a signature
+/// of its own, while the metadata record has no ids and no coords.
+const META_MAGIC: &[u8; 8] = b"ACXMETA1";
+
+/// Per-cluster adaptive state carried by the checkpoint metadata,
+/// aligned record-for-record with the cluster records that follow it.
+struct ClusterMeta {
+    /// The cluster's slot (recycled slot numbers stay stable across a
+    /// save/load cycle, keeping replayed WAL suffixes deterministic).
+    slot: u32,
+    q_count: u64,
+    epoch_start: u64,
+    q_eff: f64,
+    weight: f64,
+    /// The candidate columns' lazy-decay stamp.
+    stamp: u64,
+    /// Cached upper bound on the candidates' member counts.
+    n_hi: u32,
+    /// Per-candidate epoch matching-query counters.
+    cand_q: Vec<u32>,
+    /// Per-candidate decayed matching-query histories.
+    cand_q_eff: Vec<f64>,
+}
+
+/// The adaptive state a full-fidelity checkpoint carries beyond the
+/// cluster tree itself: index-wide clocks and byte histories, the
+/// per-cluster statistics, the free-slot stack, and the recent-merge
+/// memory. Everything else (candidate `n` counters, scan caches, dirty
+/// flags, scratch) is recomputed or safely dropped on load.
+struct CheckpointMeta {
+    total_queries: u64,
+    queries_since_reorg: u64,
+    structure_epoch: u64,
+    reorganizations: u64,
+    stats_epoch: u64,
+    total_merges: u64,
+    total_splits: u64,
+    total_thrash: u64,
+    epoch_verified_bytes: u64,
+    epoch_full_bytes: u64,
+    hist_verified_bytes: f64,
+    hist_full_bytes: f64,
+    clusters: Vec<ClusterMeta>,
+    free_slots: Vec<u32>,
+    recent_merges: Vec<(Vec<u8>, u64)>,
+}
+
+/// Bounds-checked little-endian reader over the metadata blob.
+struct MetaCursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> MetaCursor<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], String> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&end| end <= self.bytes.len())
+            .ok_or_else(|| format!("checkpoint metadata truncated at byte {}", self.pos))?;
+        let slice = &self.bytes[self.pos..end];
+        self.pos = end;
+        Ok(slice)
+    }
+
+    fn u32(&mut self) -> Result<u32, String> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, String> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn f64(&mut self) -> Result<f64, String> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+}
+
+impl CheckpointMeta {
+    /// Whether a store record is the checkpoint metadata record.
+    fn is_meta(record: &ClusterRecord) -> bool {
+        record.ids.is_empty()
+            && record.coords.is_empty()
+            && record.signature.starts_with(META_MAGIC)
+    }
+
+    fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(META_MAGIC);
+        for v in [
+            self.total_queries,
+            self.queries_since_reorg,
+            self.structure_epoch,
+            self.reorganizations,
+            self.stats_epoch,
+            self.total_merges,
+            self.total_splits,
+            self.total_thrash,
+            self.epoch_verified_bytes,
+            self.epoch_full_bytes,
+            self.hist_verified_bytes.to_bits(),
+            self.hist_full_bytes.to_bits(),
+        ] {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        out.extend_from_slice(&(self.clusters.len() as u32).to_le_bytes());
+        for c in &self.clusters {
+            out.extend_from_slice(&c.slot.to_le_bytes());
+            out.extend_from_slice(&c.q_count.to_le_bytes());
+            out.extend_from_slice(&c.epoch_start.to_le_bytes());
+            out.extend_from_slice(&c.q_eff.to_bits().to_le_bytes());
+            out.extend_from_slice(&c.weight.to_bits().to_le_bytes());
+            out.extend_from_slice(&c.stamp.to_le_bytes());
+            out.extend_from_slice(&c.n_hi.to_le_bytes());
+            out.extend_from_slice(&(c.cand_q.len() as u32).to_le_bytes());
+            for &q in &c.cand_q {
+                out.extend_from_slice(&q.to_le_bytes());
+            }
+            for &q_eff in &c.cand_q_eff {
+                out.extend_from_slice(&q_eff.to_bits().to_le_bytes());
+            }
+        }
+        out.extend_from_slice(&(self.free_slots.len() as u32).to_le_bytes());
+        for &slot in &self.free_slots {
+            out.extend_from_slice(&slot.to_le_bytes());
+        }
+        out.extend_from_slice(&(self.recent_merges.len() as u32).to_le_bytes());
+        for (signature, pass) in &self.recent_merges {
+            out.extend_from_slice(&(signature.len() as u32).to_le_bytes());
+            out.extend_from_slice(signature);
+            out.extend_from_slice(&pass.to_le_bytes());
+        }
+        out
+    }
+
+    fn decode(bytes: &[u8]) -> Result<Self, String> {
+        let mut cur = MetaCursor { bytes, pos: 0 };
+        if cur.take(META_MAGIC.len())? != META_MAGIC {
+            return Err("checkpoint metadata magic mismatch".into());
+        }
+        let total_queries = cur.u64()?;
+        let queries_since_reorg = cur.u64()?;
+        let structure_epoch = cur.u64()?;
+        let reorganizations = cur.u64()?;
+        let stats_epoch = cur.u64()?;
+        let total_merges = cur.u64()?;
+        let total_splits = cur.u64()?;
+        let total_thrash = cur.u64()?;
+        let epoch_verified_bytes = cur.u64()?;
+        let epoch_full_bytes = cur.u64()?;
+        let hist_verified_bytes = cur.f64()?;
+        let hist_full_bytes = cur.f64()?;
+        let cluster_count = cur.u32()?;
+        let mut clusters = Vec::new();
+        for _ in 0..cluster_count {
+            let slot = cur.u32()?;
+            let q_count = cur.u64()?;
+            let epoch_start = cur.u64()?;
+            let q_eff = cur.f64()?;
+            let weight = cur.f64()?;
+            let stamp = cur.u64()?;
+            let n_hi = cur.u32()?;
+            let ncand = cur.u32()?;
+            let mut cand_q = Vec::new();
+            for _ in 0..ncand {
+                cand_q.push(cur.u32()?);
+            }
+            let mut cand_q_eff = Vec::new();
+            for _ in 0..ncand {
+                cand_q_eff.push(cur.f64()?);
+            }
+            clusters.push(ClusterMeta {
+                slot,
+                q_count,
+                epoch_start,
+                q_eff,
+                weight,
+                stamp,
+                n_hi,
+                cand_q,
+                cand_q_eff,
+            });
+        }
+        let free_count = cur.u32()?;
+        let mut free_slots = Vec::new();
+        for _ in 0..free_count {
+            free_slots.push(cur.u32()?);
+        }
+        let merge_count = cur.u32()?;
+        let mut recent_merges = Vec::new();
+        for _ in 0..merge_count {
+            let len = cur.u32()? as usize;
+            let signature = cur.take(len)?.to_vec();
+            let pass = cur.u64()?;
+            recent_merges.push((signature, pass));
+        }
+        if cur.pos != bytes.len() {
+            return Err(format!(
+                "checkpoint metadata has {} trailing bytes",
+                bytes.len() - cur.pos
+            ));
+        }
+        Ok(Self {
+            total_queries,
+            queries_since_reorg,
+            structure_epoch,
+            reorganizations,
+            stats_epoch,
+            total_merges,
+            total_splits,
+            total_thrash,
+            epoch_verified_bytes,
+            epoch_full_bytes,
+            hist_verified_bytes,
+            hist_full_bytes,
+            clusters,
+            free_slots,
+            recent_merges,
+        })
     }
 }
 

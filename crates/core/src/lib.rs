@@ -38,6 +38,8 @@ pub mod signature;
 pub use batch::StatsDelta;
 pub use config::{IndexConfig, ReorgMode, ScanMode, StatsLayout};
 pub use error::IndexError;
-pub use index::{AdaptiveClusterIndex, QueryScratch};
-pub use metrics::{ClusterSnapshot, QueryMetrics, QueryResult, ReorgProfile, ReorgReport};
+pub use index::{AdaptiveClusterIndex, QueryScratch, ReorgFaultPoint};
+pub use metrics::{
+    ClusterSnapshot, QueryMetrics, QueryResult, RecoveryReport, ReorgProfile, ReorgReport,
+};
 pub use signature::Signature;

@@ -92,6 +92,20 @@ pub struct ClusterSnapshot {
     pub signature: String,
 }
 
+/// Outcome of [`crate::AdaptiveClusterIndex::recover`]: what survived
+/// the crash and what it took to come back.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecoveryReport {
+    /// WAL records replayed on top of the checkpoint.
+    pub replayed_records: u64,
+    /// The torn tail truncated from the log, if the crash left one.
+    pub torn_tail: Option<acx_storage::TornTail>,
+    /// Materialized clusters after recovery.
+    pub clusters: usize,
+    /// Indexed objects after recovery.
+    pub objects: usize,
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

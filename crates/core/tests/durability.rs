@@ -1,0 +1,589 @@
+//! Durability: write-ahead logging, fault injection, and crash-recovery
+//! equivalence.
+//!
+//! The contract under test: every structural mutation is logged before
+//! it is applied, so for ANY crash point — any byte prefix of the log —
+//! [`AdaptiveClusterIndex::recover`] truncates the torn tail and
+//! rebuilds an index that is decision- and answer-identical to one that
+//! executed the surviving operation prefix directly. Faults injected by
+//! the deterministic [`FaultInjector`] (torn writes, ENOSPC, flush
+//! failures, crashes) must surface as typed errors without corrupting
+//! the in-memory index.
+
+use std::collections::HashMap;
+use std::path::PathBuf;
+
+use acx_core::{AdaptiveClusterIndex, IndexConfig, IndexError, ReorgMode, StatsLayout};
+use acx_geom::{HyperRect, ObjectId, Scalar, SpatialQuery};
+use acx_storage::{
+    BackingStore, FaultInjector, FaultPlan, FlushPolicy, MemBacking, Wal, WalRecord,
+};
+use proptest::prelude::*;
+
+fn temp_path(tag: &str) -> PathBuf {
+    let mut path = std::env::temp_dir();
+    path.push(format!(
+        "acx-durability-{tag}-{}-{:?}.acx",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    path
+}
+
+fn config_2d() -> IndexConfig {
+    let mut config = IndexConfig::memory(2);
+    config.reorg_period = 17; // trigger automatic reorgs mid-stream
+    config.min_epoch_queries = 5;
+    config
+}
+
+fn mem_wal(dims: usize, policy: FlushPolicy) -> Wal {
+    Wal::create(Box::new(MemBacking::new()), policy, dims).unwrap()
+}
+
+/// Detaches the WAL and returns its full byte image.
+fn wal_bytes(index: &mut AdaptiveClusterIndex) -> Vec<u8> {
+    let mut store = index.detach_wal().expect("wal attached").into_store();
+    store.read_durable().unwrap()
+}
+
+// ---------------------------------------------------------------------
+// Operation streams (shared by the proptest harnesses)
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+enum Op {
+    Insert(u32, Vec<(Scalar, Scalar)>),
+    Remove(u32),
+    Update(u32, Vec<(Scalar, Scalar)>),
+    Query(Vec<(Scalar, Scalar)>),
+}
+
+fn pair() -> impl Strategy<Value = (Scalar, Scalar)> {
+    (0.0f32..=1.0, 0.0f32..=1.0).prop_map(|(a, b)| if a <= b { (a, b) } else { (b, a) })
+}
+
+fn op(dims: usize) -> impl Strategy<Value = Op> {
+    prop_oneof![
+        4 => (0u32..48, prop::collection::vec(pair(), dims)).prop_map(|(id, ps)| Op::Insert(id, ps)),
+        2 => (0u32..48).prop_map(Op::Remove),
+        2 => (0u32..48, prop::collection::vec(pair(), dims)).prop_map(|(id, ps)| Op::Update(id, ps)),
+        3 => prop::collection::vec(pair(), dims).prop_map(Op::Query),
+    ]
+}
+
+fn rect_of(pairs: &[(Scalar, Scalar)]) -> HyperRect {
+    let lo: Vec<Scalar> = pairs.iter().map(|p| p.0).collect();
+    let hi: Vec<Scalar> = pairs.iter().map(|p| p.1).collect();
+    HyperRect::from_bounds(&lo, &hi).unwrap()
+}
+
+/// Runs an op stream against `index`, ignoring rejected mutations
+/// (duplicate inserts, unknown removes — the stream is arbitrary).
+fn run_ops(index: &mut AdaptiveClusterIndex, ops: &[Op]) {
+    for op in ops {
+        match op {
+            Op::Insert(id, ps) => {
+                let _ = index.insert(ObjectId(*id), rect_of(ps));
+            }
+            Op::Remove(id) => {
+                let _ = index.remove(ObjectId(*id));
+            }
+            Op::Update(id, ps) => {
+                let _ = index.update(ObjectId(*id), rect_of(ps));
+            }
+            Op::Query(ps) => {
+                index.execute(&SpatialQuery::intersection(rect_of(ps)));
+            }
+        }
+    }
+}
+
+/// The membership ground truth of a surviving WAL prefix: membership
+/// records applied to a flat map, by WAL semantics alone — no index
+/// machinery involved, so comparing the recovered index against it is
+/// non-circular.
+fn membership_model(
+    base: &HashMap<u32, HyperRect>,
+    records: &[WalRecord],
+) -> HashMap<u32, HyperRect> {
+    let mut model = base.clone();
+    for record in records {
+        match record {
+            WalRecord::Insert { id, coords } | WalRecord::Update { id, coords } => {
+                model.insert(*id, HyperRect::from_flat(coords).unwrap());
+            }
+            WalRecord::Remove { id } => {
+                model.remove(id);
+            }
+            WalRecord::Merge { .. } | WalRecord::Materialize { .. } | WalRecord::EpochClose => {}
+        }
+    }
+    model
+}
+
+/// Decodes the surviving record prefix of a byte image.
+fn surviving_records(bytes: &[u8]) -> Vec<WalRecord> {
+    let mut mem = MemBacking::from_bytes(bytes.to_vec());
+    Wal::replay(&mut mem).unwrap().records
+}
+
+fn assert_matches_model(
+    index: &AdaptiveClusterIndex,
+    model: &HashMap<u32, HyperRect>,
+) -> Result<(), TestCaseError> {
+    prop_assert_eq!(index.len(), model.len());
+    for (&id, rect) in model {
+        prop_assert_eq!(index.get(ObjectId(id)).as_ref(), Some(rect));
+    }
+    // Probe queries must answer exactly per the model.
+    for probe in [
+        SpatialQuery::point_enclosing(vec![0.5, 0.5]),
+        SpatialQuery::intersection(HyperRect::from_bounds(&[0.0, 0.0], &[0.3, 0.9]).unwrap()),
+        SpatialQuery::containment(HyperRect::from_bounds(&[0.2, 0.1], &[0.9, 0.8]).unwrap()),
+    ] {
+        let mut got: Vec<u32> = index
+            .query(&probe)
+            .matches
+            .iter()
+            .map(|o| o.raw())
+            .collect();
+        got.sort_unstable();
+        let mut want: Vec<u32> = model
+            .iter()
+            .filter(|(_, r)| probe.matches_rect(r))
+            .map(|(&id, _)| id)
+            .collect();
+        want.sort_unstable();
+        prop_assert_eq!(got, want);
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The tentpole property: run a random op stream with a WAL
+    /// attached, then crash at an arbitrary byte offset. Recovery from
+    /// the prefix must (1) succeed with valid invariants, (2) agree
+    /// exactly with the membership model of the surviving records, and
+    /// (3) be deterministic — a second recovery from the same bytes
+    /// yields bit-identical cluster snapshots.
+    #[test]
+    fn recovery_from_any_crash_point_matches_surviving_prefix(
+        ops in prop::collection::vec(op(2), 1..120),
+        cut in 0.0f64..=1.0,
+    ) {
+        let mut index = AdaptiveClusterIndex::new(config_2d()).unwrap();
+        index.attach_wal(mem_wal(2, FlushPolicy::PerRecord)).unwrap();
+        run_ops(&mut index, &ops);
+        prop_assert!(index.wal_failure().is_none());
+        let bytes = wal_bytes(&mut index);
+
+        let k = (cut * bytes.len() as f64) as usize;
+        let prefix = &bytes[..k.min(bytes.len())];
+        let records = surviving_records(prefix);
+        let model = membership_model(&HashMap::new(), &records);
+
+        let (recovered, report) = AdaptiveClusterIndex::recover(
+            None,
+            Box::new(MemBacking::from_bytes(prefix.to_vec())),
+            FlushPolicy::PerRecord,
+            config_2d(),
+        ).unwrap();
+        prop_assert_eq!(report.replayed_records, records.len() as u64);
+        recovered.check_invariants().map_err(TestCaseError::fail)?;
+        assert_matches_model(&recovered, &model)?;
+
+        let (again, _) = AdaptiveClusterIndex::recover(
+            None,
+            Box::new(MemBacking::from_bytes(prefix.to_vec())),
+            FlushPolicy::PerRecord,
+            config_2d(),
+        ).unwrap();
+        prop_assert_eq!(again.snapshots(), recovered.snapshots());
+        prop_assert_eq!(again.reorganizations(), recovered.reorganizations());
+        prop_assert_eq!(again.total_merges(), recovered.total_merges());
+        prop_assert_eq!(again.total_splits(), recovered.total_splits());
+    }
+
+    /// Same property across a checkpoint: ops, checkpoint (which
+    /// truncates the log), more ops, crash at an arbitrary offset of
+    /// the suffix. Recovery = checkpoint + surviving suffix.
+    #[test]
+    fn recovery_replays_wal_suffix_onto_checkpoint(
+        before in prop::collection::vec(op(2), 1..60),
+        after in prop::collection::vec(op(2), 1..60),
+        cut in 0.0f64..=1.0,
+    ) {
+        let path = temp_path("ckpt");
+        let mut index = AdaptiveClusterIndex::new(config_2d()).unwrap();
+        index.attach_wal(mem_wal(2, FlushPolicy::PerRecord)).unwrap();
+        run_ops(&mut index, &before);
+        index.checkpoint(&path).unwrap();
+        let base: HashMap<u32, HyperRect> = index
+            .object_ids()
+            .map(|id| (id.raw(), index.get(id).unwrap()))
+            .collect();
+        run_ops(&mut index, &after);
+        prop_assert!(index.wal_failure().is_none());
+        let bytes = wal_bytes(&mut index);
+
+        let k = (cut * bytes.len() as f64) as usize;
+        let prefix = &bytes[..k.min(bytes.len())];
+        let records = surviving_records(prefix);
+        let model = membership_model(&base, &records);
+
+        let result = AdaptiveClusterIndex::recover(
+            Some(&path),
+            Box::new(MemBacking::from_bytes(prefix.to_vec())),
+            FlushPolicy::PerRecord,
+            config_2d(),
+        );
+        std::fs::remove_file(&path).unwrap();
+        let (recovered, report) = result.unwrap();
+        prop_assert_eq!(report.replayed_records, records.len() as u64);
+        recovered.check_invariants().map_err(TestCaseError::fail)?;
+        assert_matches_model(&recovered, &model)?;
+    }
+
+    /// Bit-identical checkpoints across every `stats_layout` ×
+    /// `reorg_mode` combination: a save/load round-trip preserves the
+    /// `ClusterSnapshot`s exactly (statistics included), and original
+    /// and reloaded index make identical decisions on the next pass.
+    #[test]
+    fn checkpoint_roundtrip_is_bit_identical_across_toggles(
+        ops in prop::collection::vec(op(2), 20..100),
+        layout_arena in (0u8..2).prop_map(|b| b != 0),
+        incremental in (0u8..2).prop_map(|b| b != 0),
+    ) {
+        let mut config = config_2d();
+        config.stats_layout = if layout_arena { StatsLayout::Arena } else { StatsLayout::PerClusterOracle };
+        config.reorg_mode = if incremental { ReorgMode::Incremental } else { ReorgMode::FullOracle };
+        let mut index = AdaptiveClusterIndex::new(config.clone()).unwrap();
+        run_ops(&mut index, &ops);
+
+        let path = temp_path("matrix");
+        index.save(&path).unwrap();
+        let result = AdaptiveClusterIndex::load(&path, config);
+        std::fs::remove_file(&path).unwrap();
+        let mut reloaded = result.unwrap();
+        reloaded.check_invariants().map_err(TestCaseError::fail)?;
+
+        prop_assert_eq!(reloaded.snapshots(), index.snapshots());
+        prop_assert_eq!(reloaded.total_queries(), index.total_queries());
+        prop_assert_eq!(reloaded.reorganizations(), index.reorganizations());
+        prop_assert_eq!(reloaded.verify_fraction(), index.verify_fraction());
+
+        // Decision equivalence: the same subsequent traffic must
+        // produce the same answers and the same next pass.
+        for probe in [
+            SpatialQuery::point_enclosing(vec![0.4, 0.6]),
+            SpatialQuery::intersection(HyperRect::from_bounds(&[0.1, 0.2], &[0.5, 0.9]).unwrap()),
+        ] {
+            prop_assert_eq!(index.execute(&probe).matches, reloaded.execute(&probe).matches);
+        }
+        prop_assert_eq!(index.reorganize(), reloaded.reorganize());
+        prop_assert_eq!(reloaded.snapshots(), index.snapshots());
+    }
+}
+
+// ---------------------------------------------------------------------
+// Fault injection
+// ---------------------------------------------------------------------
+
+/// Inserts `n` deterministic rectangles, stopping at the first error.
+fn insert_until_failure(index: &mut AdaptiveClusterIndex, n: u32) -> (u32, Option<IndexError>) {
+    for i in 0..n {
+        let t = f64::from(i % 97) / 97.0;
+        let lo = [t as Scalar * 0.8, (1.0 - t as Scalar) * 0.7];
+        let hi = [lo[0] + 0.1, lo[1] + 0.1];
+        let rect = HyperRect::from_bounds(&lo, &hi).unwrap();
+        if let Err(e) = index.insert(ObjectId(i), rect) {
+            return (i, Some(e));
+        }
+    }
+    (n, None)
+}
+
+#[test]
+fn crash_fault_preserves_logged_prefix_and_recovers() {
+    // Pristine run for the reference byte image.
+    let mut pristine = AdaptiveClusterIndex::new(config_2d()).unwrap();
+    pristine
+        .attach_wal(mem_wal(2, FlushPolicy::PerRecord))
+        .unwrap();
+    let (_, err) = insert_until_failure(&mut pristine, 40);
+    assert!(err.is_none());
+    let reference = wal_bytes(&mut pristine);
+
+    // Same stream over a medium that crashes at the 25th append (the
+    // header is append #1, so record appends start at #2).
+    let injector = FaultInjector::new(FaultPlan::crash_after_appends(25));
+    let wal = Wal::create(Box::new(injector), FlushPolicy::PerRecord, 2).unwrap();
+    let mut index = AdaptiveClusterIndex::new(config_2d()).unwrap();
+    index.attach_wal(wal).unwrap();
+    let (applied, err) = insert_until_failure(&mut index, 40);
+    let err = err.expect("the crash must surface as an insert error");
+    assert!(matches!(err, IndexError::Wal(_)), "got {err:?}");
+    // The failed insert was not applied: log-then-apply means a crash
+    // loses the record, never applies an unlogged mutation.
+    assert_eq!(index.len(), applied as usize);
+    index.check_invariants().unwrap();
+
+    let store = index.detach_wal().unwrap().into_store();
+    let survived = store
+        .as_any()
+        .downcast_ref::<FaultInjector>()
+        .unwrap()
+        .surviving()
+        .to_vec();
+    // Determinism across media: what survived is a byte prefix of the
+    // pristine image.
+    assert!(survived.len() <= reference.len());
+    assert_eq!(&reference[..survived.len()], &survived[..]);
+
+    let (recovered, report) = AdaptiveClusterIndex::recover(
+        None,
+        Box::new(MemBacking::from_bytes(survived)),
+        FlushPolicy::PerRecord,
+        config_2d(),
+    )
+    .unwrap();
+    assert_eq!(report.replayed_records, applied as u64);
+    assert_eq!(recovered.len(), applied as usize);
+    recovered.check_invariants().unwrap();
+}
+
+#[test]
+fn torn_write_is_truncated_at_first_bad_checksum() {
+    let injector = FaultInjector::new(FaultPlan::torn_write_at(10, 5));
+    let wal = Wal::create(Box::new(injector), FlushPolicy::PerRecord, 2).unwrap();
+    let mut index = AdaptiveClusterIndex::new(config_2d()).unwrap();
+    index.attach_wal(wal).unwrap();
+    let (applied, err) = insert_until_failure(&mut index, 40);
+    assert!(err.is_some());
+    let store = index.detach_wal().unwrap().into_store();
+    let survived = store
+        .as_any()
+        .downcast_ref::<FaultInjector>()
+        .unwrap()
+        .surviving()
+        .to_vec();
+
+    let (recovered, report) = AdaptiveClusterIndex::recover(
+        None,
+        Box::new(MemBacking::from_bytes(survived)),
+        FlushPolicy::PerRecord,
+        config_2d(),
+    )
+    .unwrap();
+    let torn = report
+        .torn_tail
+        .expect("the torn half-record must be detected");
+    assert!(torn.dropped_bytes > 0);
+    // Records before the tear replay; the torn one is gone.
+    assert_eq!(report.replayed_records, applied as u64);
+    assert_eq!(recovered.len(), applied as usize);
+    recovered.check_invariants().unwrap();
+}
+
+#[test]
+fn enospc_fails_the_mutation_and_poisons_the_log() {
+    let injector = FaultInjector::new(FaultPlan::enospc_at(5));
+    let wal = Wal::create(Box::new(injector), FlushPolicy::PerRecord, 2).unwrap();
+    let mut index = AdaptiveClusterIndex::new(config_2d()).unwrap();
+    index.attach_wal(wal).unwrap();
+    let (applied, err) = insert_until_failure(&mut index, 40);
+    match err.expect("ENOSPC must surface") {
+        IndexError::Wal(w) => {
+            assert_eq!(w.io_kind(), Some(std::io::ErrorKind::StorageFull));
+        }
+        other => panic!("expected a wal error, got {other:?}"),
+    }
+    assert_eq!(index.len(), applied as usize);
+    index.check_invariants().unwrap();
+    // The log is poisoned: later mutations must keep failing instead of
+    // silently writing past a gap.
+    let rect = HyperRect::from_bounds(&[0.1, 0.1], &[0.2, 0.2]).unwrap();
+    let again = index.insert(ObjectId(9999), rect).unwrap_err();
+    assert!(matches!(again, IndexError::Wal(_)), "got {again:?}");
+    assert_eq!(index.len(), applied as usize);
+}
+
+#[test]
+fn flush_failure_surfaces_under_per_record_policy() {
+    let injector = FaultInjector::new(FaultPlan::flush_fail_at(3));
+    let wal = Wal::create(Box::new(injector), FlushPolicy::PerRecord, 2).unwrap();
+    let mut index = AdaptiveClusterIndex::new(config_2d()).unwrap();
+    index.attach_wal(wal).unwrap();
+    let (applied, err) = insert_until_failure(&mut index, 40);
+    assert!(matches!(err, Some(IndexError::Wal(_))), "got {err:?}");
+    assert_eq!(index.len(), applied as usize);
+    index.check_invariants().unwrap();
+}
+
+#[test]
+fn short_reads_do_not_produce_a_broken_index() {
+    // Write a healthy log, then recover through a medium that drops
+    // tail bytes from every read: recovery sees a shorter prefix but
+    // must still come back valid.
+    let mut index = AdaptiveClusterIndex::new(config_2d()).unwrap();
+    index
+        .attach_wal(mem_wal(2, FlushPolicy::PerRecord))
+        .unwrap();
+    let (applied, err) = insert_until_failure(&mut index, 30);
+    assert!(err.is_none());
+    let bytes = wal_bytes(&mut index);
+
+    let mut injector = FaultInjector::new(FaultPlan::none().with_short_read(7));
+    injector.append(&bytes).unwrap();
+    injector.flush().unwrap();
+    let (recovered, report) = AdaptiveClusterIndex::recover(
+        None,
+        Box::new(injector),
+        FlushPolicy::PerRecord,
+        config_2d(),
+    )
+    .unwrap();
+    assert!(report.replayed_records < applied as u64);
+    assert!(report.torn_tail.is_some());
+    recovered.check_invariants().unwrap();
+}
+
+#[test]
+fn wal_failure_inside_a_pass_degrades_gracefully() {
+    use acx_workloads::{AdaptiveScenario, OscillatingHeat, UniformWorkload, WorkloadConfig};
+
+    let dims = 3;
+    let cfg = WorkloadConfig::new(dims, 600, 0x51AB);
+    let objects = UniformWorkload::with_max_length(cfg.clone(), 0.4).generate_objects();
+    let mut scenario = OscillatingHeat::new(&cfg, 120, 0.3, 0.08);
+    let mut config = IndexConfig::memory(dims);
+    config.reorg_period = 0;
+    config.confidence_z = 0.0;
+
+    // Crash the medium well after the membership stream, so the fault
+    // lands on a structural record logged mid-pass.
+    let injector = FaultInjector::new(FaultPlan::crash_after_appends(objects.len() as u64 + 3));
+    let wal = Wal::create(Box::new(injector), FlushPolicy::PerRecord, dims).unwrap();
+    let mut index = AdaptiveClusterIndex::new(config).unwrap();
+    index.attach_wal(wal).unwrap();
+    for (i, rect) in objects.iter().enumerate() {
+        index.insert(ObjectId(i as u32), rect.clone()).unwrap();
+    }
+    let mut failed_passes = 0;
+    for _ in 0..6 {
+        for _ in 0..60 {
+            let q = scenario.next_query();
+            index.execute(&q);
+        }
+        index.reorganize();
+        if index.wal_failure().is_some() {
+            failed_passes += 1;
+        }
+    }
+    // The pass swallowed the failure, surfaced it, and the index stayed
+    // fully usable.
+    assert!(failed_passes > 0, "the crash must land inside a pass");
+    assert!(index.take_wal_failure().is_some());
+    assert!(index.wal_failure().is_none());
+    index.check_invariants().unwrap();
+    assert!(
+        index.total_splits() > 0,
+        "the workload must force structure"
+    );
+
+    // What reached the medium before the crash still recovers.
+    let store = index.detach_wal().unwrap().into_store();
+    let survived = store
+        .as_any()
+        .downcast_ref::<FaultInjector>()
+        .unwrap()
+        .surviving()
+        .to_vec();
+    let (recovered, _) = AdaptiveClusterIndex::recover(
+        None,
+        Box::new(MemBacking::from_bytes(survived)),
+        FlushPolicy::PerRecord,
+        IndexConfig::memory(dims),
+    )
+    .unwrap();
+    recovered.check_invariants().unwrap();
+}
+
+// ---------------------------------------------------------------------
+// Plumbing edges
+// ---------------------------------------------------------------------
+
+#[test]
+fn attach_wal_rejects_dimension_mismatch() {
+    let mut index = AdaptiveClusterIndex::new(IndexConfig::memory(2)).unwrap();
+    let wal = mem_wal(3, FlushPolicy::PerRecord);
+    assert!(matches!(
+        index.attach_wal(wal),
+        Err(IndexError::DimensionMismatch {
+            expected: 2,
+            actual: 3
+        })
+    ));
+    assert!(!index.wal_attached());
+}
+
+#[test]
+fn update_logs_one_record() {
+    let mut index = AdaptiveClusterIndex::new(IndexConfig::memory(2)).unwrap();
+    index
+        .attach_wal(mem_wal(2, FlushPolicy::PerRecord))
+        .unwrap();
+    let r1 = HyperRect::from_bounds(&[0.1, 0.1], &[0.2, 0.2]).unwrap();
+    let r2 = HyperRect::from_bounds(&[0.6, 0.6], &[0.8, 0.8]).unwrap();
+    index.insert(ObjectId(7), r1).unwrap();
+    index.update(ObjectId(7), r2.clone()).unwrap();
+    let bytes = wal_bytes(&mut index);
+    let records = surviving_records(&bytes);
+    assert_eq!(records.len(), 2, "insert + update, nothing double-logged");
+    assert!(matches!(records[0], WalRecord::Insert { id: 7, .. }));
+    assert!(matches!(records[1], WalRecord::Update { id: 7, .. }));
+
+    let (recovered, _) = AdaptiveClusterIndex::recover(
+        None,
+        Box::new(MemBacking::from_bytes(bytes)),
+        FlushPolicy::PerRecord,
+        IndexConfig::memory(2),
+    )
+    .unwrap();
+    assert_eq!(recovered.get(ObjectId(7)), Some(r2));
+}
+
+#[test]
+fn per_epoch_policy_defers_flushes_to_the_close() {
+    let wal = mem_wal(2, FlushPolicy::PerEpoch);
+    let mut index = AdaptiveClusterIndex::new(config_2d()).unwrap();
+    index.attach_wal(wal).unwrap();
+    let (_, err) = insert_until_failure(&mut index, 20);
+    assert!(err.is_none());
+    index.reorganize(); // logs EpochClose, which flushes under PerEpoch
+    let mut store = index.detach_wal().unwrap().into_store();
+    let flushes = store
+        .as_any()
+        .downcast_ref::<MemBacking>()
+        .unwrap()
+        .flushes();
+    assert!(
+        (1..=2).contains(&flushes),
+        "only the header sync and the epoch close should flush, got {flushes}"
+    );
+    // Everything is still recoverable.
+    let bytes = store.read_durable().unwrap();
+    let (recovered, report) = AdaptiveClusterIndex::recover(
+        None,
+        Box::new(MemBacking::from_bytes(bytes)),
+        FlushPolicy::PerEpoch,
+        config_2d(),
+    )
+    .unwrap();
+    assert_eq!(recovered.len(), 20);
+    assert_eq!(report.replayed_records, 21); // 20 inserts + EpochClose
+    assert_eq!(recovered.reorganizations(), 1);
+}

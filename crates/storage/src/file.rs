@@ -5,36 +5,74 @@
 //!
 //! ```text
 //! [magic "ACXF"][version u32][dims u32][cluster_count u32]
-//! directory: cluster_count × { offset u64, byte_len u64 }
+//! directory: cluster_count × { offset u64, byte_len u64, crc32 u32 }
 //! records:   cluster_count × {
 //!     sig_len u32, sig bytes,          // opaque signature blob
 //!     n u32, n × id u32, n × 2·dims f32 // sequential members
 //! }
 //! ```
 //!
-//! The directory indicates the position of each cluster on disk; signatures
-//! are stored **with** the member objects, so the search structure can be
-//! rebuilt after a crash without replaying statistics (the paper notes
-//! statistics can simply be re-gathered).
+//! The directory indicates the position of each cluster on disk and
+//! carries a CRC-32 of its raw bytes, so a damaged or torn record is
+//! detected before it is interpreted. Version 2 added the checksum
+//! column; version-1 files are refused as unsupported. Signatures are
+//! stored **with** the member objects, so the search structure can be
+//! rebuilt after a crash.
+//!
+//! [`FileStore::load`] is strict: the first record that is short,
+//! overlong, or fails its checksum aborts the load with a typed
+//! [`StoreError::CorruptTail`] naming the record index and byte offset.
+//! [`FileStore::load_salvage`] instead returns the valid prefix along
+//! with the same damage report, so recovery can rebuild from every
+//! cluster that survived.
 
-use std::fs::File;
-use std::io::{self, BufReader, BufWriter, Read, Seek, SeekFrom, Write};
+use std::io;
 use std::path::Path;
 
 use acx_geom::Scalar;
 
+use crate::crc::crc32;
+
 const MAGIC: &[u8; 4] = b"ACXF";
-const VERSION: u32 = 1;
+const VERSION: u32 = 2;
+const HEADER_LEN: usize = 16;
+const DIR_ENTRY_LEN: usize = 20;
 
 /// Errors produced by the persistent store.
 #[derive(Debug)]
 pub enum StoreError {
     /// Underlying I/O failure.
     Io(io::Error),
-    /// The file is not an ACX store or is corrupted.
+    /// The file is not an ACX store or its header/directory is
+    /// corrupted.
     Corrupt(String),
+    /// The record region is damaged from `record` onward; everything
+    /// before it is intact and [`FileStore::load_salvage`] returns it.
+    CorruptTail(TailCorruption),
     /// The file uses an unsupported format version.
     UnsupportedVersion(u32),
+}
+
+/// Where the record region of a store file stops being trustworthy.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TailCorruption {
+    /// Index of the first damaged record.
+    pub record: u32,
+    /// Byte offset of that record in the file.
+    pub offset: u64,
+    /// What failed: checksum, bounds, or structure.
+    pub reason: String,
+}
+
+impl StoreError {
+    /// The underlying [`io::ErrorKind`], when the failure came from the
+    /// filesystem.
+    pub fn io_kind(&self) -> Option<io::ErrorKind> {
+        match self {
+            StoreError::Io(e) => Some(e.kind()),
+            _ => None,
+        }
+    }
 }
 
 impl std::fmt::Display for StoreError {
@@ -42,6 +80,11 @@ impl std::fmt::Display for StoreError {
         match self {
             StoreError::Io(e) => write!(f, "i/o error: {e}"),
             StoreError::Corrupt(why) => write!(f, "corrupt store: {why}"),
+            StoreError::CorruptTail(tail) => write!(
+                f,
+                "corrupt store tail at record {} (byte {}): {}",
+                tail.record, tail.offset, tail.reason
+            ),
             StoreError::UnsupportedVersion(v) => write!(f, "unsupported store version {v}"),
         }
     }
@@ -73,12 +116,24 @@ pub struct ClusterRecord {
     pub coords: Vec<Scalar>,
 }
 
+/// What [`FileStore::load_salvage`] rescued from a damaged file.
+#[derive(Debug)]
+pub struct SalvagedStore {
+    /// Dimensionality from the header.
+    pub dims: usize,
+    /// Every record before the first damaged one.
+    pub clusters: Vec<ClusterRecord>,
+    /// The damage report, or `None` if the whole file was intact.
+    pub corrupt: Option<TailCorruption>,
+}
+
 /// Persistent cluster store: saves and restores a set of cluster records.
 pub struct FileStore;
 
 impl FileStore {
     /// Writes all cluster records to `path`, atomically replacing any
-    /// previous content (write to temp file + rename).
+    /// previous content (write to temp file + rename). Each record's
+    /// raw bytes are checksummed into the directory.
     pub fn save(path: &Path, dims: usize, clusters: &[ClusterRecord]) -> Result<(), StoreError> {
         for (i, c) in clusters.iter().enumerate() {
             if c.coords.len() != c.ids.len() * 2 * dims {
@@ -87,109 +142,172 @@ impl FileStore {
                 )));
             }
         }
-        let tmp = path.with_extension("tmp");
-        {
-            let mut w = BufWriter::new(File::create(&tmp)?);
-            w.write_all(MAGIC)?;
-            w.write_all(&VERSION.to_le_bytes())?;
-            w.write_all(&(dims as u32).to_le_bytes())?;
-            w.write_all(&(clusters.len() as u32).to_le_bytes())?;
-
-            // Directory block: per-cluster (offset, len); offsets are
-            // relative to the end of the directory.
-            let header_len = 4 + 4 + 4 + 4;
-            let dir_len = clusters.len() * 16;
-            let mut offset = (header_len + dir_len) as u64;
-            for c in clusters {
-                let len = 4 + c.signature.len() + 4 + c.ids.len() * 4 + c.coords.len() * 4;
-                w.write_all(&offset.to_le_bytes())?;
-                w.write_all(&(len as u64).to_le_bytes())?;
-                offset += len as u64;
-            }
-            for c in clusters {
-                w.write_all(&(c.signature.len() as u32).to_le_bytes())?;
-                w.write_all(&c.signature)?;
-                w.write_all(&(c.ids.len() as u32).to_le_bytes())?;
-                for id in &c.ids {
-                    w.write_all(&id.to_le_bytes())?;
-                }
-                for v in &c.coords {
-                    w.write_all(&v.to_le_bytes())?;
-                }
-            }
-            w.flush()?;
+        let records: Vec<Vec<u8>> = clusters.iter().map(encode_record).collect();
+        let dir_len = clusters.len() * DIR_ENTRY_LEN;
+        let mut out =
+            Vec::with_capacity(HEADER_LEN + dir_len + records.iter().map(Vec::len).sum::<usize>());
+        out.extend_from_slice(MAGIC);
+        out.extend_from_slice(&VERSION.to_le_bytes());
+        out.extend_from_slice(&(dims as u32).to_le_bytes());
+        out.extend_from_slice(&(clusters.len() as u32).to_le_bytes());
+        // Directory block: per-cluster (offset, len, crc); offsets are
+        // absolute file positions.
+        let mut offset = (HEADER_LEN + dir_len) as u64;
+        for rec in &records {
+            out.extend_from_slice(&offset.to_le_bytes());
+            out.extend_from_slice(&(rec.len() as u64).to_le_bytes());
+            out.extend_from_slice(&crc32(rec).to_le_bytes());
+            offset += rec.len() as u64;
         }
+        for rec in &records {
+            out.extend_from_slice(rec);
+        }
+        let tmp = path.with_extension("tmp");
+        std::fs::write(&tmp, &out)?;
         std::fs::rename(&tmp, path)?;
         Ok(())
     }
 
-    /// Loads every cluster record from `path`. Returns the dimensionality
-    /// and the records in directory order.
+    /// Loads every cluster record from `path`, verifying each against
+    /// its directory checksum. Returns the dimensionality and the
+    /// records in directory order; the first damaged record aborts with
+    /// [`StoreError::CorruptTail`].
     pub fn load(path: &Path) -> Result<(usize, Vec<ClusterRecord>), StoreError> {
-        let mut r = BufReader::new(File::open(path)?);
-        let mut magic = [0u8; 4];
-        r.read_exact(&mut magic)?;
-        if &magic != MAGIC {
+        let salvage = Self::load_salvage(path)?;
+        match salvage.corrupt {
+            None => Ok((salvage.dims, salvage.clusters)),
+            Some(tail) => Err(StoreError::CorruptTail(tail)),
+        }
+    }
+
+    /// Salvage mode: loads the valid record prefix of a possibly
+    /// damaged file, together with a report of where (and why) the
+    /// first record failed. Header or directory damage is still a hard
+    /// error — without the directory there is no trustworthy prefix.
+    pub fn load_salvage(path: &Path) -> Result<SalvagedStore, StoreError> {
+        let bytes = std::fs::read(path)?;
+        if bytes.len() < 4 || &bytes[..4] != MAGIC {
             return Err(StoreError::Corrupt("bad magic".into()));
         }
-        let version = read_u32(&mut r)?;
+        if bytes.len() < HEADER_LEN {
+            return Err(StoreError::Corrupt("truncated header".into()));
+        }
+        let version = read_u32(&bytes, 4);
         if version != VERSION {
             return Err(StoreError::UnsupportedVersion(version));
         }
-        let dims = read_u32(&mut r)? as usize;
+        let dims = read_u32(&bytes, 8) as usize;
         if dims == 0 {
             return Err(StoreError::Corrupt("zero dimensions".into()));
         }
-        let count = read_u32(&mut r)? as usize;
-        let mut directory = Vec::with_capacity(count);
-        for _ in 0..count {
-            let offset = read_u64(&mut r)?;
-            let len = read_u64(&mut r)?;
-            directory.push((offset, len));
+        let count = read_u32(&bytes, 12) as usize;
+        if bytes.len() < HEADER_LEN + count * DIR_ENTRY_LEN {
+            return Err(StoreError::Corrupt(format!(
+                "directory truncated: {} records declared, {} bytes present",
+                count,
+                bytes.len()
+            )));
         }
         let mut clusters = Vec::with_capacity(count);
-        for (i, (offset, len)) in directory.into_iter().enumerate() {
-            r.seek(SeekFrom::Start(offset))?;
-            let sig_len = read_u32(&mut r)? as usize;
-            let mut signature = vec![0u8; sig_len];
-            r.read_exact(&mut signature)?;
-            let n = read_u32(&mut r)? as usize;
-            let expected = 4 + sig_len + 4 + n * 4 + n * 8 * dims;
-            if expected as u64 != len {
-                return Err(StoreError::Corrupt(format!(
-                    "cluster {i}: directory len {len} != record len {expected}"
-                )));
+        let mut corrupt = None;
+        for i in 0..count {
+            let entry = HEADER_LEN + i * DIR_ENTRY_LEN;
+            let offset = read_u64(&bytes, entry);
+            let len = read_u64(&bytes, entry + 8);
+            let crc = read_u32(&bytes, entry + 16);
+            match check_record(&bytes, dims, offset, len, crc) {
+                Ok(record) => clusters.push(record),
+                Err(reason) => {
+                    corrupt = Some(TailCorruption {
+                        record: i as u32,
+                        offset,
+                        reason,
+                    });
+                    break;
+                }
             }
-            let mut ids = Vec::with_capacity(n);
-            for _ in 0..n {
-                ids.push(read_u32(&mut r)?);
-            }
-            let mut coords = Vec::with_capacity(n * 2 * dims);
-            let mut buf = [0u8; 4];
-            for _ in 0..n * 2 * dims {
-                r.read_exact(&mut buf)?;
-                coords.push(Scalar::from_le_bytes(buf));
-            }
-            clusters.push(ClusterRecord {
-                signature,
-                ids,
-                coords,
-            });
         }
-        Ok((dims, clusters))
+        Ok(SalvagedStore {
+            dims,
+            clusters,
+            corrupt,
+        })
     }
 }
 
-fn read_u32<R: Read>(r: &mut R) -> Result<u32, StoreError> {
-    let mut buf = [0u8; 4];
-    r.read_exact(&mut buf)?;
-    Ok(u32::from_le_bytes(buf))
+fn encode_record(c: &ClusterRecord) -> Vec<u8> {
+    let mut out =
+        Vec::with_capacity(4 + c.signature.len() + 4 + c.ids.len() * 4 + c.coords.len() * 4);
+    out.extend_from_slice(&(c.signature.len() as u32).to_le_bytes());
+    out.extend_from_slice(&c.signature);
+    out.extend_from_slice(&(c.ids.len() as u32).to_le_bytes());
+    for id in &c.ids {
+        out.extend_from_slice(&id.to_le_bytes());
+    }
+    for v in &c.coords {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+    out
 }
 
-fn read_u64<R: Read>(r: &mut R) -> Result<u64, StoreError> {
-    let mut buf = [0u8; 8];
-    r.read_exact(&mut buf)?;
-    Ok(u64::from_le_bytes(buf))
+/// Verifies one record's bounds, checksum, and structure; returns the
+/// parsed record or the failure reason.
+fn check_record(
+    bytes: &[u8],
+    dims: usize,
+    offset: u64,
+    len: u64,
+    crc: u32,
+) -> Result<ClusterRecord, String> {
+    let start = usize::try_from(offset).map_err(|_| "offset overflow".to_string())?;
+    let rec_len = usize::try_from(len).map_err(|_| "length overflow".to_string())?;
+    let raw = start
+        .checked_add(rec_len)
+        .and_then(|end| bytes.get(start..end))
+        .ok_or_else(|| format!("record [{offset}, +{len}) extends past end of file"))?;
+    let actual = crc32(raw);
+    if actual != crc {
+        return Err(format!(
+            "checksum mismatch: directory {crc:#010x}, record {actual:#010x}"
+        ));
+    }
+    if raw.len() < 4 {
+        return Err("record shorter than its signature length field".into());
+    }
+    let sig_len = read_u32(raw, 0) as usize;
+    if raw.len() < 4 + sig_len + 4 {
+        return Err("record shorter than its signature".into());
+    }
+    let signature = raw[4..4 + sig_len].to_vec();
+    let n = read_u32(raw, 4 + sig_len) as usize;
+    let expected = 4 + sig_len + 4 + n * 4 + n * 8 * dims;
+    if expected != raw.len() {
+        return Err(format!("directory len {len} != record len {expected}"));
+    }
+    let mut ids = Vec::with_capacity(n);
+    let ids_at = 4 + sig_len + 4;
+    for j in 0..n {
+        ids.push(read_u32(raw, ids_at + j * 4));
+    }
+    let mut coords = Vec::with_capacity(n * 2 * dims);
+    let coords_at = ids_at + n * 4;
+    for j in 0..n * 2 * dims {
+        let at = coords_at + j * 4;
+        coords.push(Scalar::from_le_bytes(raw[at..at + 4].try_into().unwrap()));
+    }
+    Ok(ClusterRecord {
+        signature,
+        ids,
+        coords,
+    })
+}
+
+fn read_u32(bytes: &[u8], at: usize) -> u32 {
+    u32::from_le_bytes(bytes[at..at + 4].try_into().unwrap())
+}
+
+fn read_u64(bytes: &[u8], at: usize) -> u64 {
+    u64::from_le_bytes(bytes[at..at + 8].try_into().unwrap())
 }
 
 #[cfg(test)]
@@ -267,13 +385,24 @@ mod tests {
     }
 
     #[test]
-    fn load_rejects_truncated_file() {
+    fn load_rejects_truncated_file_but_salvages_prefix() {
         let path = temp_path("trunc");
         let clusters = sample_clusters();
         FileStore::save(&path, 2, &clusters).unwrap();
         let data = std::fs::read(&path).unwrap();
         std::fs::write(&path, &data[..data.len() - 5]).unwrap();
-        assert!(FileStore::load(&path).is_err());
+        // Strict load refuses, naming the damaged record.
+        match FileStore::load(&path) {
+            Err(StoreError::CorruptTail(tail)) => assert_eq!(tail.record, 2),
+            other => panic!("expected CorruptTail, got {other:?}"),
+        }
+        // Salvage returns the two intact records.
+        let salvage = FileStore::load_salvage(&path).unwrap();
+        assert_eq!(salvage.dims, 2);
+        assert_eq!(salvage.clusters, clusters[..2]);
+        let tail = salvage.corrupt.unwrap();
+        assert_eq!(tail.record, 2);
+        assert!(tail.reason.contains("past end of file"), "{}", tail.reason);
         std::fs::remove_file(&path).unwrap();
     }
 
@@ -289,6 +418,55 @@ mod tests {
         assert!(matches!(
             FileStore::load(&path),
             Err(StoreError::UnsupportedVersion(99))
+        ));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn bit_flip_in_record_is_caught_by_checksum() {
+        let path = temp_path("bitflip");
+        let clusters = sample_clusters();
+        FileStore::save(&path, 2, &clusters).unwrap();
+        let mut data = std::fs::read(&path).unwrap();
+        // Flip one bit in the *first* record's payload (just past the
+        // directory: header + 3 × 20-byte entries).
+        let first_record = 16 + 3 * 20;
+        data[first_record + 6] ^= 0x01;
+        std::fs::write(&path, &data).unwrap();
+        match FileStore::load(&path) {
+            Err(StoreError::CorruptTail(tail)) => {
+                assert_eq!(tail.record, 0);
+                assert_eq!(tail.offset, first_record as u64);
+                assert!(tail.reason.contains("checksum"), "{}", tail.reason);
+            }
+            other => panic!("expected CorruptTail, got {other:?}"),
+        }
+        // Salvage rescues nothing before record 0 but does not fail.
+        let salvage = FileStore::load_salvage(&path).unwrap();
+        assert!(salvage.clusters.is_empty());
+        assert!(salvage.corrupt.is_some());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn salvage_of_intact_file_reports_no_corruption() {
+        let path = temp_path("intact");
+        FileStore::save(&path, 2, &sample_clusters()).unwrap();
+        let salvage = FileStore::load_salvage(&path).unwrap();
+        assert_eq!(salvage.clusters, sample_clusters());
+        assert!(salvage.corrupt.is_none());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn directory_truncation_is_a_hard_error() {
+        let path = temp_path("dirtrunc");
+        FileStore::save(&path, 2, &sample_clusters()).unwrap();
+        let data = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &data[..16 + 10]).unwrap(); // mid-directory
+        assert!(matches!(
+            FileStore::load_salvage(&path),
+            Err(StoreError::Corrupt(_))
         ));
         std::fs::remove_file(&path).unwrap();
     }
@@ -316,5 +494,33 @@ mod tests {
         assert_eq!(dims, 5);
         assert!(loaded.is_empty());
         std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn store_error_paths_carry_context() {
+        let io_err: StoreError = io::Error::new(io::ErrorKind::PermissionDenied, "no").into();
+        assert_eq!(io_err.io_kind(), Some(io::ErrorKind::PermissionDenied));
+        assert!(std::error::Error::source(&io_err).is_some());
+        assert!(io_err.to_string().contains("i/o error"));
+
+        let tail = StoreError::CorruptTail(TailCorruption {
+            record: 3,
+            offset: 128,
+            reason: "checksum mismatch".into(),
+        });
+        assert!(tail.to_string().contains("record 3"));
+        assert!(tail.to_string().contains("byte 128"));
+        assert!(tail.io_kind().is_none());
+
+        for e in [
+            StoreError::Corrupt("x".into()),
+            StoreError::UnsupportedVersion(9),
+        ] {
+            assert!(!e.to_string().is_empty());
+            assert!(std::error::Error::source(&e).is_none());
+        }
+
+        let missing = FileStore::load(Path::new("/nonexistent/acx-store")).unwrap_err();
+        assert_eq!(missing.io_kind(), Some(io::ErrorKind::NotFound));
     }
 }

@@ -18,16 +18,23 @@
 
 mod cost;
 mod counters;
+mod crc;
 mod device;
 mod file;
 mod result;
 mod segment;
 mod simdisk;
+pub mod wal;
 
 pub use cost::CostModel;
 pub use counters::{AccessStats, AveragedStats};
+pub use crc::crc32;
 pub use device::{DeviceProfile, StorageScenario};
-pub use file::{ClusterRecord, FileStore, StoreError};
+pub use file::{ClusterRecord, FileStore, SalvagedStore, StoreError, TailCorruption};
 pub use result::{QueryMetrics, QueryResult};
 pub use segment::{SegmentColumns, SegmentId, SegmentStore};
 pub use simdisk::SimulatedDisk;
+pub use wal::{
+    BackingStore, FaultInjector, FaultPlan, FileBacking, FlushPolicy, MemBacking, TornTail, Wal,
+    WalError, WalRecord, WalReplay,
+};

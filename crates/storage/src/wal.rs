@@ -1,0 +1,1458 @@
+//! Write-ahead log of structural index mutations (ROADMAP direction 2:
+//! the step from "fast in-memory library" to "database").
+//!
+//! The log is append-only and self-describing: a 12-byte header
+//! (`magic "ACXW"`, `version u32`, `dims u32`) followed by frames
+//!
+//! ```text
+//! [payload_len u32][crc32 u32][payload payload_len bytes]
+//! ```
+//!
+//! where the CRC-32 (IEEE) covers the payload. Every structural
+//! mutation of the index is one frame: `Insert`/`Remove`/`Update`
+//! carry object id and flat coordinates, `Merge`/`Materialize` name
+//! the affected cluster by its serialized **signature** (slot numbers
+//! are not stable across a replay, signatures are), and `EpochClose`
+//! marks the end of a reorganization pass so replay closes the
+//! statistics epoch exactly where the live index did.
+//!
+//! Replay ([`Wal::replay`]) walks frames until the first one that is
+//! incomplete, oversized, or fails its checksum — everything from that
+//! offset on is a **torn tail** ([`TornTail`]) and is truncated by
+//! recovery. A record that survives its CRC is trusted; a record that
+//! does not marks the end of history.
+//!
+//! Durability is mediated by the [`BackingStore`] trait: [`FileBacking`]
+//! writes a real file (`flush` = `fsync`), [`MemBacking`] keeps bytes in
+//! memory for tests and benches, and [`FaultInjector`] wraps the same
+//! contract around a deterministic fault schedule ([`FaultPlan`]) —
+//! torn writes, short reads, `ENOSPC`, flush failures, and
+//! crash-after-N-ops — so every failure mode is a reproducible test
+//! case. The [`FlushPolicy`] decides how often appended frames are made
+//! durable: per record, per batch of N records, or only at epoch-close
+//! markers.
+
+use std::fs::File;
+use std::io::{self, Read, Seek, SeekFrom, Write};
+use std::path::Path;
+
+use acx_geom::Scalar;
+
+use crate::crc::crc32;
+
+const WAL_MAGIC: &[u8; 4] = b"ACXW";
+const WAL_VERSION: u32 = 1;
+/// Header bytes: magic + version + dims.
+pub const WAL_HEADER_LEN: u64 = 12;
+/// Frames longer than this are treated as torn garbage, not allocated.
+const MAX_FRAME: u32 = 1 << 24;
+
+// ---------------------------------------------------------------------------
+// Records
+// ---------------------------------------------------------------------------
+
+/// One logged structural mutation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WalRecord {
+    /// Object inserted; coordinates are `2·dims` scalars (lo then hi
+    /// per dimension, interleaved as the index stores them).
+    Insert { id: u32, coords: Vec<Scalar> },
+    /// Object removed.
+    Remove { id: u32 },
+    /// Object re-described in place (logically remove + insert).
+    Update { id: u32, coords: Vec<Scalar> },
+    /// Cluster with this serialized signature merged into its parent.
+    Merge { signature: Vec<u8> },
+    /// Candidate `candidate` of the cluster with this serialized
+    /// signature materialized as a child. The candidate index is stable
+    /// because candidate generation is a pure function of the
+    /// signature.
+    Materialize { signature: Vec<u8>, candidate: u32 },
+    /// A reorganization pass finished: replay closes the statistics
+    /// epoch here exactly as the live index did.
+    EpochClose,
+}
+
+const TAG_INSERT: u8 = 1;
+const TAG_REMOVE: u8 = 2;
+const TAG_UPDATE: u8 = 3;
+const TAG_MERGE: u8 = 4;
+const TAG_MATERIALIZE: u8 = 5;
+const TAG_EPOCH_CLOSE: u8 = 6;
+
+impl WalRecord {
+    /// Serializes the record payload (without framing).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        match self {
+            WalRecord::Insert { id, coords } => {
+                out.push(TAG_INSERT);
+                encode_id_coords(&mut out, *id, coords);
+            }
+            WalRecord::Remove { id } => {
+                out.push(TAG_REMOVE);
+                out.extend_from_slice(&id.to_le_bytes());
+            }
+            WalRecord::Update { id, coords } => {
+                out.push(TAG_UPDATE);
+                encode_id_coords(&mut out, *id, coords);
+            }
+            WalRecord::Merge { signature } => {
+                out.push(TAG_MERGE);
+                encode_bytes(&mut out, signature);
+            }
+            WalRecord::Materialize {
+                signature,
+                candidate,
+            } => {
+                out.push(TAG_MATERIALIZE);
+                encode_bytes(&mut out, signature);
+                out.extend_from_slice(&candidate.to_le_bytes());
+            }
+            WalRecord::EpochClose => out.push(TAG_EPOCH_CLOSE),
+        }
+        out
+    }
+
+    /// Parses a record payload. `None` means the payload is malformed
+    /// (unknown tag, short buffer, trailing bytes) — replay treats that
+    /// exactly like a failed checksum.
+    pub fn decode(payload: &[u8]) -> Option<WalRecord> {
+        let (&tag, mut rest) = payload.split_first()?;
+        let rec = match tag {
+            TAG_INSERT => {
+                let (id, coords) = decode_id_coords(&mut rest)?;
+                WalRecord::Insert { id, coords }
+            }
+            TAG_REMOVE => WalRecord::Remove {
+                id: take_u32(&mut rest)?,
+            },
+            TAG_UPDATE => {
+                let (id, coords) = decode_id_coords(&mut rest)?;
+                WalRecord::Update { id, coords }
+            }
+            TAG_MERGE => WalRecord::Merge {
+                signature: take_bytes(&mut rest)?,
+            },
+            TAG_MATERIALIZE => {
+                let signature = take_bytes(&mut rest)?;
+                let candidate = take_u32(&mut rest)?;
+                WalRecord::Materialize {
+                    signature,
+                    candidate,
+                }
+            }
+            TAG_EPOCH_CLOSE => WalRecord::EpochClose,
+            _ => return None,
+        };
+        rest.is_empty().then_some(rec)
+    }
+}
+
+fn encode_id_coords(out: &mut Vec<u8>, id: u32, coords: &[Scalar]) {
+    out.extend_from_slice(&id.to_le_bytes());
+    out.extend_from_slice(&(coords.len() as u32).to_le_bytes());
+    for v in coords {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+}
+
+fn encode_bytes(out: &mut Vec<u8>, bytes: &[u8]) {
+    out.extend_from_slice(&(bytes.len() as u32).to_le_bytes());
+    out.extend_from_slice(bytes);
+}
+
+fn take_u32(rest: &mut &[u8]) -> Option<u32> {
+    let (head, tail) = rest.split_first_chunk::<4>()?;
+    *rest = tail;
+    Some(u32::from_le_bytes(*head))
+}
+
+fn take_bytes(rest: &mut &[u8]) -> Option<Vec<u8>> {
+    let len = take_u32(rest)? as usize;
+    if rest.len() < len {
+        return None;
+    }
+    let (head, tail) = rest.split_at(len);
+    let out = head.to_vec();
+    *rest = tail;
+    Some(out)
+}
+
+fn decode_id_coords(rest: &mut &[u8]) -> Option<(u32, Vec<Scalar>)> {
+    let id = take_u32(rest)?;
+    let n = take_u32(rest)? as usize;
+    if rest.len() < n * 4 {
+        return None;
+    }
+    let mut coords = Vec::with_capacity(n);
+    for _ in 0..n {
+        let (head, tail) = rest.split_first_chunk::<4>()?;
+        *rest = tail;
+        coords.push(Scalar::from_le_bytes(*head));
+    }
+    Some((id, coords))
+}
+
+// ---------------------------------------------------------------------------
+// Flush policy
+// ---------------------------------------------------------------------------
+
+/// How often appended records are made durable (`fsync` frequency).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum FlushPolicy {
+    /// Flush after every record — maximum durability, one sync per
+    /// mutation.
+    #[default]
+    PerRecord,
+    /// Flush after every N records (and at every epoch-close marker).
+    PerBatch(u32),
+    /// Flush only at epoch-close markers: a crash may lose the open
+    /// epoch's mutations, never a closed one.
+    PerEpoch,
+}
+
+impl std::fmt::Display for FlushPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FlushPolicy::PerRecord => write!(f, "record"),
+            FlushPolicy::PerBatch(n) => write!(f, "batch:{n}"),
+            FlushPolicy::PerEpoch => write!(f, "epoch"),
+        }
+    }
+}
+
+impl std::str::FromStr for FlushPolicy {
+    type Err = String;
+
+    /// Accepts `record`, `epoch`, `batch` (N = 64), or `batch:N`.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "record" | "per-record" => Ok(FlushPolicy::PerRecord),
+            "epoch" | "per-epoch" => Ok(FlushPolicy::PerEpoch),
+            "batch" => Ok(FlushPolicy::PerBatch(64)),
+            other => match other.strip_prefix("batch:") {
+                Some(n) => match n.parse::<u32>() {
+                    Ok(n) if n > 0 => Ok(FlushPolicy::PerBatch(n)),
+                    _ => Err(format!("invalid batch size {n:?} (want batch:N, N ≥ 1)")),
+                },
+                None => Err(format!(
+                    "unknown flush policy {other:?} (expected record, batch[:N], or epoch)"
+                )),
+            },
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Backing stores
+// ---------------------------------------------------------------------------
+
+/// The durable medium under a [`Wal`]: an append-only byte device with
+/// an explicit durability barrier.
+///
+/// Contract: `append` stages bytes at the tail (they are readable
+/// immediately but survive a crash only once `flush` returns `Ok`);
+/// `read_durable` returns the full current image for replay;
+/// `truncate` discards everything past `len` bytes (recovery uses it to
+/// repair a torn tail).
+pub trait BackingStore: std::fmt::Debug + Send + Sync {
+    /// Appends bytes at the end of the log.
+    fn append(&mut self, bytes: &[u8]) -> io::Result<()>;
+    /// Durability barrier: everything appended so far survives a crash.
+    fn flush(&mut self) -> io::Result<()>;
+    /// Reads the entire current log image (for replay).
+    fn read_durable(&mut self) -> io::Result<Vec<u8>>;
+    /// Discards everything past `len` bytes.
+    fn truncate(&mut self, len: u64) -> io::Result<()>;
+    /// Concrete-type access, so tests and diagnostics can reach
+    /// implementation-specific counters behind a `Box<dyn BackingStore>`.
+    fn as_any(&self) -> &dyn std::any::Any;
+}
+
+/// File-backed log; `flush` is `File::sync_data`.
+#[derive(Debug)]
+pub struct FileBacking {
+    file: File,
+}
+
+impl FileBacking {
+    /// Creates (or truncates) the log file at `path`.
+    pub fn create(path: &Path) -> io::Result<Self> {
+        let file = File::options()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(path)?;
+        Ok(FileBacking { file })
+    }
+
+    /// Opens an existing log file (creating an empty one if missing),
+    /// preserving its contents — the recovery entry point.
+    pub fn open(path: &Path) -> io::Result<Self> {
+        let file = File::options()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(path)?;
+        Ok(FileBacking { file })
+    }
+}
+
+impl BackingStore for FileBacking {
+    fn append(&mut self, bytes: &[u8]) -> io::Result<()> {
+        self.file.seek(SeekFrom::End(0))?;
+        self.file.write_all(bytes)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.file.sync_data()
+    }
+
+    fn read_durable(&mut self) -> io::Result<Vec<u8>> {
+        self.file.seek(SeekFrom::Start(0))?;
+        let mut out = Vec::new();
+        self.file.read_to_end(&mut out)?;
+        Ok(out)
+    }
+
+    fn truncate(&mut self, len: u64) -> io::Result<()> {
+        self.file.set_len(len)
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+}
+
+/// In-memory log for tests and benches; never fails, counts flushes.
+#[derive(Debug, Default)]
+pub struct MemBacking {
+    bytes: Vec<u8>,
+    flushes: u64,
+}
+
+impl MemBacking {
+    /// An empty in-memory log.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A log pre-seeded with `bytes` — e.g. the surviving image of a
+    /// crashed [`FaultInjector`], carried over to a "rebooted" medium.
+    pub fn from_bytes(bytes: Vec<u8>) -> Self {
+        MemBacking { bytes, flushes: 0 }
+    }
+
+    /// The current log image.
+    pub fn bytes(&self) -> &[u8] {
+        &self.bytes
+    }
+
+    /// How many durability barriers were requested.
+    pub fn flushes(&self) -> u64 {
+        self.flushes
+    }
+}
+
+impl BackingStore for MemBacking {
+    fn append(&mut self, bytes: &[u8]) -> io::Result<()> {
+        self.bytes.extend_from_slice(bytes);
+        Ok(())
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.flushes += 1;
+        Ok(())
+    }
+
+    fn read_durable(&mut self) -> io::Result<Vec<u8>> {
+        Ok(self.bytes.clone())
+    }
+
+    fn truncate(&mut self, len: u64) -> io::Result<()> {
+        self.bytes.truncate(len as usize);
+        Ok(())
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Fault injection
+// ---------------------------------------------------------------------------
+
+/// One scheduled failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Fault {
+    /// The append persists only `keep` bytes of the record (everything
+    /// staged before it is persisted whole), then the medium crashes —
+    /// the classic torn tail.
+    TornWrite { keep: usize },
+    /// The append fails with [`io::ErrorKind::StorageFull`]; nothing is
+    /// written and the medium stays alive.
+    Enospc,
+    /// The flush fails and the staged (unflushed) bytes are lost.
+    FlushFail,
+    /// The medium crashes: the operation fails and every staged byte is
+    /// discarded.
+    Crash,
+}
+
+/// A deterministic fault schedule: faults fire at fixed 1-based append
+/// or flush ordinals, so a failing case replays exactly.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    on_append: Vec<(u64, Fault)>,
+    on_flush: Vec<(u64, Fault)>,
+    short_read: u64,
+}
+
+impl FaultPlan {
+    /// No faults.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Crash on append `n + 1` — the first `n` appends succeed.
+    pub fn crash_after_appends(n: u64) -> Self {
+        FaultPlan::none().and_append_fault(n + 1, Fault::Crash)
+    }
+
+    /// Tear append `n`: persist `keep` bytes of it, then crash.
+    pub fn torn_write_at(n: u64, keep: usize) -> Self {
+        FaultPlan::none().and_append_fault(n, Fault::TornWrite { keep })
+    }
+
+    /// Fail append `n` with `ENOSPC` (medium stays alive).
+    pub fn enospc_at(n: u64) -> Self {
+        FaultPlan::none().and_append_fault(n, Fault::Enospc)
+    }
+
+    /// Fail flush `n`, losing the staged bytes.
+    pub fn flush_fail_at(n: u64) -> Self {
+        FaultPlan::none().and_flush_fault(n, Fault::FlushFail)
+    }
+
+    /// Adds an append-ordinal fault to the schedule.
+    pub fn and_append_fault(mut self, ordinal: u64, fault: Fault) -> Self {
+        self.on_append.push((ordinal, fault));
+        self
+    }
+
+    /// Adds a flush-ordinal fault to the schedule.
+    pub fn and_flush_fault(mut self, ordinal: u64, fault: Fault) -> Self {
+        self.on_flush.push((ordinal, fault));
+        self
+    }
+
+    /// Drop this many tail bytes from every `read_durable` — a short
+    /// read of the recovery image.
+    pub fn with_short_read(mut self, bytes: u64) -> Self {
+        self.short_read = bytes;
+        self
+    }
+
+    /// Derives a schedule from a seed (splitmix64): one primary fault
+    /// at a pseudo-random ordinal, sometimes compounded with a short
+    /// read. Same seed, same schedule — every randomized failure is a
+    /// reproducible test case.
+    pub fn seeded(seed: u64) -> Self {
+        let mut state = seed;
+        let mut next = move || {
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        let ordinal = 1 + next() % 24;
+        let plan = match next() % 4 {
+            0 => FaultPlan::torn_write_at(ordinal, (next() % 48) as usize),
+            1 => FaultPlan::crash_after_appends(ordinal),
+            2 => FaultPlan::enospc_at(ordinal),
+            _ => FaultPlan::flush_fail_at(1 + next() % 4),
+        };
+        if next() % 3 == 0 {
+            plan.with_short_read(next() % 9)
+        } else {
+            plan
+        }
+    }
+
+    fn fault_at(schedule: &[(u64, Fault)], ordinal: u64) -> Option<Fault> {
+        schedule
+            .iter()
+            .find(|(at, _)| *at == ordinal)
+            .map(|(_, f)| f.clone())
+    }
+}
+
+/// A [`BackingStore`] that models a volatile write buffer over an
+/// ordered durable medium and fails on a [`FaultPlan`] schedule.
+///
+/// `append` stages bytes; `flush` persists everything staged; a crash
+/// (scheduled, or the tail of a torn write) discards staged bytes so
+/// the surviving image is exactly what a real machine would find after
+/// reboot. `truncate` models the post-reboot repair and revives a
+/// crashed medium.
+#[derive(Debug)]
+pub struct FaultInjector {
+    appended: Vec<u8>,
+    persisted: usize,
+    plan: FaultPlan,
+    appends: u64,
+    flushes: u64,
+    crashed: bool,
+}
+
+impl FaultInjector {
+    /// A fresh medium driven by `plan`.
+    pub fn new(plan: FaultPlan) -> Self {
+        FaultInjector {
+            appended: Vec::new(),
+            persisted: 0,
+            plan,
+            appends: 0,
+            flushes: 0,
+            crashed: false,
+        }
+    }
+
+    /// The bytes that survive a crash right now: everything persisted,
+    /// plus — while the medium is alive — everything staged.
+    pub fn surviving(&self) -> &[u8] {
+        if self.crashed {
+            &self.appended[..self.persisted]
+        } else {
+            &self.appended
+        }
+    }
+
+    /// Whether the medium has crashed.
+    pub fn crashed(&self) -> bool {
+        self.crashed
+    }
+
+    /// Appends attempted so far.
+    pub fn appends(&self) -> u64 {
+        self.appends
+    }
+
+    /// Flushes attempted so far.
+    pub fn flushes(&self) -> u64 {
+        self.flushes
+    }
+
+    fn crash(&mut self) {
+        self.crashed = true;
+        self.appended.truncate(self.persisted);
+    }
+}
+
+impl BackingStore for FaultInjector {
+    fn append(&mut self, bytes: &[u8]) -> io::Result<()> {
+        if self.crashed {
+            return Err(io::Error::new(io::ErrorKind::BrokenPipe, "medium crashed"));
+        }
+        self.appends += 1;
+        match FaultPlan::fault_at(&self.plan.on_append, self.appends) {
+            None => {
+                self.appended.extend_from_slice(bytes);
+                Ok(())
+            }
+            Some(Fault::TornWrite { keep }) => {
+                // Everything staged before the torn record reaches the
+                // medium whole; the record itself tears mid-frame.
+                self.appended
+                    .extend_from_slice(&bytes[..keep.min(bytes.len())]);
+                self.persisted = self.appended.len();
+                self.crashed = true;
+                Err(io::Error::new(io::ErrorKind::WriteZero, "torn write"))
+            }
+            Some(Fault::Enospc) => Err(io::Error::new(
+                io::ErrorKind::StorageFull,
+                "no space left on device",
+            )),
+            Some(Fault::FlushFail) | Some(Fault::Crash) => {
+                self.crash();
+                Err(io::Error::new(io::ErrorKind::BrokenPipe, "simulated crash"))
+            }
+        }
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        if self.crashed {
+            return Err(io::Error::new(io::ErrorKind::BrokenPipe, "medium crashed"));
+        }
+        self.flushes += 1;
+        match FaultPlan::fault_at(&self.plan.on_flush, self.flushes) {
+            None => {
+                self.persisted = self.appended.len();
+                Ok(())
+            }
+            Some(Fault::FlushFail) => {
+                self.appended.truncate(self.persisted);
+                Err(io::Error::other("flush failed; staged bytes lost"))
+            }
+            Some(_) => {
+                self.crash();
+                Err(io::Error::new(io::ErrorKind::BrokenPipe, "simulated crash"))
+            }
+        }
+    }
+
+    fn read_durable(&mut self) -> io::Result<Vec<u8>> {
+        let image = self.surviving();
+        let keep = image.len().saturating_sub(self.plan.short_read as usize);
+        Ok(image[..keep].to_vec())
+    }
+
+    fn truncate(&mut self, len: u64) -> io::Result<()> {
+        self.appended.truncate(len as usize);
+        self.persisted = self.persisted.min(self.appended.len());
+        // Post-reboot repair: the medium is usable again.
+        self.crashed = false;
+        Ok(())
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Errors
+// ---------------------------------------------------------------------------
+
+/// WAL failures, with enough fault context (operation, byte offset,
+/// record ordinal) to locate the damage.
+#[derive(Debug)]
+pub enum WalError {
+    /// The medium failed during `op` at byte `offset`.
+    Io {
+        op: &'static str,
+        offset: u64,
+        source: io::Error,
+    },
+    /// The log is structurally damaged before any torn tail could be
+    /// identified (e.g. bad magic).
+    Corrupt {
+        offset: u64,
+        record: u64,
+        reason: String,
+    },
+    /// The log was written by an unknown format version.
+    UnsupportedVersion(u32),
+    /// The log's dimensionality does not match the index it is replayed
+    /// into.
+    DimensionMismatch { expected: usize, actual: usize },
+    /// A previous append or flush failed; the log refuses further
+    /// appends until it is reset (durability cannot be silently
+    /// re-promised over a hole).
+    Poisoned,
+}
+
+impl WalError {
+    /// The underlying [`io::ErrorKind`], when the failure came from the
+    /// medium.
+    pub fn io_kind(&self) -> Option<io::ErrorKind> {
+        match self {
+            WalError::Io { source, .. } => Some(source.kind()),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for WalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WalError::Io { op, offset, source } => {
+                write!(f, "wal {op} failed at byte {offset}: {source}")
+            }
+            WalError::Corrupt {
+                offset,
+                record,
+                reason,
+            } => {
+                write!(
+                    f,
+                    "corrupt wal at record {record} (byte {offset}): {reason}"
+                )
+            }
+            WalError::UnsupportedVersion(v) => write!(f, "unsupported wal version {v}"),
+            WalError::DimensionMismatch { expected, actual } => {
+                write!(
+                    f,
+                    "wal dimensionality {actual} != index dimensionality {expected}"
+                )
+            }
+            WalError::Poisoned => {
+                write!(
+                    f,
+                    "wal poisoned by an earlier failure; reset before appending"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for WalError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            WalError::Io { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for WalError {
+    fn from(source: io::Error) -> Self {
+        WalError::Io {
+            op: "i/o",
+            offset: 0,
+            source,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The log
+// ---------------------------------------------------------------------------
+
+/// The surviving prefix of a replayed log.
+#[derive(Debug)]
+pub struct WalReplay {
+    /// Dimensionality from the header; `None` when the log was empty
+    /// (or its header itself was torn).
+    pub dims: Option<usize>,
+    /// Every record whose checksum verified, in append order.
+    pub records: Vec<WalRecord>,
+    /// Byte length of the valid prefix (header + whole frames).
+    pub valid_len: u64,
+    /// The torn tail, when the log did not end at a frame boundary.
+    pub torn: Option<TornTail>,
+}
+
+/// Where a log stopped being trustworthy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TornTail {
+    /// Byte offset of the first bad frame.
+    pub offset: u64,
+    /// Ordinal (0-based) of the first bad record.
+    pub record: u64,
+    /// Bytes past the valid prefix that recovery truncates.
+    pub dropped_bytes: u64,
+}
+
+/// Append-side handle over a [`BackingStore`]: frames records,
+/// checksums them, and flushes per [`FlushPolicy`]. A failed append or
+/// flush **poisons** the log — later appends return
+/// [`WalError::Poisoned`] instead of pretending the hole is durable.
+#[derive(Debug)]
+pub struct Wal {
+    store: Box<dyn BackingStore>,
+    policy: FlushPolicy,
+    dims: usize,
+    offset: u64,
+    records: u64,
+    unflushed: u32,
+    poisoned: bool,
+}
+
+impl Wal {
+    /// Starts a fresh log on `store` (truncating any previous content)
+    /// and makes the header durable.
+    pub fn create(
+        store: Box<dyn BackingStore>,
+        policy: FlushPolicy,
+        dims: usize,
+    ) -> Result<Self, WalError> {
+        let mut wal = Wal {
+            store,
+            policy,
+            dims,
+            offset: 0,
+            records: 0,
+            unflushed: 0,
+            poisoned: false,
+        };
+        wal.write_header()?;
+        Ok(wal)
+    }
+
+    /// Reopens a log for appending after [`Wal::replay`]-based
+    /// recovery: verifies the header dimensionality, truncates any torn
+    /// tail, rewrites a fresh header if even the header was torn, and
+    /// positions the append offset at the end of the valid prefix.
+    /// Returns the replay so the caller can apply the surviving
+    /// records.
+    pub fn reopen(
+        mut store: Box<dyn BackingStore>,
+        policy: FlushPolicy,
+        dims: usize,
+    ) -> Result<(Self, WalReplay), WalError> {
+        let replay = Self::replay(store.as_mut())?;
+        if let Some(actual) = replay.dims {
+            if actual != dims {
+                return Err(WalError::DimensionMismatch {
+                    expected: dims,
+                    actual,
+                });
+            }
+        }
+        if replay.torn.is_some() {
+            store
+                .truncate(replay.valid_len)
+                .map_err(|source| WalError::Io {
+                    op: "truncate",
+                    offset: replay.valid_len,
+                    source,
+                })?;
+        }
+        let mut wal = Wal {
+            store,
+            policy,
+            dims,
+            offset: replay.valid_len,
+            records: replay.records.len() as u64,
+            unflushed: 0,
+            poisoned: false,
+        };
+        if replay.valid_len < WAL_HEADER_LEN {
+            wal.write_header()?;
+        }
+        Ok((wal, replay))
+    }
+
+    fn write_header(&mut self) -> Result<(), WalError> {
+        self.store.truncate(0).map_err(|source| WalError::Io {
+            op: "truncate",
+            offset: 0,
+            source,
+        })?;
+        let mut header = Vec::with_capacity(WAL_HEADER_LEN as usize);
+        header.extend_from_slice(WAL_MAGIC);
+        header.extend_from_slice(&WAL_VERSION.to_le_bytes());
+        header.extend_from_slice(&(self.dims as u32).to_le_bytes());
+        self.store.append(&header).map_err(|source| WalError::Io {
+            op: "append",
+            offset: 0,
+            source,
+        })?;
+        self.store.flush().map_err(|source| WalError::Io {
+            op: "flush",
+            offset: 0,
+            source,
+        })?;
+        self.offset = WAL_HEADER_LEN;
+        self.records = 0;
+        self.unflushed = 0;
+        self.poisoned = false;
+        Ok(())
+    }
+
+    /// Appends one record and flushes according to the policy
+    /// (epoch-close markers always flush under `PerEpoch`).
+    pub fn append(&mut self, record: &WalRecord) -> Result<(), WalError> {
+        if self.poisoned {
+            return Err(WalError::Poisoned);
+        }
+        let payload = record.encode();
+        let mut frame = Vec::with_capacity(8 + payload.len());
+        frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        frame.extend_from_slice(&crc32(&payload).to_le_bytes());
+        frame.extend_from_slice(&payload);
+        if let Err(source) = self.store.append(&frame) {
+            self.poisoned = true;
+            return Err(WalError::Io {
+                op: "append",
+                offset: self.offset,
+                source,
+            });
+        }
+        self.offset += frame.len() as u64;
+        self.records += 1;
+        self.unflushed += 1;
+        let flush_now = match self.policy {
+            FlushPolicy::PerRecord => true,
+            FlushPolicy::PerBatch(n) => self.unflushed >= n,
+            FlushPolicy::PerEpoch => matches!(record, WalRecord::EpochClose),
+        };
+        if flush_now {
+            self.sync()?;
+        }
+        Ok(())
+    }
+
+    /// Forces a durability barrier regardless of policy.
+    pub fn sync(&mut self) -> Result<(), WalError> {
+        if self.poisoned {
+            return Err(WalError::Poisoned);
+        }
+        if let Err(source) = self.store.flush() {
+            self.poisoned = true;
+            return Err(WalError::Io {
+                op: "flush",
+                offset: self.offset,
+                source,
+            });
+        }
+        self.unflushed = 0;
+        Ok(())
+    }
+
+    /// Truncates the log back to a fresh header — the checkpoint just
+    /// superseded every record. Clears poisoning on success (the medium
+    /// demonstrably works again).
+    pub fn reset(&mut self) -> Result<(), WalError> {
+        self.write_header()
+    }
+
+    /// Records appended (or replayed) so far.
+    pub fn records(&self) -> u64 {
+        self.records
+    }
+
+    /// Current append offset in bytes.
+    pub fn offset(&self) -> u64 {
+        self.offset
+    }
+
+    /// The configured flush policy.
+    pub fn policy(&self) -> FlushPolicy {
+        self.policy
+    }
+
+    /// The log dimensionality.
+    pub fn dims(&self) -> usize {
+        self.dims
+    }
+
+    /// Whether an earlier failure poisoned the log.
+    pub fn poisoned(&self) -> bool {
+        self.poisoned
+    }
+
+    /// Surrenders the backing store (e.g. to read its surviving image).
+    pub fn into_store(self) -> Box<dyn BackingStore> {
+        self.store
+    }
+
+    /// Parses the durable image of `store`: every frame up to the first
+    /// missing, oversized, or checksum-failing one. Does **not** modify
+    /// the store; [`Wal::reopen`] truncates the torn tail.
+    pub fn replay(store: &mut dyn BackingStore) -> Result<WalReplay, WalError> {
+        let bytes = store.read_durable().map_err(|source| WalError::Io {
+            op: "read",
+            offset: 0,
+            source,
+        })?;
+        if bytes.is_empty() {
+            return Ok(WalReplay {
+                dims: None,
+                records: Vec::new(),
+                valid_len: 0,
+                torn: None,
+            });
+        }
+        if bytes.len() < WAL_HEADER_LEN as usize {
+            // Even the header tore: nothing survives.
+            return Ok(WalReplay {
+                dims: None,
+                records: Vec::new(),
+                valid_len: 0,
+                torn: Some(TornTail {
+                    offset: 0,
+                    record: 0,
+                    dropped_bytes: bytes.len() as u64,
+                }),
+            });
+        }
+        if &bytes[..4] != WAL_MAGIC {
+            return Err(WalError::Corrupt {
+                offset: 0,
+                record: 0,
+                reason: "bad magic".into(),
+            });
+        }
+        let version = u32::from_le_bytes(bytes[4..8].try_into().unwrap());
+        if version != WAL_VERSION {
+            return Err(WalError::UnsupportedVersion(version));
+        }
+        let dims = u32::from_le_bytes(bytes[8..12].try_into().unwrap()) as usize;
+        if dims == 0 {
+            return Err(WalError::Corrupt {
+                offset: 8,
+                record: 0,
+                reason: "zero dimensions".into(),
+            });
+        }
+        let mut records = Vec::new();
+        let mut pos = WAL_HEADER_LEN as usize;
+        let torn = loop {
+            if pos == bytes.len() {
+                break None;
+            }
+            let frame_start = pos;
+            let Some(header) = bytes.get(pos..pos + 8) else {
+                break Some(frame_start);
+            };
+            let len = u32::from_le_bytes(header[..4].try_into().unwrap());
+            let crc = u32::from_le_bytes(header[4..8].try_into().unwrap());
+            if len > MAX_FRAME {
+                break Some(frame_start);
+            }
+            let Some(payload) = bytes.get(pos + 8..pos + 8 + len as usize) else {
+                break Some(frame_start);
+            };
+            if crc32(payload) != crc {
+                break Some(frame_start);
+            }
+            let Some(record) = WalRecord::decode(payload) else {
+                break Some(frame_start);
+            };
+            records.push(record);
+            pos = frame_start + 8 + len as usize;
+        };
+        let valid_len = torn.unwrap_or(pos) as u64;
+        Ok(WalReplay {
+            dims: Some(dims),
+            valid_len,
+            torn: torn.map(|offset| TornTail {
+                offset: offset as u64,
+                record: records.len() as u64,
+                dropped_bytes: (bytes.len() - offset) as u64,
+            }),
+            records,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_records() -> Vec<WalRecord> {
+        vec![
+            WalRecord::Insert {
+                id: 7,
+                coords: vec![0.0, 1.0, 0.25, 0.75],
+            },
+            WalRecord::Remove { id: 7 },
+            WalRecord::Update {
+                id: 9,
+                coords: vec![0.5, 0.5, 0.5, 0.5],
+            },
+            WalRecord::Merge {
+                signature: vec![1, 2, 3, 4],
+            },
+            WalRecord::Materialize {
+                signature: vec![],
+                candidate: 11,
+            },
+            WalRecord::EpochClose,
+        ]
+    }
+
+    #[test]
+    fn record_encode_decode_roundtrip() {
+        for rec in sample_records() {
+            let payload = rec.encode();
+            assert_eq!(WalRecord::decode(&payload), Some(rec.clone()), "{rec:?}");
+            // Any strict prefix must fail to decode (or decode to a
+            // different record is impossible because trailing bytes are
+            // rejected).
+            for cut in 0..payload.len() {
+                assert_ne!(WalRecord::decode(&payload[..cut]), Some(rec.clone()));
+            }
+        }
+        assert_eq!(WalRecord::decode(&[99]), None, "unknown tag");
+        assert_eq!(WalRecord::decode(&[]), None, "empty payload");
+    }
+
+    #[test]
+    fn append_replay_roundtrip() {
+        let mut wal = Wal::create(Box::new(MemBacking::new()), FlushPolicy::PerRecord, 2).unwrap();
+        for rec in sample_records() {
+            wal.append(&rec).unwrap();
+        }
+        assert_eq!(wal.records(), 6);
+        let mut store = wal.into_store();
+        let replay = Wal::replay(store.as_mut()).unwrap();
+        assert_eq!(replay.dims, Some(2));
+        assert_eq!(replay.records, sample_records());
+        assert!(replay.torn.is_none());
+    }
+
+    #[test]
+    fn flush_policies_control_barrier_frequency() {
+        let count = |policy: FlushPolicy| {
+            let mut wal = Wal::create(Box::new(MemBacking::new()), policy, 2).unwrap();
+            for _ in 0..2 {
+                for rec in sample_records() {
+                    wal.append(&rec).unwrap();
+                }
+            }
+            let store = wal.into_store();
+            store
+                .as_any()
+                .downcast_ref::<MemBacking>()
+                .unwrap()
+                .flushes()
+        };
+        // Header flush (1) plus: 12 per-record flushes / one per
+        // 5-record batch (12 records → 2 full batches) / one per
+        // epoch-close marker (2).
+        assert_eq!(count(FlushPolicy::PerRecord), 1 + 12);
+        assert_eq!(count(FlushPolicy::PerBatch(5)), 1 + 2);
+        assert_eq!(count(FlushPolicy::PerEpoch), 1 + 2);
+    }
+
+    #[test]
+    fn torn_tail_is_detected_and_reported() {
+        let mut wal = Wal::create(Box::new(MemBacking::new()), FlushPolicy::PerRecord, 3).unwrap();
+        let recs = sample_records();
+        for rec in &recs {
+            wal.append(rec).unwrap();
+        }
+        let mut store = wal.into_store();
+        let full = store.read_durable().unwrap();
+
+        // Cut the image at every byte position: replay must never fail,
+        // and must return a record-prefix of the full stream.
+        for cut in 0..full.len() {
+            let mut medium = MemBacking::from_bytes(full[..cut].to_vec());
+            let replay = Wal::replay(&mut medium).unwrap();
+            assert!(replay.records.len() <= recs.len());
+            assert_eq!(replay.records[..], recs[..replay.records.len()]);
+            assert!(replay.valid_len <= cut as u64);
+            if replay.valid_len < cut as u64 {
+                let torn = replay.torn.expect("tail past valid_len must be reported");
+                assert_eq!(torn.offset, replay.valid_len);
+                assert_eq!(torn.dropped_bytes, cut as u64 - replay.valid_len);
+                assert_eq!(torn.record, replay.records.len() as u64);
+            }
+        }
+    }
+
+    #[test]
+    fn mid_log_corruption_truncates_at_first_bad_checksum() {
+        let mut wal = Wal::create(Box::new(MemBacking::new()), FlushPolicy::PerRecord, 3).unwrap();
+        for rec in sample_records() {
+            wal.append(&rec).unwrap();
+        }
+        let mut store = wal.into_store();
+        let mut bytes = store.read_durable().unwrap();
+        // Flip one payload byte of the second frame.
+        let first_len = u32::from_le_bytes(bytes[12..16].try_into().unwrap()) as usize;
+        let second_payload = 12 + 8 + first_len + 8;
+        bytes[second_payload] ^= 0x40;
+        let mut medium = MemBacking::from_bytes(bytes);
+        let replay = Wal::replay(&mut medium).unwrap();
+        assert_eq!(replay.records, sample_records()[..1].to_vec());
+        let torn = replay.torn.unwrap();
+        assert_eq!(torn.record, 1);
+        assert_eq!(torn.offset, (12 + 8 + first_len) as u64);
+    }
+
+    #[test]
+    fn reopen_truncates_tail_and_continues() {
+        let mut wal = Wal::create(Box::new(MemBacking::new()), FlushPolicy::PerRecord, 2).unwrap();
+        for rec in sample_records() {
+            wal.append(&rec).unwrap();
+        }
+        let mut store = wal.into_store();
+        let mut bytes = store.read_durable().unwrap();
+        bytes.truncate(bytes.len() - 3); // tear the last frame
+
+        let (mut wal, replay) = Wal::reopen(
+            Box::new(MemBacking::from_bytes(bytes)),
+            FlushPolicy::PerRecord,
+            2,
+        )
+        .unwrap();
+        assert_eq!(replay.records.len(), sample_records().len() - 1);
+        assert!(replay.torn.is_some());
+        // The tail is repaired: appending and replaying again is clean.
+        wal.append(&WalRecord::Remove { id: 1 }).unwrap();
+        let mut store = wal.into_store();
+        let replay = Wal::replay(store.as_mut()).unwrap();
+        assert!(replay.torn.is_none());
+        assert_eq!(replay.records.last(), Some(&WalRecord::Remove { id: 1 }));
+    }
+
+    #[test]
+    fn reopen_rejects_dimension_mismatch_and_bad_magic() {
+        let wal = Wal::create(Box::new(MemBacking::new()), FlushPolicy::PerRecord, 2).unwrap();
+        let mut store = wal.into_store();
+        let bytes = store.read_durable().unwrap();
+        assert!(matches!(
+            Wal::reopen(
+                Box::new(MemBacking::from_bytes(bytes)),
+                FlushPolicy::PerRecord,
+                5
+            ),
+            Err(WalError::DimensionMismatch {
+                expected: 5,
+                actual: 2
+            })
+        ));
+        assert!(matches!(
+            Wal::replay(&mut MemBacking::from_bytes(b"NOTAWAL......".to_vec())),
+            Err(WalError::Corrupt { .. })
+        ));
+        let mut versioned = Vec::new();
+        versioned.extend_from_slice(WAL_MAGIC);
+        versioned.extend_from_slice(&9u32.to_le_bytes());
+        versioned.extend_from_slice(&2u32.to_le_bytes());
+        assert!(matches!(
+            Wal::replay(&mut MemBacking::from_bytes(versioned)),
+            Err(WalError::UnsupportedVersion(9))
+        ));
+    }
+
+    #[test]
+    fn fault_injector_is_deterministic() {
+        for seed in 0..32u64 {
+            let plan = FaultPlan::seeded(seed);
+            assert_eq!(plan, FaultPlan::seeded(seed), "seed {seed}");
+            let drive = |plan: FaultPlan| {
+                let mut wal = match Wal::create(
+                    Box::new(FaultInjector::new(plan)),
+                    FlushPolicy::PerBatch(3),
+                    2,
+                ) {
+                    Ok(w) => w,
+                    Err(_) => return Vec::new(),
+                };
+                for rec in sample_records().iter().cycle().take(40) {
+                    if wal.append(rec).is_err() {
+                        break;
+                    }
+                }
+                let mut store = wal.into_store();
+                store.read_durable().unwrap_or_default()
+            };
+            assert_eq!(
+                drive(FaultPlan::seeded(seed)),
+                drive(FaultPlan::seeded(seed))
+            );
+        }
+    }
+
+    #[test]
+    fn crash_loses_exactly_the_unflushed_suffix() {
+        let plan = FaultPlan::crash_after_appends(5);
+        let mut wal = Wal::create(
+            Box::new(FaultInjector::new(plan)),
+            FlushPolicy::PerBatch(2),
+            2,
+        )
+        .unwrap();
+        // Header append is ordinal 1; four record appends succeed and
+        // the fifth (ordinal 6) crashes the medium.
+        let mut appended = 0;
+        let err = loop {
+            match wal.append(&WalRecord::Remove { id: appended }) {
+                Ok(()) => appended += 1,
+                Err(e) => break e,
+            }
+        };
+        assert!(matches!(err, WalError::Io { op: "append", .. }));
+        assert_eq!(appended, 4);
+        assert!(wal.poisoned());
+        assert!(matches!(
+            wal.append(&WalRecord::EpochClose),
+            Err(WalError::Poisoned)
+        ));
+
+        let mut store = wal.into_store();
+        let replay = Wal::replay(store.as_mut()).unwrap();
+        // PerBatch(2): records 1–2 and 3–4 flushed; the crash drops
+        // nothing because all four appended records hit a barrier.
+        assert_eq!(replay.records.len(), 4);
+        assert!(replay.torn.is_none());
+    }
+
+    #[test]
+    fn flush_failure_loses_staged_bytes() {
+        let plan = FaultPlan::flush_fail_at(2); // header flush is #1
+        let mut wal = Wal::create(
+            Box::new(FaultInjector::new(plan)),
+            FlushPolicy::PerBatch(3),
+            2,
+        )
+        .unwrap();
+        wal.append(&WalRecord::Remove { id: 1 }).unwrap();
+        wal.append(&WalRecord::Remove { id: 2 }).unwrap();
+        let err = wal.append(&WalRecord::Remove { id: 3 }).unwrap_err();
+        assert!(matches!(err, WalError::Io { op: "flush", .. }));
+        assert_eq!(err.io_kind(), Some(io::ErrorKind::Other));
+        let mut store = wal.into_store();
+        let replay = Wal::replay(store.as_mut()).unwrap();
+        assert!(
+            replay.records.is_empty(),
+            "staged records were lost with the flush"
+        );
+    }
+
+    #[test]
+    fn enospc_fails_append_without_crashing_the_medium() {
+        let plan = FaultPlan::enospc_at(2);
+        let mut wal = Wal::create(
+            Box::new(FaultInjector::new(plan)),
+            FlushPolicy::PerRecord,
+            2,
+        )
+        .unwrap();
+        let err = wal.append(&WalRecord::Remove { id: 1 }).unwrap_err();
+        assert_eq!(err.io_kind(), Some(io::ErrorKind::StorageFull));
+        // Poisoned from the caller's perspective, but the durable image
+        // is intact: replay sees a clean, empty log.
+        let mut store = wal.into_store();
+        let replay = Wal::replay(store.as_mut()).unwrap();
+        assert!(replay.records.is_empty());
+        assert!(replay.torn.is_none());
+    }
+
+    #[test]
+    fn torn_write_leaves_partial_frame_for_replay_to_truncate() {
+        // Header is append #1; the first record append (#2) tears after
+        // 5 bytes of its frame.
+        let plan = FaultPlan::torn_write_at(2, 5);
+        let mut wal = Wal::create(
+            Box::new(FaultInjector::new(plan)),
+            FlushPolicy::PerRecord,
+            2,
+        )
+        .unwrap();
+        let err = wal.append(&WalRecord::EpochClose).unwrap_err();
+        assert!(matches!(err, WalError::Io { op: "append", .. }));
+        let mut store = wal.into_store();
+        let replay = Wal::replay(store.as_mut()).unwrap();
+        assert!(replay.records.is_empty());
+        let torn = replay.torn.unwrap();
+        assert_eq!(torn.offset, WAL_HEADER_LEN);
+        assert_eq!(torn.dropped_bytes, 5);
+    }
+
+    #[test]
+    fn short_read_shrinks_the_recovered_prefix() {
+        let mut wal = Wal::create(
+            Box::new(FaultInjector::new(FaultPlan::none().with_short_read(3))),
+            FlushPolicy::PerRecord,
+            2,
+        )
+        .unwrap();
+        for rec in sample_records() {
+            wal.append(&rec).unwrap();
+        }
+        let mut store = wal.into_store();
+        let replay = Wal::replay(store.as_mut()).unwrap();
+        assert_eq!(replay.records.len(), sample_records().len() - 1);
+        assert!(replay.torn.is_some());
+    }
+
+    #[test]
+    fn flush_policy_parses_strictly() {
+        assert_eq!(
+            "record".parse::<FlushPolicy>().unwrap(),
+            FlushPolicy::PerRecord
+        );
+        assert_eq!(
+            "epoch".parse::<FlushPolicy>().unwrap(),
+            FlushPolicy::PerEpoch
+        );
+        assert_eq!(
+            "batch".parse::<FlushPolicy>().unwrap(),
+            FlushPolicy::PerBatch(64)
+        );
+        assert_eq!(
+            "batch:7".parse::<FlushPolicy>().unwrap(),
+            FlushPolicy::PerBatch(7)
+        );
+        assert!("batch:0".parse::<FlushPolicy>().is_err());
+        assert!("batch:x".parse::<FlushPolicy>().is_err());
+        assert!("sometimes".parse::<FlushPolicy>().is_err());
+        for policy in [
+            FlushPolicy::PerRecord,
+            FlushPolicy::PerBatch(7),
+            FlushPolicy::PerEpoch,
+        ] {
+            assert_eq!(policy.to_string().parse::<FlushPolicy>().unwrap(), policy);
+        }
+    }
+
+    #[test]
+    fn wal_error_paths_carry_fault_context() {
+        let io_err = WalError::Io {
+            op: "append",
+            offset: 42,
+            source: io::Error::new(io::ErrorKind::StorageFull, "full"),
+        };
+        assert!(io_err.to_string().contains("append"));
+        assert!(io_err.to_string().contains("42"));
+        assert_eq!(io_err.io_kind(), Some(io::ErrorKind::StorageFull));
+        assert!(std::error::Error::source(&io_err).is_some());
+
+        let corrupt = WalError::Corrupt {
+            offset: 12,
+            record: 3,
+            reason: "bad".into(),
+        };
+        assert!(corrupt.to_string().contains("record 3"));
+        assert!(corrupt.io_kind().is_none());
+
+        let from: WalError = io::Error::new(io::ErrorKind::NotFound, "gone").into();
+        assert_eq!(from.io_kind(), Some(io::ErrorKind::NotFound));
+
+        for e in [
+            WalError::UnsupportedVersion(9),
+            WalError::DimensionMismatch {
+                expected: 2,
+                actual: 3,
+            },
+            WalError::Poisoned,
+        ] {
+            assert!(!e.to_string().is_empty());
+            assert!(std::error::Error::source(&e).is_none());
+        }
+    }
+
+    #[test]
+    fn file_backing_roundtrip_and_reopen() {
+        let mut path = std::env::temp_dir();
+        path.push(format!(
+            "acx-wal-{}-{}",
+            std::process::id(),
+            std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .unwrap()
+                .as_nanos()
+        ));
+        let mut wal = Wal::create(
+            Box::new(FileBacking::create(&path).unwrap()),
+            FlushPolicy::PerRecord,
+            2,
+        )
+        .unwrap();
+        for rec in sample_records() {
+            wal.append(&rec).unwrap();
+        }
+        drop(wal); // "crash": reopen from the file alone
+        let (_, replay) = Wal::reopen(
+            Box::new(FileBacking::open(&path).unwrap()),
+            FlushPolicy::PerRecord,
+            2,
+        )
+        .unwrap();
+        assert_eq!(replay.records, sample_records());
+        assert!(replay.torn.is_none());
+        std::fs::remove_file(&path).unwrap();
+    }
+}
