@@ -281,6 +281,13 @@ pub struct AdaptiveClusterIndex {
     pass_cooldown_blocked: u64,
     /// Cumulative thrash cycles across all passes.
     total_thrash: u64,
+    /// Id of the last completed checkpoint (0 = never checkpointed).
+    /// Persisted in the checkpoint META record and stamped into the
+    /// WAL header at reset time, so recovery can tell a live log
+    /// suffix from a log whose records the checkpoint it loads already
+    /// absorbed (the crash window between checkpoint save and WAL
+    /// truncation).
+    checkpoint_id: u64,
     /// The attached write-ahead log, when durability is enabled. Every
     /// structural mutation is appended (and, per the flush policy, made
     /// durable) *before* it is applied in memory.
@@ -410,6 +417,7 @@ impl AdaptiveClusterIndex {
             pass_thrash: 0,
             pass_cooldown_blocked: 0,
             total_thrash: 0,
+            checkpoint_id: 0,
             wal: None,
             wal_failure: None,
             reorg_fault_hook: None,
@@ -2306,6 +2314,7 @@ impl AdaptiveClusterIndex {
             .collect();
         recent_merges.sort();
         CheckpointMeta {
+            checkpoint_id: self.checkpoint_id,
             total_queries: self.total_queries,
             queries_since_reorg: self.queries_since_reorg,
             structure_epoch: self.structure_epoch,
@@ -2534,6 +2543,7 @@ impl AdaptiveClusterIndex {
             pass_thrash: 0,
             pass_cooldown_blocked: 0,
             total_thrash: 0,
+            checkpoint_id: 0,
             wal: None,
             wal_failure: None,
             reorg_fault_hook: None,
@@ -2555,6 +2565,7 @@ impl AdaptiveClusterIndex {
             index.hist_verified_bytes = meta.hist_verified_bytes;
             index.hist_full_bytes = meta.hist_full_bytes;
             index.recent_merges = meta.recent_merges.into_iter().collect();
+            index.checkpoint_id = meta.checkpoint_id;
         }
         Ok(index)
     }
@@ -2563,12 +2574,24 @@ impl AdaptiveClusterIndex {
     /// on is appended to `wal` — and made durable per its flush policy
     /// — before being applied in memory. The log's dimensionality must
     /// match the index's.
-    pub fn attach_wal(&mut self, wal: Wal) -> Result<(), IndexError> {
+    ///
+    /// The log is aligned to the index's checkpoint generation: if its
+    /// header carries a different checkpoint id (e.g. a fresh log
+    /// attached to an index loaded from a checkpoint), it is reset and
+    /// restamped so a later [`recover`] pairs it with the right
+    /// checkpoint. To continue an existing log *with* its records, go
+    /// through [`recover`] instead.
+    ///
+    /// [`recover`]: AdaptiveClusterIndex::recover
+    pub fn attach_wal(&mut self, mut wal: Wal) -> Result<(), IndexError> {
         if wal.dims() != self.config.dims {
             return Err(IndexError::DimensionMismatch {
                 expected: self.config.dims,
                 actual: wal.dims(),
             });
+        }
+        if wal.checkpoint_id() != self.checkpoint_id {
+            wal.reset_to(self.checkpoint_id).map_err(IndexError::Wal)?;
         }
         self.wal = Some(wal);
         Ok(())
@@ -2646,10 +2669,27 @@ impl AdaptiveClusterIndex {
     /// Writes a checkpoint to `path` and, on success, truncates the
     /// attached WAL: the checkpoint now carries everything the log
     /// recorded, so recovery needs only the records appended after it.
+    ///
+    /// The two steps are coupled by a checkpoint id: the saved META
+    /// record and the truncated log's header both carry the new id. A
+    /// crash *between* them leaves the new checkpoint next to a log
+    /// still stamped with the previous id — recovery detects the stale
+    /// stamp and discards those records instead of double-applying
+    /// history the checkpoint already absorbed. ([`save`] is durable
+    /// before it returns: data fsync, rename, directory fsync.)
+    ///
+    /// [`save`]: AdaptiveClusterIndex::save
     pub fn checkpoint(&mut self, path: &Path) -> Result<(), IndexError> {
-        self.save(path)?;
+        let id = self.checkpoint_id + 1;
+        // The META record encodes `self.checkpoint_id`: bump before the
+        // save, roll back if it fails so a retry reuses the id.
+        self.checkpoint_id = id;
+        if let Err(e) = self.save(path) {
+            self.checkpoint_id = id - 1;
+            return Err(e);
+        }
         if let Some(wal) = self.wal.as_mut() {
-            wal.reset().map_err(IndexError::Wal)?;
+            wal.reset_to(id).map_err(IndexError::Wal)?;
         }
         Ok(())
     }
@@ -2660,6 +2700,16 @@ impl AdaptiveClusterIndex {
     /// tail at the first bad checksum — validates the result via
     /// [`AdaptiveClusterIndex::check_invariants`], and re-attaches the
     /// repaired log under `policy` so logging continues seamlessly.
+    ///
+    /// The log's header stamp is matched against the checkpoint's id.
+    /// A log stamped with an *older* checkpoint id is a crash caught
+    /// between a checkpoint save and its WAL truncation: every one of
+    /// its records is already absorbed by the checkpoint, so they are
+    /// discarded (reported via
+    /// [`RecoveryReport::superseded_records`]) and the log is reset to
+    /// the checkpoint's generation. A log stamped *newer* than the
+    /// checkpoint means the checkpoint that truncated it is missing —
+    /// mutations would be silently lost, so recovery refuses.
     ///
     /// Replay drives the same public mutation paths a live index runs,
     /// so the recovered index is decision- and answer-identical to one
@@ -2674,9 +2724,30 @@ impl AdaptiveClusterIndex {
             Some(path) => Self::load(path, config)?,
             None => Self::new(config)?,
         };
-        let (wal, replay) = Wal::reopen(store, policy, index.config.dims)?;
+        let (mut wal, replay) = Wal::reopen(store, policy, index.config.dims)?;
+        if wal.checkpoint_id() > index.checkpoint_id {
+            return Err(IndexError::Recovery {
+                record: 0,
+                detail: format!(
+                    "wal is stamped with checkpoint {} but the loaded checkpoint is {}: \
+                     the checkpoint that truncated this log is missing or stale",
+                    wal.checkpoint_id(),
+                    index.checkpoint_id
+                ),
+            });
+        }
+        // A stale stamp: the checkpoint was saved but the crash hit
+        // before the log was truncated. Its records are history the
+        // checkpoint already contains — replaying them would
+        // double-apply structure and duplicate inserts.
+        let stale = wal.checkpoint_id() < index.checkpoint_id;
+        let (records, superseded, torn) = if stale {
+            (&[] as &[WalRecord], replay.records.len() as u64, None)
+        } else {
+            (&replay.records[..], 0, replay.torn)
+        };
         let mut epoch_changed = false;
-        for (i, record) in replay.records.iter().enumerate() {
+        for (i, record) in records.iter().enumerate() {
             index
                 .apply_wal_record(record, &mut epoch_changed)
                 .map_err(|detail| IndexError::Recovery {
@@ -2687,12 +2758,17 @@ impl AdaptiveClusterIndex {
         index
             .check_invariants()
             .map_err(|detail| IndexError::Recovery {
-                record: replay.records.len() as u64,
+                record: records.len() as u64,
                 detail,
             })?;
+        if stale {
+            wal.reset_to(index.checkpoint_id)
+                .map_err(IndexError::Wal)?;
+        }
         let report = RecoveryReport {
-            replayed_records: replay.records.len() as u64,
-            torn_tail: replay.torn,
+            replayed_records: records.len() as u64,
+            superseded_records: superseded,
+            torn_tail: torn,
             clusters: index.cluster_count(),
             objects: index.len(),
         };
@@ -2924,6 +3000,9 @@ struct ClusterMeta {
 /// memory. Everything else (candidate `n` counters, scan caches, dirty
 /// flags, scratch) is recomputed or safely dropped on load.
 struct CheckpointMeta {
+    /// Id of the checkpoint this META record belongs to; matched
+    /// against the WAL header's stamp during recovery.
+    checkpoint_id: u64,
     total_queries: u64,
     queries_since_reorg: u64,
     structure_epoch: u64,
@@ -2984,6 +3063,7 @@ impl CheckpointMeta {
         let mut out = Vec::new();
         out.extend_from_slice(META_MAGIC);
         for v in [
+            self.checkpoint_id,
             self.total_queries,
             self.queries_since_reorg,
             self.structure_epoch,
@@ -3034,6 +3114,7 @@ impl CheckpointMeta {
         if cur.take(META_MAGIC.len())? != META_MAGIC {
             return Err("checkpoint metadata magic mismatch".into());
         }
+        let checkpoint_id = cur.u64()?;
         let total_queries = cur.u64()?;
         let queries_since_reorg = cur.u64()?;
         let structure_epoch = cur.u64()?;
@@ -3097,6 +3178,7 @@ impl CheckpointMeta {
             ));
         }
         Ok(Self {
+            checkpoint_id,
             total_queries,
             queries_since_reorg,
             structure_epoch,

@@ -98,6 +98,11 @@ pub struct ClusterSnapshot {
 pub struct RecoveryReport {
     /// WAL records replayed on top of the checkpoint.
     pub replayed_records: u64,
+    /// Records discarded because the loaded checkpoint already absorbed
+    /// them: the crash hit between a checkpoint save and its WAL
+    /// truncation, leaving the log stamped with the previous
+    /// checkpoint id.
+    pub superseded_records: u64,
     /// The torn tail truncated from the log, if the crash left one.
     pub torn_tail: Option<acx_storage::TornTail>,
     /// Materialized clusters after recovery.

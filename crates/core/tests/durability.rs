@@ -513,6 +513,115 @@ fn wal_failure_inside_a_pass_degrades_gracefully() {
 }
 
 // ---------------------------------------------------------------------
+// Checkpoint / WAL coupling
+// ---------------------------------------------------------------------
+
+#[test]
+fn crash_between_checkpoint_save_and_wal_reset_does_not_double_apply() {
+    // The crash window checkpoint() must survive: the checkpoint file
+    // is durably on disk, but the crash hit before the WAL was
+    // truncated, so the log still holds every record the checkpoint
+    // already absorbed. Recovery must discard those records via the
+    // checkpoint-id stamp instead of replaying duplicates.
+    let path = temp_path("ckpt-window");
+    let mut index = AdaptiveClusterIndex::new(config_2d()).unwrap();
+    index
+        .attach_wal(mem_wal(2, FlushPolicy::PerRecord))
+        .unwrap();
+    let (applied, err) = insert_until_failure(&mut index, 30);
+    assert!(err.is_none());
+    // The log image the instant before checkpoint() would truncate it:
+    // stamped with checkpoint id 0, holding every mutation.
+    let pre_checkpoint_log = wal_bytes(&mut index);
+    let logged = {
+        let mut probe = MemBacking::from_bytes(pre_checkpoint_log.clone());
+        Wal::replay(&mut probe).unwrap().records.len() as u64
+    };
+    assert!(logged >= u64::from(applied));
+    index
+        .attach_wal(mem_wal(2, FlushPolicy::PerRecord))
+        .unwrap();
+    index.checkpoint(&path).unwrap(); // checkpoint id 1 on disk
+
+    let result = AdaptiveClusterIndex::recover(
+        Some(&path),
+        Box::new(MemBacking::from_bytes(pre_checkpoint_log)),
+        FlushPolicy::PerRecord,
+        config_2d(),
+    );
+    std::fs::remove_file(&path).unwrap();
+    let (recovered, report) = result.unwrap();
+    assert_eq!(report.replayed_records, 0);
+    assert_eq!(report.superseded_records, logged);
+    assert_eq!(recovered.len(), applied as usize);
+    recovered.check_invariants().unwrap();
+    assert_eq!(recovered.snapshots(), index.snapshots());
+    // The re-attached log was realigned: a later crash-recovery pairs
+    // it with checkpoint generation 1, not 0.
+    let mut recovered = recovered;
+    let mut store = recovered.detach_wal().unwrap().into_store();
+    let replay = Wal::replay(store.as_mut()).unwrap();
+    assert_eq!(replay.checkpoint_id, Some(1));
+    assert!(replay.records.is_empty());
+}
+
+#[test]
+fn recovery_refuses_a_log_newer_than_its_checkpoint() {
+    // A log already truncated by checkpoint 1, recovered without that
+    // checkpoint: the records the log no longer holds would be silently
+    // lost, so recovery must refuse instead of returning a hole.
+    let path = temp_path("ckpt-future");
+    let mut index = AdaptiveClusterIndex::new(config_2d()).unwrap();
+    index
+        .attach_wal(mem_wal(2, FlushPolicy::PerRecord))
+        .unwrap();
+    let (_, err) = insert_until_failure(&mut index, 10);
+    assert!(err.is_none());
+    index.checkpoint(&path).unwrap();
+    std::fs::remove_file(&path).unwrap();
+    let bytes = wal_bytes(&mut index); // stamped with checkpoint id 1
+    let err = match AdaptiveClusterIndex::recover(
+        None,
+        Box::new(MemBacking::from_bytes(bytes)),
+        FlushPolicy::PerRecord,
+        config_2d(),
+    ) {
+        Ok(_) => panic!("recovery accepted a log newer than its checkpoint"),
+        Err(e) => e,
+    };
+    assert!(matches!(err, IndexError::Recovery { .. }), "got {err:?}");
+    assert!(err.to_string().contains("missing or stale"), "{err}");
+}
+
+#[test]
+fn checkpoint_ids_are_monotone_across_recoveries() {
+    let path = temp_path("ckpt-monotone");
+    let mut index = AdaptiveClusterIndex::new(config_2d()).unwrap();
+    index
+        .attach_wal(mem_wal(2, FlushPolicy::PerRecord))
+        .unwrap();
+    let (_, err) = insert_until_failure(&mut index, 8);
+    assert!(err.is_none());
+    index.checkpoint(&path).unwrap();
+    index.checkpoint(&path).unwrap(); // id 2
+    let bytes = wal_bytes(&mut index);
+    let (mut recovered, report) = AdaptiveClusterIndex::recover(
+        Some(&path),
+        Box::new(MemBacking::from_bytes(bytes)),
+        FlushPolicy::PerRecord,
+        config_2d(),
+    )
+    .unwrap();
+    assert_eq!(report.superseded_records, 0);
+    // The next checkpoint continues the sequence the crash interrupted.
+    recovered.checkpoint(&path).unwrap();
+    let mut store = recovered.detach_wal().unwrap().into_store();
+    let replay = Wal::replay(store.as_mut()).unwrap();
+    std::fs::remove_file(&path).unwrap();
+    assert_eq!(replay.checkpoint_id, Some(3));
+}
+
+// ---------------------------------------------------------------------
 // Plumbing edges
 // ---------------------------------------------------------------------
 

@@ -26,7 +26,7 @@
 //! with the same damage report, so recovery can rebuild from every
 //! cluster that survived.
 
-use std::io;
+use std::io::{self, Write};
 use std::path::Path;
 
 use acx_geom::Scalar;
@@ -131,9 +131,14 @@ pub struct SalvagedStore {
 pub struct FileStore;
 
 impl FileStore {
-    /// Writes all cluster records to `path`, atomically replacing any
-    /// previous content (write to temp file + rename). Each record's
-    /// raw bytes are checksummed into the directory.
+    /// Writes all cluster records to `path`, atomically and durably
+    /// replacing any previous content: the temp file is written and
+    /// `fsync`ed before the rename, and the parent directory is
+    /// `fsync`ed after it, so a power loss leaves either the old or the
+    /// new file — never a torn one, and never a rename that evaporates
+    /// with the directory cache. Callers may truncate a WAL the moment
+    /// `save` returns. Each record's raw bytes are checksummed into the
+    /// directory.
     pub fn save(path: &Path, dims: usize, clusters: &[ClusterRecord]) -> Result<(), StoreError> {
         for (i, c) in clusters.iter().enumerate() {
             if c.coords.len() != c.ids.len() * 2 * dims {
@@ -163,8 +168,22 @@ impl FileStore {
             out.extend_from_slice(rec);
         }
         let tmp = path.with_extension("tmp");
-        std::fs::write(&tmp, &out)?;
+        {
+            let mut file = std::fs::File::create(&tmp)?;
+            file.write_all(&out)?;
+            // The data must be durable *before* the rename makes it
+            // reachable: rename-then-sync can expose a torn file.
+            file.sync_all()?;
+        }
         std::fs::rename(&tmp, path)?;
+        // The rename itself lives in the directory; without this sync a
+        // crash can roll the directory back to the old entry (or to the
+        // tmp name) even though the data blocks were flushed.
+        let dir = match path.parent() {
+            Some(p) if !p.as_os_str().is_empty() => p,
+            _ => Path::new("."),
+        };
+        std::fs::File::open(dir)?.sync_all()?;
         Ok(())
     }
 
@@ -280,7 +299,15 @@ fn check_record(
     }
     let signature = raw[4..4 + sig_len].to_vec();
     let n = read_u32(raw, 4 + sig_len) as usize;
-    let expected = 4 + sig_len + 4 + n * 4 + n * 8 * dims;
+    // Checked arithmetic: `n` and `dims` come from the file, and in a
+    // release build `n * 8 * dims` can wrap to match `raw.len()` on a
+    // crafted record, driving huge allocations below. Overflow means
+    // the declared sizes cannot describe this record — reject it.
+    let expected = n
+        .checked_mul(4)
+        .and_then(|ids| Some((ids, n.checked_mul(8)?.checked_mul(dims)?)))
+        .and_then(|(ids, coords)| (4 + sig_len + 4).checked_add(ids)?.checked_add(coords))
+        .ok_or_else(|| format!("record length overflows ({n} members, {dims} dims)"))?;
     if expected != raw.len() {
         return Err(format!("directory len {len} != record len {expected}"));
     }
@@ -468,6 +495,34 @@ mod tests {
             FileStore::load_salvage(&path),
             Err(StoreError::Corrupt(_))
         ));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn hostile_member_count_is_rejected_without_allocating() {
+        // A crafted record whose declared member count × dims overflows
+        // the expected-length arithmetic: the CRC is valid, so only the
+        // checked size computation stands between the file and a huge
+        // `Vec::with_capacity`. It must fail as a typed corrupt tail.
+        let path = temp_path("overflow");
+        let record: Vec<u8> = [0u32.to_le_bytes(), u32::MAX.to_le_bytes()].concat();
+        let mut data = Vec::new();
+        data.extend_from_slice(MAGIC);
+        data.extend_from_slice(&VERSION.to_le_bytes());
+        data.extend_from_slice(&0x4000_0000u32.to_le_bytes()); // dims
+        data.extend_from_slice(&1u32.to_le_bytes()); // one record
+        data.extend_from_slice(&((HEADER_LEN + DIR_ENTRY_LEN) as u64).to_le_bytes());
+        data.extend_from_slice(&(record.len() as u64).to_le_bytes());
+        data.extend_from_slice(&crc32(&record).to_le_bytes());
+        data.extend_from_slice(&record);
+        std::fs::write(&path, &data).unwrap();
+        match FileStore::load(&path) {
+            Err(StoreError::CorruptTail(tail)) => {
+                assert_eq!(tail.record, 0);
+                assert!(tail.reason.contains("overflow"), "{}", tail.reason);
+            }
+            other => panic!("expected CorruptTail, got {other:?}"),
+        }
         std::fs::remove_file(&path).unwrap();
     }
 

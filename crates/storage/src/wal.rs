@@ -1,8 +1,9 @@
 //! Write-ahead log of structural index mutations (ROADMAP direction 2:
 //! the step from "fast in-memory library" to "database").
 //!
-//! The log is append-only and self-describing: a 12-byte header
-//! (`magic "ACXW"`, `version u32`, `dims u32`) followed by frames
+//! The log is append-only and self-describing: a 20-byte header
+//! (`magic "ACXW"`, `version u32`, `dims u32`, `checkpoint_id u64`)
+//! followed by frames
 //!
 //! ```text
 //! [payload_len u32][crc32 u32][payload payload_len bytes]
@@ -31,6 +32,14 @@
 //! case. The [`FlushPolicy`] decides how often appended frames are made
 //! durable: per record, per batch of N records, or only at epoch-close
 //! markers.
+//!
+//! The header's **checkpoint id** couples the log to the checkpoint
+//! that last truncated it: [`Wal::reset_to`] stamps the id of the
+//! checkpoint whose save superseded the log's records. Recovery
+//! compares the stamp against the loaded checkpoint's id and discards
+//! a log whose records the checkpoint already absorbed — the crash
+//! window between "checkpoint written" and "log truncated" replays
+//! nothing instead of double-applying history.
 
 use std::fs::File;
 use std::io::{self, Read, Seek, SeekFrom, Write};
@@ -41,9 +50,10 @@ use acx_geom::Scalar;
 use crate::crc::crc32;
 
 const WAL_MAGIC: &[u8; 4] = b"ACXW";
-const WAL_VERSION: u32 = 1;
-/// Header bytes: magic + version + dims.
-pub const WAL_HEADER_LEN: u64 = 12;
+/// Version 2 added the checkpoint id to the header.
+const WAL_VERSION: u32 = 2;
+/// Header bytes: magic + version + dims + checkpoint id.
+pub const WAL_HEADER_LEN: u64 = 20;
 /// Frames longer than this are treated as torn garbage, not allocated.
 const MAX_FRAME: u32 = 1 << 24;
 
@@ -730,6 +740,9 @@ pub struct WalReplay {
     /// Dimensionality from the header; `None` when the log was empty
     /// (or its header itself was torn).
     pub dims: Option<usize>,
+    /// Id of the checkpoint that last truncated the log, from the
+    /// header; `None` exactly when `dims` is.
+    pub checkpoint_id: Option<u64>,
     /// Every record whose checksum verified, in append order.
     pub records: Vec<WalRecord>,
     /// Byte length of the valid prefix (header + whole frames).
@@ -758,6 +771,10 @@ pub struct Wal {
     store: Box<dyn BackingStore>,
     policy: FlushPolicy,
     dims: usize,
+    /// Id of the checkpoint that last truncated this log (0 = never
+    /// checkpointed); written into the header so recovery can tell a
+    /// live suffix from a log a checkpoint already superseded.
+    checkpoint_id: u64,
     offset: u64,
     records: u64,
     unflushed: u32,
@@ -776,6 +793,7 @@ impl Wal {
             store,
             policy,
             dims,
+            checkpoint_id: 0,
             offset: 0,
             records: 0,
             unflushed: 0,
@@ -818,6 +836,7 @@ impl Wal {
             store,
             policy,
             dims,
+            checkpoint_id: replay.checkpoint_id.unwrap_or(0),
             offset: replay.valid_len,
             records: replay.records.len() as u64,
             unflushed: 0,
@@ -839,6 +858,7 @@ impl Wal {
         header.extend_from_slice(WAL_MAGIC);
         header.extend_from_slice(&WAL_VERSION.to_le_bytes());
         header.extend_from_slice(&(self.dims as u32).to_le_bytes());
+        header.extend_from_slice(&self.checkpoint_id.to_le_bytes());
         self.store.append(&header).map_err(|source| WalError::Io {
             op: "append",
             offset: 0,
@@ -857,7 +877,8 @@ impl Wal {
     }
 
     /// Appends one record and flushes according to the policy
-    /// (epoch-close markers always flush under `PerEpoch`).
+    /// (epoch-close markers force a barrier under both `PerEpoch` and
+    /// `PerBatch`, so a closed epoch is never lost to a partial batch).
     pub fn append(&mut self, record: &WalRecord) -> Result<(), WalError> {
         if self.poisoned {
             return Err(WalError::Poisoned);
@@ -880,7 +901,9 @@ impl Wal {
         self.unflushed += 1;
         let flush_now = match self.policy {
             FlushPolicy::PerRecord => true,
-            FlushPolicy::PerBatch(n) => self.unflushed >= n,
+            FlushPolicy::PerBatch(n) => {
+                self.unflushed >= n || matches!(record, WalRecord::EpochClose)
+            }
             FlushPolicy::PerEpoch => matches!(record, WalRecord::EpochClose),
         };
         if flush_now {
@@ -906,11 +929,28 @@ impl Wal {
         Ok(())
     }
 
-    /// Truncates the log back to a fresh header — the checkpoint just
-    /// superseded every record. Clears poisoning on success (the medium
+    /// Truncates the log back to a fresh header, keeping the current
+    /// checkpoint id. Clears poisoning on success (the medium
     /// demonstrably works again).
     pub fn reset(&mut self) -> Result<(), WalError> {
         self.write_header()
+    }
+
+    /// Truncates the log back to a fresh header stamped with
+    /// `checkpoint_id` — the id of the checkpoint whose save just
+    /// superseded every record. Recovery compares this stamp against
+    /// the checkpoint it loads: a log stamped *older* than the
+    /// checkpoint is a crash caught between the checkpoint save and
+    /// this reset, and its records must not be replayed. Clears
+    /// poisoning on success.
+    pub fn reset_to(&mut self, checkpoint_id: u64) -> Result<(), WalError> {
+        self.checkpoint_id = checkpoint_id;
+        self.write_header()
+    }
+
+    /// Id of the checkpoint that last truncated this log (0 = none).
+    pub fn checkpoint_id(&self) -> u64 {
+        self.checkpoint_id
     }
 
     /// Records appended (or replayed) so far.
@@ -955,6 +995,7 @@ impl Wal {
         if bytes.is_empty() {
             return Ok(WalReplay {
                 dims: None,
+                checkpoint_id: None,
                 records: Vec::new(),
                 valid_len: 0,
                 torn: None,
@@ -964,6 +1005,7 @@ impl Wal {
             // Even the header tore: nothing survives.
             return Ok(WalReplay {
                 dims: None,
+                checkpoint_id: None,
                 records: Vec::new(),
                 valid_len: 0,
                 torn: Some(TornTail {
@@ -992,6 +1034,7 @@ impl Wal {
                 reason: "zero dimensions".into(),
             });
         }
+        let checkpoint_id = u64::from_le_bytes(bytes[12..20].try_into().unwrap());
         let mut records = Vec::new();
         let mut pos = WAL_HEADER_LEN as usize;
         let torn = loop {
@@ -1022,6 +1065,7 @@ impl Wal {
         let valid_len = torn.unwrap_or(pos) as u64;
         Ok(WalReplay {
             dims: Some(dims),
+            checkpoint_id: Some(checkpoint_id),
             valid_len,
             torn: torn.map(|offset| TornTail {
                 offset: offset as u64,
@@ -1105,11 +1149,12 @@ mod tests {
                 .unwrap()
                 .flushes()
         };
-        // Header flush (1) plus: 12 per-record flushes / one per
-        // 5-record batch (12 records → 2 full batches) / one per
-        // epoch-close marker (2).
+        // Header flush (1) plus: 12 per-record flushes / a barrier per
+        // full 5-record batch AND per epoch-close marker (records 5, 6,
+        // 11, 12 — the documented PerBatch contract includes the
+        // epoch-close barrier) / one per epoch-close marker (2).
         assert_eq!(count(FlushPolicy::PerRecord), 1 + 12);
-        assert_eq!(count(FlushPolicy::PerBatch(5)), 1 + 2);
+        assert_eq!(count(FlushPolicy::PerBatch(5)), 1 + 4);
         assert_eq!(count(FlushPolicy::PerEpoch), 1 + 2);
     }
 
@@ -1149,15 +1194,16 @@ mod tests {
         let mut store = wal.into_store();
         let mut bytes = store.read_durable().unwrap();
         // Flip one payload byte of the second frame.
-        let first_len = u32::from_le_bytes(bytes[12..16].try_into().unwrap()) as usize;
-        let second_payload = 12 + 8 + first_len + 8;
+        let header = WAL_HEADER_LEN as usize;
+        let first_len = u32::from_le_bytes(bytes[header..header + 4].try_into().unwrap()) as usize;
+        let second_payload = header + 8 + first_len + 8;
         bytes[second_payload] ^= 0x40;
         let mut medium = MemBacking::from_bytes(bytes);
         let replay = Wal::replay(&mut medium).unwrap();
         assert_eq!(replay.records, sample_records()[..1].to_vec());
         let torn = replay.torn.unwrap();
         assert_eq!(torn.record, 1);
-        assert_eq!(torn.offset, (12 + 8 + first_len) as u64);
+        assert_eq!(torn.offset, (header + 8 + first_len) as u64);
     }
 
     #[test]
@@ -1203,17 +1249,46 @@ mod tests {
             })
         ));
         assert!(matches!(
-            Wal::replay(&mut MemBacking::from_bytes(b"NOTAWAL......".to_vec())),
+            Wal::replay(&mut MemBacking::from_bytes(b"NOTAWAL.............".to_vec())),
             Err(WalError::Corrupt { .. })
         ));
         let mut versioned = Vec::new();
         versioned.extend_from_slice(WAL_MAGIC);
         versioned.extend_from_slice(&9u32.to_le_bytes());
         versioned.extend_from_slice(&2u32.to_le_bytes());
+        versioned.extend_from_slice(&0u64.to_le_bytes());
         assert!(matches!(
             Wal::replay(&mut MemBacking::from_bytes(versioned)),
             Err(WalError::UnsupportedVersion(9))
         ));
+    }
+
+    #[test]
+    fn reset_to_stamps_the_checkpoint_id_into_the_header() {
+        let mut wal = Wal::create(Box::new(MemBacking::new()), FlushPolicy::PerRecord, 2).unwrap();
+        assert_eq!(wal.checkpoint_id(), 0);
+        for rec in sample_records() {
+            wal.append(&rec).unwrap();
+        }
+        wal.reset_to(7).unwrap();
+        assert_eq!(wal.checkpoint_id(), 7);
+        wal.append(&WalRecord::Remove { id: 3 }).unwrap();
+        // A plain reset keeps the stamp.
+        wal.reset().unwrap();
+        assert_eq!(wal.checkpoint_id(), 7);
+        let mut store = wal.into_store();
+        let replay = Wal::replay(store.as_mut()).unwrap();
+        assert_eq!(replay.checkpoint_id, Some(7));
+        assert!(replay.records.is_empty());
+        // Reopen carries the stamp forward.
+        let bytes = store.read_durable().unwrap();
+        let (wal, _) = Wal::reopen(
+            Box::new(MemBacking::from_bytes(bytes)),
+            FlushPolicy::PerRecord,
+            2,
+        )
+        .unwrap();
+        assert_eq!(wal.checkpoint_id(), 7);
     }
 
     #[test]
