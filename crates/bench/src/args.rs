@@ -5,6 +5,7 @@ use std::collections::HashMap;
 use std::path::PathBuf;
 
 use acx_core::{AdaptiveClusterIndex, IndexConfig, ReorgMode, ScanMode, StatsLayout};
+use acx_serve::{ShardBy, DEFAULT_QUEUE_CAP};
 use acx_storage::{FileBacking, FlushPolicy, Wal};
 
 /// Parsed `--key value` flags.
@@ -164,6 +165,28 @@ impl Flags {
             .attach_wal(wal)
             .unwrap_or_else(|e| panic!("--wal {}: {e}", path.display()));
         true
+    }
+
+    /// `--shards N`: shard count for the serving-tier runs. Defaults
+    /// to the machine's parallelism (capped at 4 so quick runs stay
+    /// bounded), like `--threads` in the batch path.
+    pub fn shards(&self) -> usize {
+        let default = std::thread::available_parallelism()
+            .map(|n| n.get().min(4))
+            .unwrap_or(1);
+        self.get_strict("shards", default).max(1)
+    }
+
+    /// `--shard-by hash|space`: subscription-to-shard assignment for
+    /// the serving tier.
+    pub fn shard_by(&self) -> ShardBy {
+        self.get_strict("shard-by", ShardBy::Hash)
+    }
+
+    /// `--queue-cap N`: per-shard ingestion queue capacity for the
+    /// serving tier.
+    pub fn queue_cap(&self) -> usize {
+        self.get_strict("queue-cap", DEFAULT_QUEUE_CAP).max(1)
     }
 
     /// Applies the kernel and maintenance toggles (`--scan-mode`,

@@ -47,7 +47,10 @@ use acx_bench::args::Flags;
 use acx_bench::{adapted_ac, build_ac_with, recorded_strategies, reorg_layout_strategies};
 use acx_core::candidates::{CandidateSet, StatsArena};
 use acx_core::{IndexConfig, QueryScratch, ScanMode, Signature, StatsDelta};
-use acx_geom::scan::{scan_candidates, scan_columns, PairedColumns, ScanScratch};
+use acx_geom::scan::{
+    scan_candidates_with_cutoff, scan_columns, PairedColumns, ScanScratch,
+    CANDIDATE_DIRECT_CUTOFF,
+};
 use acx_geom::{Scalar, SpatialQuery, OBJECT_ID_BYTES};
 use acx_workloads::{UniformWorkload, Workload, WorkloadConfig};
 
@@ -133,6 +136,7 @@ struct CandidateRow {
     candidates: usize,
     kernel_ns: f64,
     arena_kernel_ns: f64,
+    direct_ns: f64,
     scalar_ns: f64,
 }
 
@@ -142,6 +146,10 @@ struct CandidateRow {
 /// timed twice — over an owned per-cluster set's columns and over the
 /// same columns as a mid-slab range of a populated statistics arena —
 /// so a projection or locality cost of the slab layout would show here.
+/// Both dispatch paths of `scan_candidates` are forced per row
+/// (vectorized via cutoff 0, direct mask-bit loop via cutoff MAX) so
+/// the committed snapshot records the crossover that justifies
+/// `CANDIDATE_DIRECT_CUTOFF`.
 fn candidate_matrix(configs: &[(usize, u8)], repeats: usize) -> Vec<CandidateRow> {
     let mut rows = Vec::new();
     for &(dims, f) in configs {
@@ -168,10 +176,15 @@ fn candidate_matrix(configs: &[(usize, u8)], repeats: usize) -> Vec<CandidateRow
 
         let mut scratch = ScanScratch::new();
         let kernel_ns = time_per_query(queries.len(), repeats, |k| {
-            scan_candidates(&queries[k], &cands.columns(), &mut scratch) as u64
+            scan_candidates_with_cutoff(&queries[k], &cands.columns(), &mut scratch, 0) as u64
         });
         let arena_kernel_ns = time_per_query(queries.len(), repeats, |k| {
-            scan_candidates(&queries[k], &arena.slice(mid).columns(), &mut scratch) as u64
+            scan_candidates_with_cutoff(&queries[k], &arena.slice(mid).columns(), &mut scratch, 0)
+                as u64
+        });
+        let direct_ns = time_per_query(queries.len(), repeats, |k| {
+            scan_candidates_with_cutoff(&queries[k], &cands.columns(), &mut scratch, usize::MAX)
+                as u64
         });
         let scalar_ns = time_per_query(queries.len(), repeats, |k| {
             let mut acc = 0u64;
@@ -181,9 +194,14 @@ fn candidate_matrix(configs: &[(usize, u8)], repeats: usize) -> Vec<CandidateRow
             acc
         });
         println!(
-            "cands   d={dims} f={f} ({:>5} candidates): kernel {kernel_ns:>9.0} ns/q  arena {arena_kernel_ns:>9.0} ns/q  scalar {scalar_ns:>9.0} ns/q  speedup {:.2}x",
+            "cands   d={dims} f={f} ({:>5} candidates): kernel {kernel_ns:>9.0} ns/q  arena {arena_kernel_ns:>9.0} ns/q  direct {direct_ns:>9.0} ns/q  scalar {scalar_ns:>9.0} ns/q  speedup {:.2}x  [default: {}]",
             cands.len(),
-            scalar_ns / kernel_ns
+            scalar_ns / kernel_ns,
+            if cands.len() < CANDIDATE_DIRECT_CUTOFF {
+                "direct"
+            } else {
+                "kernel"
+            }
         );
         rows.push(CandidateRow {
             dims,
@@ -191,6 +209,7 @@ fn candidate_matrix(configs: &[(usize, u8)], repeats: usize) -> Vec<CandidateRow
             candidates: cands.len(),
             kernel_ns,
             arena_kernel_ns,
+            direct_ns,
             scalar_ns,
         });
     }
@@ -474,7 +493,9 @@ fn main() {
     let cand_configs: &[(usize, u8)] = if quick {
         &[(16, 4), (16, 12)]
     } else {
-        &[(8, 4), (16, 4), (16, 8), (16, 12), (32, 12)]
+        // (4,2)/(16,2) bracket the small-set dispatch cutoff from below
+        // (12 and 48 candidates); the rest sweep f²·Nd past 1k.
+        &[(4, 2), (16, 2), (8, 4), (16, 4), (16, 8), (16, 12), (32, 12)]
     };
 
     println!("== scan kernel snapshot (bitmask vs scalar oracle, single thread) ==");
@@ -543,19 +564,27 @@ fn main() {
 
     let mut json = String::from("{\n  \"bench\": \"candidate_kernel\",\n");
     let _ = writeln!(json, "  \"quick\": {quick},");
+    let _ = writeln!(json, "  \"small_set_cutoff\": {CANDIDATE_DIRECT_CUTOFF},");
     json.push_str("  \"candidate_matching\": [\n");
     for (i, r) in cands.iter().enumerate() {
         let _ = write!(
             json,
-            "    {{\"dims\": {}, \"division_factor\": {}, \"candidates\": {}, \"kernel_ns_per_query\": {:.0}, \"arena_kernel_ns_per_query\": {:.0}, \"scalar_ns_per_query\": {:.0}, \"speedup\": {:.3}, \"arena_vs_per_cluster\": {:.3}}}",
+            "    {{\"dims\": {}, \"division_factor\": {}, \"candidates\": {}, \"kernel_ns_per_query\": {:.0}, \"arena_kernel_ns_per_query\": {:.0}, \"direct_ns_per_query\": {:.0}, \"scalar_ns_per_query\": {:.0}, \"speedup\": {:.3}, \"arena_vs_per_cluster\": {:.3}, \"direct_vs_kernel\": {:.3}, \"default_path\": \"{}\"}}",
             r.dims,
             r.division_factor,
             r.candidates,
             r.kernel_ns,
             r.arena_kernel_ns,
+            r.direct_ns,
             r.scalar_ns,
             r.scalar_ns / r.kernel_ns,
-            r.kernel_ns / r.arena_kernel_ns
+            r.kernel_ns / r.arena_kernel_ns,
+            r.kernel_ns / r.direct_ns,
+            if r.candidates < CANDIDATE_DIRECT_CUTOFF {
+                "direct"
+            } else {
+                "kernel"
+            }
         );
         json.push_str(if i + 1 == cands.len() { "\n" } else { ",\n" });
     }

@@ -6,11 +6,20 @@
 //! level — one call per measured stream — so the comparison is
 //! apples-to-apples in both verification kernel and interface.
 //!
+//! Each AC row also reports the reorganization stall inside the
+//! measured stream (`reorg_stall`): the batched path closes its window
+//! at every pass boundary and used to hide that serving hiccup, and the
+//! sharded serving tier (`serve` bin) reports the same counter per
+//! shard — one axis, two architectures. A final `serve` row runs the
+//! measured stream through the sharded tier configured by `--shards` /
+//! `--shard-by` / `--queue-cap` for a direct comparison.
+//!
 //! Usage:
 //! ```text
 //! cargo run --release -p acx_bench --bin throughput
 //!     [--objects 50000] [--events 2000] [--warmup 600]
 //!     [--max-threads 8] [--flexibility 0.0] [--seed 24141]
+//!     [--shards N] [--shard-by hash|space] [--queue-cap N]
 //!     [--scan-mode columnar|oracle] [--candidate-scan columnar|oracle]
 //!     [--zone-maps on|off] [--reorg-mode incremental|full]
 //!     [--stats-layout arena|per-cluster]
@@ -21,7 +30,10 @@ use std::time::Instant;
 
 use acx_baselines::BatchExecute;
 use acx_bench::args::Flags;
-use acx_bench::{ac_config, build_ac_with, build_rs, build_ss, run_ac_batch, MethodReport};
+use acx_bench::{
+    ac_config, build_ac_with, build_rs, build_ss, run_ac_batch, run_serve, MethodReport,
+};
+use acx_serve::ServeConfig;
 use acx_core::IndexConfig;
 use acx_geom::{HyperRect, SpatialQuery};
 use acx_storage::StorageScenario;
@@ -143,11 +155,34 @@ fn run_workload(
             clusters = report.total_units;
         }
         println!(
-            "AC  t={t}: {rate:>12.0} q/s  (speedup {:.2}x vs t=1)",
-            rate / ac_base.max(1e-9)
+            "AC  t={t}: {rate:>12.0} q/s  (speedup {:.2}x vs t=1)  \
+             reorg_stall={:.3}ms/{} passes",
+            rate / ac_base.max(1e-9),
+            report.reorg_stall_ns as f64 / 1e6,
+            report.reorg_passes,
         );
     }
     println!("    adapted to {clusters} clusters");
+
+    // The sharded serving tier over the same subscriptions and events:
+    // per-event fan-out through bounded queues instead of one batched
+    // call, reorganization stalling one shard at a time.
+    let serve_cfg = ServeConfig::new(config.clone())
+        .with_shards(flags.shards())
+        .with_shard_by(flags.shard_by())
+        .with_queue_cap(flags.queue_cap());
+    let stats = run_serve(serve_cfg, objects, warmup, measured);
+    let stall_ms = stats.reorg_stall_ns as f64 / 1e6;
+    println!(
+        "serve shards={} ({}): {:>12.0} q/s  lat p50={:.1}us p99={:.1}us  \
+         reorg_stall={stall_ms:.3}ms/{} passes",
+        flags.shards(),
+        flags.shard_by(),
+        stats.qps(),
+        stats.latency_p50_ns as f64 / 1e3,
+        stats.latency_p99_ns as f64 / 1e3,
+        stats.reorg_passes,
+    );
 
     // Baselines through the shared batch API: one `execute_batch` call
     // per measured stream, query-level parallelism over shared `&self`.

@@ -14,6 +14,6 @@ pub mod runner;
 
 pub use runner::{
     ac_config, adapted_ac, build_ac, build_ac_with, build_rs, build_ss, recorded_strategies,
-    reorg_layout_strategies, reorg_strategies, run_ac, run_ac_batch, run_baseline,
+    reorg_layout_strategies, reorg_strategies, run_ac, run_ac_batch, run_baseline, run_serve,
     ExperimentScale, MethodReport,
 };

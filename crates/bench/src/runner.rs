@@ -53,6 +53,14 @@ pub struct MethodReport {
     pub verified_fraction: f64,
     /// Average result cardinality (for selectivity validation).
     pub avg_matches: f64,
+    /// Reorganization passes triggered during the measured stream
+    /// (always `0` for the baselines, which never reorganize).
+    pub reorg_passes: u64,
+    /// Wall-clock nanoseconds the measured stream spent inside those
+    /// passes — the serving stall that batching hides at window
+    /// boundaries, surfaced so the batched path and the sharded
+    /// serving tier are comparable on the same axis.
+    pub reorg_stall_ns: u64,
 }
 
 /// The paper-default configuration for a storage scenario.
@@ -240,6 +248,8 @@ fn summarize(
         explored_fraction: avg.clusters_explored / total_units.max(1) as f64,
         verified_fraction: avg.objects_verified / n_objects.max(1) as f64,
         avg_matches: matches as f64 / q,
+        reorg_passes: 0,
+        reorg_stall_ns: 0,
     }
 }
 
@@ -260,6 +270,7 @@ pub fn run_ac(
     }
     let mem_model = IndexConfig::memory(index.dims()).cost_model();
     let disk_model = IndexConfig::disk(index.dims()).cost_model();
+    let reorg_base = (index.reorganizations(), index.reorg_wall_ns());
     let mut agg = AccessStats::new();
     let mut wall_ns = 0u128;
     let mut matches = 0u64;
@@ -269,7 +280,7 @@ pub fn run_ac(
         wall_ns += r.metrics.wall.as_nanos();
         matches += r.matches.len() as u64;
     }
-    summarize(
+    let mut report = summarize(
         "AC",
         index.cluster_count(),
         n_objects,
@@ -279,7 +290,10 @@ pub fn run_ac(
         matches,
         &mem_model,
         &disk_model,
-    )
+    );
+    report.reorg_passes = index.reorganizations() - reorg_base.0;
+    report.reorg_stall_ns = index.reorg_wall_ns() - reorg_base.1;
+    report
 }
 
 /// Warm up an AC index to its stable clustering state, then measure the
@@ -298,6 +312,7 @@ pub fn run_ac_batch(
     index.execute_batch(warmup, threads);
     let mem_model = IndexConfig::memory(index.dims()).cost_model();
     let disk_model = IndexConfig::disk(index.dims()).cost_model();
+    let reorg_base = (index.reorganizations(), index.reorg_wall_ns());
     let started = std::time::Instant::now();
     let results = index.execute_batch(measured, threads);
     let wall_ns = started.elapsed().as_nanos();
@@ -307,7 +322,7 @@ pub fn run_ac_batch(
         agg.merge(&r.metrics.stats);
         matches += r.matches.len() as u64;
     }
-    summarize(
+    let mut report = summarize(
         "AC",
         index.cluster_count(),
         n_objects,
@@ -317,7 +332,42 @@ pub fn run_ac_batch(
         matches,
         &mem_model,
         &disk_model,
-    )
+    );
+    report.reorg_passes = index.reorganizations() - reorg_base.0;
+    report.reorg_stall_ns = index.reorg_wall_ns() - reorg_base.1;
+    report
+}
+
+/// Builds an [`acx_serve::ShardedIndex`] over the objects, adapts it on the warm-up
+/// stream, then measures the serving tier on the measured stream: every
+/// event is fanned out through the bounded queues and the window
+/// statistics (aggregate qps, latency percentiles, queue depth, reorg
+/// stall) are captured after a full drain.
+pub fn run_serve(
+    config: acx_serve::ServeConfig,
+    objects: &[HyperRect],
+    warmup: &[SpatialQuery],
+    measured: &[SpatialQuery],
+) -> acx_serve::ServeStats {
+    let index = acx_serve::ShardedIndex::new(config).expect("valid serve config");
+    index
+        .insert_all(
+            objects
+                .iter()
+                .enumerate()
+                .map(|(i, rect)| (ObjectId(i as u32), rect.clone())),
+        )
+        .expect("insertion succeeds");
+    for q in warmup {
+        index.submit(q.clone());
+    }
+    index.flush();
+    index.reset_stats_window();
+    for q in measured {
+        index.submit(q.clone());
+    }
+    index.flush();
+    index.stats()
 }
 
 /// Measures a baseline (RS or SS) on the query stream.

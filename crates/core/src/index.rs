@@ -301,6 +301,11 @@ pub struct AdaptiveClusterIndex {
     /// Test-only fault hook fired at the boundaries of a pass's atomic
     /// structural units ([`ReorgFaultPoint`]); `None` in production.
     reorg_fault_hook: Option<Box<dyn FnMut(ReorgFaultPoint) + Send + Sync>>,
+    /// Cumulative wall-clock nanoseconds spent inside
+    /// [`AdaptiveClusterIndex::reorganize`] — the serving-path stall a
+    /// pass causes, surfaced per shard by the serving tier and per
+    /// measured stream by the throughput harness.
+    reorg_wall_ns: u64,
 }
 
 /// Boundaries of the atomic structural units of a reorganization pass.
@@ -421,6 +426,7 @@ impl AdaptiveClusterIndex {
             wal: None,
             wal_failure: None,
             reorg_fault_hook: None,
+            reorg_wall_ns: 0,
         })
     }
 
@@ -1221,6 +1227,7 @@ impl AdaptiveClusterIndex {
     /// [`ClusterSnapshot`]s; the work they spend differs
     /// ([`AdaptiveClusterIndex::last_reorg_profile`]).
     pub fn reorganize(&mut self) -> ReorgReport {
+        let pass_started = std::time::Instant::now();
         let mut report = ReorgReport {
             clusters_before: self.cluster_count(),
             ..Default::default()
@@ -1255,6 +1262,7 @@ impl AdaptiveClusterIndex {
         self.total_merges += report.merges;
         self.total_splits += report.splits;
         self.last_profile = profile;
+        self.reorg_wall_ns += pass_started.elapsed().as_nanos() as u64;
         report
     }
 
@@ -1284,6 +1292,19 @@ impl AdaptiveClusterIndex {
     /// legitimately differs between [`crate::ReorgMode`]s.
     pub fn last_reorg_profile(&self) -> ReorgProfile {
         self.last_profile
+    }
+
+    /// Cumulative wall-clock nanoseconds this index has spent inside
+    /// [`AdaptiveClusterIndex::reorganize`] since construction.
+    ///
+    /// Every pass runs on the mutation path — `execute` triggers it
+    /// inline when the period elapses — so this is exactly the serving
+    /// stall reorganization has caused: the batched path hides it inside
+    /// window boundaries, the sharded serving tier confines it to one
+    /// shard. Diagnostics only (wall time, not part of any decision
+    /// surface); not persisted by checkpoints.
+    pub fn reorg_wall_ns(&self) -> u64 {
+        self.reorg_wall_ns
     }
 
     /// The full-sweep reorganization pass: every cluster surviving the
@@ -2547,6 +2568,7 @@ impl AdaptiveClusterIndex {
             wal: None,
             wal_failure: None,
             reorg_fault_hook: None,
+            reorg_wall_ns: 0,
         };
         if let Some(meta) = meta {
             if !(meta.hist_verified_bytes.is_finite() && meta.hist_full_bytes.is_finite()) {

@@ -1,0 +1,982 @@
+//! # acx_serve — shard-per-core serving tier
+//!
+//! Turns the single-threaded [`AdaptiveClusterIndex`] into a service:
+//! subscriptions are partitioned across N shards, each shard owns one
+//! index behind a dedicated worker thread, and every arriving event is
+//! fanned out to all shards through bounded ingestion queues. Because
+//! the partition is disjoint and query answering is exact, the union of
+//! the per-shard match sets **is** the answer — no cross-shard merge,
+//! reconciliation, or statistics exchange ever happens (each shard's
+//! adaptive statistics describe exactly the subscriptions it owns).
+//!
+//! ## Threading model
+//!
+//! One worker per shard owns that shard's index outright; nothing else
+//! ever touches it. Submitting threads communicate with workers only
+//! through each shard's bounded FIFO, so the index needs no locks and
+//! the per-query hot path is identical to single-index execution —
+//! including adaptive reorganization, which the worker triggers exactly
+//! where a single index would (inside `execute`, when the statistics
+//! epoch comes due). A reorganizing shard stalls only itself: its queue
+//! absorbs arrivals up to the cap while the other shards keep serving,
+//! which is what bounds event-to-match latency during a pass.
+//!
+//! ## Backpressure contract
+//!
+//! Fan-out is all-or-nothing: [`ShardedIndex::try_submit`] reserves a
+//! slot on *every* shard before publishing to any of them, and rolls
+//! the reservations back if one queue is full ([`SubmitError::QueueFull`]
+//! — the event is on no shard, nothing is dropped or double-counted).
+//! The blocking [`ShardedIndex::submit`] waits for capacity instead and
+//! reports the stall in [`ServeStats`].
+//!
+//! ## Durability
+//!
+//! Each shard persists independently: [`ShardedIndex::attach_wal_dir`]
+//! gives every shard its own log (`shard-<i>.wal`),
+//! [`ShardedIndex::checkpoint_all`] writes `shard-<i>.ckpt`, and
+//! [`ShardedIndex::recover`] replays each shard pair in isolation —
+//! the disjoint partition means per-shard logs never need a global
+//! order.
+
+mod partition;
+mod queue;
+mod stats;
+
+pub use partition::ShardBy;
+pub use stats::{ServeStats, ShardStats};
+
+use std::collections::HashMap;
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use acx_core::{AdaptiveClusterIndex, IndexConfig, IndexError, RecoveryReport};
+use acx_geom::{HyperRect, ObjectId, SpatialQuery};
+use acx_storage::{FileBacking, FlushPolicy, Wal};
+use partition::shard_of;
+use queue::BoundedQueue;
+
+/// Default per-shard ingestion queue capacity.
+pub const DEFAULT_QUEUE_CAP: usize = 1024;
+
+/// Configuration of a [`ShardedIndex`].
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Configuration every shard's inner index is built with.
+    pub index: IndexConfig,
+    /// Number of shards (one worker thread each).
+    pub shards: usize,
+    /// Subscription-to-shard assignment strategy.
+    pub shard_by: ShardBy,
+    /// Per-shard ingestion queue capacity.
+    pub queue_cap: usize,
+    /// Whether completed [`EventResult`]s are retained for
+    /// [`ShardedIndex::drain_results`] (off for fire-and-forget
+    /// serving, on for tests and any caller that consumes matches).
+    pub retain_results: bool,
+}
+
+impl ServeConfig {
+    /// One shard, hash partitioning, default queue capacity, results
+    /// not retained.
+    pub fn new(index: IndexConfig) -> Self {
+        Self {
+            index,
+            shards: 1,
+            shard_by: ShardBy::Hash,
+            queue_cap: DEFAULT_QUEUE_CAP,
+            retain_results: false,
+        }
+    }
+
+    /// Sets the shard count.
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.shards = shards;
+        self
+    }
+
+    /// Sets the partitioning strategy.
+    pub fn with_shard_by(mut self, shard_by: ShardBy) -> Self {
+        self.shard_by = shard_by;
+        self
+    }
+
+    /// Sets the per-shard queue capacity.
+    pub fn with_queue_cap(mut self, queue_cap: usize) -> Self {
+        self.queue_cap = queue_cap;
+        self
+    }
+
+    /// Retains completed results for [`ShardedIndex::drain_results`].
+    pub fn retaining_results(mut self) -> Self {
+        self.retain_results = true;
+        self
+    }
+}
+
+/// Why a non-blocking submission was rejected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SubmitError {
+    /// At least one shard's ingestion queue was at capacity; the
+    /// fan-out was rolled back in full, so the event reached no shard.
+    QueueFull,
+}
+
+impl std::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SubmitError::QueueFull => write!(f, "ingestion queue full"),
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
+/// One completed event: the union of every shard's matches, sorted by
+/// object id (partitions are disjoint, so the order — and the set — is
+/// independent of the shard count).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EventResult {
+    /// Submission sequence number, as returned by `submit`/`try_submit`.
+    pub seq: u64,
+    /// Matching subscriptions across all shards, ascending by id.
+    pub matches: Vec<ObjectId>,
+}
+
+enum Command {
+    Event { seq: u64, query: Arc<SpatialQuery> },
+    Apply(Box<dyn FnOnce(&mut AdaptiveClusterIndex) + Send>),
+}
+
+struct Pending {
+    remaining: usize,
+    matches: Vec<ObjectId>,
+    submitted: Instant,
+}
+
+/// Joins the per-shard halves of each in-flight event.
+struct Collector {
+    pending: Mutex<HashMap<u64, Pending>>,
+    completed: Mutex<Vec<EventResult>>,
+    latencies: Mutex<Vec<u64>>,
+    events_completed: AtomicU64,
+    retain_results: bool,
+}
+
+impl Collector {
+    fn register(&self, seq: u64, shards: usize) {
+        let prev = self.pending.lock().expect("collector lock").insert(
+            seq,
+            Pending {
+                remaining: shards,
+                matches: Vec::new(),
+                submitted: Instant::now(),
+            },
+        );
+        debug_assert!(prev.is_none(), "sequence number reused");
+    }
+
+    fn complete(&self, seq: u64, matches: Vec<ObjectId>) {
+        let mut pending = self.pending.lock().expect("collector lock");
+        let entry = pending.get_mut(&seq).expect("completion without registration");
+        if entry.matches.is_empty() {
+            entry.matches = matches;
+        } else {
+            entry.matches.extend(matches);
+        }
+        entry.remaining -= 1;
+        if entry.remaining > 0 {
+            return;
+        }
+        let mut done = pending.remove(&seq).expect("entry present");
+        drop(pending);
+        // Disjoint partitions make the union a plain concatenation;
+        // sorting gives a deterministic, shard-count-independent order.
+        done.matches.sort_unstable();
+        let latency = done.submitted.elapsed().as_nanos() as u64;
+        self.latencies.lock().expect("collector lock").push(latency);
+        self.events_completed.fetch_add(1, Ordering::Relaxed);
+        if self.retain_results {
+            self.completed
+                .lock()
+                .expect("collector lock")
+                .push(EventResult {
+                    seq,
+                    matches: done.matches,
+                });
+        }
+    }
+}
+
+/// State shared between submitters and one shard worker.
+struct ShardShared {
+    queue: BoundedQueue<Command>,
+    /// Events this shard executed in the current window.
+    events: AtomicU64,
+    /// `hist[d]` = publishes that observed queue depth `d` (`0..=cap`).
+    depth_hist: Vec<AtomicU64>,
+}
+
+/// Per-shard counter baselines at the start of the current window
+/// (the inner index accumulates over its lifetime; windows subtract).
+struct WindowBaseline {
+    started: Instant,
+    /// `(reorganizations, reorg_wall_ns)` per shard.
+    reorg: Vec<(u64, u64)>,
+}
+
+/// A serving front end over `shards` independent adaptive cluster
+/// indexes. See the crate docs for the threading, backpressure and
+/// durability contracts.
+pub struct ShardedIndex {
+    config: ServeConfig,
+    shards: Vec<Arc<ShardShared>>,
+    workers: Vec<Option<JoinHandle<()>>>,
+    collector: Arc<Collector>,
+    /// Owning shard of every resident subscription. Routing for
+    /// removals (the placing rectangle is gone by then) and the
+    /// cross-shard duplicate-id guard.
+    routes: Mutex<HashMap<u32, usize>>,
+    next_seq: AtomicU64,
+    events_submitted: AtomicU64,
+    queue_full_rejections: AtomicU64,
+    submit_stalls: AtomicU64,
+    submit_stall_ns: AtomicU64,
+    window: Mutex<WindowBaseline>,
+}
+
+impl ShardedIndex {
+    /// Builds an empty sharded index and starts its workers.
+    pub fn new(config: ServeConfig) -> Result<Self, IndexError> {
+        Self::validate(&config)?;
+        let indexes = (0..config.shards)
+            .map(|_| AdaptiveClusterIndex::new(config.index.clone()))
+            .collect::<Result<Vec<_>, _>>()?;
+        Self::assemble(config, indexes)
+    }
+
+    fn validate(config: &ServeConfig) -> Result<(), IndexError> {
+        if config.shards == 0 {
+            return Err(IndexError::InvalidConfig(
+                "shard count must be positive".into(),
+            ));
+        }
+        if config.queue_cap == 0 {
+            return Err(IndexError::InvalidConfig(
+                "queue capacity must be positive".into(),
+            ));
+        }
+        Ok(())
+    }
+
+    /// Wraps pre-built per-shard indexes (empty on the `new` path,
+    /// recovered ones on the `recover` path), rebuilding the route map
+    /// and rejecting partitions that overlap.
+    fn assemble(
+        config: ServeConfig,
+        indexes: Vec<AdaptiveClusterIndex>,
+    ) -> Result<Self, IndexError> {
+        debug_assert_eq!(indexes.len(), config.shards);
+        let mut routes = HashMap::new();
+        for (shard, index) in indexes.iter().enumerate() {
+            for id in index.object_ids() {
+                if let Some(owner) = routes.insert(id.0, shard) {
+                    return Err(IndexError::InvalidConfig(format!(
+                        "object #{} recovered on shards {owner} and {shard}: \
+                         the partition must be disjoint",
+                        id.0
+                    )));
+                }
+            }
+        }
+        let collector = Arc::new(Collector {
+            pending: Mutex::new(HashMap::new()),
+            completed: Mutex::new(Vec::new()),
+            latencies: Mutex::new(Vec::new()),
+            events_completed: AtomicU64::new(0),
+            retain_results: config.retain_results,
+        });
+        let mut shards = Vec::with_capacity(config.shards);
+        let mut workers = Vec::with_capacity(config.shards);
+        for (i, mut index) in indexes.into_iter().enumerate() {
+            let shared = Arc::new(ShardShared {
+                queue: BoundedQueue::new(config.queue_cap),
+                events: AtomicU64::new(0),
+                depth_hist: (0..=config.queue_cap).map(|_| AtomicU64::new(0)).collect(),
+            });
+            let worker = {
+                let shared = Arc::clone(&shared);
+                let collector = Arc::clone(&collector);
+                std::thread::Builder::new()
+                    .name(format!("acx-shard-{i}"))
+                    .spawn(move || {
+                        while let Some(cmd) = shared.queue.pop() {
+                            match cmd {
+                                Command::Event { seq, query } => {
+                                    let result = index.execute(&query);
+                                    shared.events.fetch_add(1, Ordering::Relaxed);
+                                    collector.complete(seq, result.matches);
+                                }
+                                Command::Apply(f) => f(&mut index),
+                            }
+                        }
+                    })
+                    .expect("spawn shard worker")
+            };
+            shards.push(shared);
+            workers.push(Some(worker));
+        }
+        let reorg = vec![(0, 0); config.shards];
+        Ok(Self {
+            config,
+            shards,
+            workers,
+            collector,
+            routes: Mutex::new(routes),
+            next_seq: AtomicU64::new(0),
+            events_submitted: AtomicU64::new(0),
+            queue_full_rejections: AtomicU64::new(0),
+            submit_stalls: AtomicU64::new(0),
+            submit_stall_ns: AtomicU64::new(0),
+            window: Mutex::new(WindowBaseline {
+                started: Instant::now(),
+                reorg,
+            }),
+        })
+    }
+
+    /// Number of shards.
+    pub fn shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The configuration this index was built with.
+    pub fn config(&self) -> &ServeConfig {
+        &self.config
+    }
+
+    /// Resident subscriptions across all shards.
+    pub fn len(&self) -> usize {
+        self.routes.lock().expect("routes lock").len()
+    }
+
+    /// Whether no subscriptions are resident.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Whether `id` is resident on some shard.
+    pub fn contains(&self, id: ObjectId) -> bool {
+        self.routes
+            .lock()
+            .expect("routes lock")
+            .contains_key(&id.0)
+    }
+
+    /// All resident subscription ids, ascending.
+    pub fn object_ids(&self) -> Vec<ObjectId> {
+        let mut ids: Vec<ObjectId> = self
+            .routes
+            .lock()
+            .expect("routes lock")
+            .keys()
+            .map(|&id| ObjectId(id))
+            .collect();
+        ids.sort_unstable();
+        ids
+    }
+
+    // ------------------------------------------------------------------
+    // Event ingestion
+    // ------------------------------------------------------------------
+
+    /// Fans `query` out to every shard without blocking. Returns the
+    /// event's sequence number, or [`SubmitError::QueueFull`] when some
+    /// shard's queue is at capacity — in which case the reservation on
+    /// every other shard is rolled back and the event reaches *no*
+    /// shard.
+    pub fn try_submit(&self, query: SpatialQuery) -> Result<u64, SubmitError> {
+        for (i, shard) in self.shards.iter().enumerate() {
+            if !shard.queue.try_reserve() {
+                for reserved in &self.shards[..i] {
+                    reserved.queue.cancel_reservation();
+                }
+                self.queue_full_rejections.fetch_add(1, Ordering::Relaxed);
+                return Err(SubmitError::QueueFull);
+            }
+        }
+        Ok(self.publish(query))
+    }
+
+    /// Fans `query` out to every shard, waiting for queue capacity
+    /// where needed. The wait is recorded as a backpressure stall in
+    /// [`ServeStats`]. Returns the event's sequence number.
+    pub fn submit(&self, query: SpatialQuery) -> u64 {
+        let mut waited_ns = 0u64;
+        for shard in &self.shards {
+            waited_ns += shard.queue.reserve();
+        }
+        if waited_ns > 0 {
+            self.submit_stalls.fetch_add(1, Ordering::Relaxed);
+            self.submit_stall_ns.fetch_add(waited_ns, Ordering::Relaxed);
+        }
+        self.publish(query)
+    }
+
+    /// Publishes into slots already reserved on every shard.
+    fn publish(&self, query: SpatialQuery) -> u64 {
+        let seq = self.next_seq.fetch_add(1, Ordering::Relaxed);
+        // Register before the first push: a fast worker may complete
+        // its half before the fan-out finishes.
+        self.collector.register(seq, self.shards.len());
+        self.events_submitted.fetch_add(1, Ordering::Relaxed);
+        let query = Arc::new(query);
+        for shard in &self.shards {
+            let depth = shard.queue.push_reserved(Command::Event {
+                seq,
+                query: Arc::clone(&query),
+            });
+            shard.depth_hist[depth.min(self.config.queue_cap)]
+                .fetch_add(1, Ordering::Relaxed);
+        }
+        seq
+    }
+
+    /// Blocks until every event and mutation submitted so far has been
+    /// executed on every shard. Queues are FIFO, so one round-trip
+    /// no-op per shard is a full barrier.
+    pub fn flush(&self) {
+        let receivers: Vec<_> = (0..self.shards.len())
+            .map(|i| {
+                let (tx, rx) = mpsc::channel();
+                self.send_apply(
+                    i,
+                    Box::new(move |_| {
+                        let _ = tx.send(());
+                    }),
+                );
+                rx
+            })
+            .collect();
+        for rx in receivers {
+            rx.recv().expect("shard worker exited");
+        }
+    }
+
+    /// Completed results accumulated since the last drain, ascending by
+    /// sequence number. Empty unless the config retains results.
+    pub fn drain_results(&self) -> Vec<EventResult> {
+        let mut results =
+            std::mem::take(&mut *self.collector.completed.lock().expect("collector lock"));
+        results.sort_unstable_by_key(|r| r.seq);
+        results
+    }
+
+    // ------------------------------------------------------------------
+    // Mutations (routed to the owning shard, synchronous)
+    // ------------------------------------------------------------------
+
+    /// Enqueues a closure on `shard`'s worker, behind everything
+    /// already queued. Blocks only for queue capacity, not execution.
+    fn send_apply(&self, shard: usize, f: Box<dyn FnOnce(&mut AdaptiveClusterIndex) + Send>) {
+        let q = &self.shards[shard].queue;
+        q.reserve();
+        q.push_reserved(Command::Apply(f));
+    }
+
+    /// Runs `f` against `shard`'s index from its worker thread, after
+    /// everything already queued there, and returns its result. The
+    /// inspection hook for tests and stats — also how every mutation
+    /// below reaches its owning shard.
+    pub fn with_shard<R, F>(&self, shard: usize, f: F) -> R
+    where
+        R: Send + 'static,
+        F: FnOnce(&mut AdaptiveClusterIndex) -> R + Send + 'static,
+    {
+        self.with_shard_deferred(shard, f)
+            .recv()
+            .expect("shard worker exited")
+    }
+
+    /// Like [`ShardedIndex::with_shard`], but returns the receiving end
+    /// of the result channel immediately instead of waiting — parks
+    /// work on one shard while the caller keeps going (the other shards
+    /// are unaffected either way).
+    pub fn with_shard_deferred<R, F>(&self, shard: usize, f: F) -> mpsc::Receiver<R>
+    where
+        R: Send + 'static,
+        F: FnOnce(&mut AdaptiveClusterIndex) -> R + Send + 'static,
+    {
+        let (tx, rx) = mpsc::channel();
+        self.send_apply(
+            shard,
+            Box::new(move |index| {
+                let _ = tx.send(f(index));
+            }),
+        );
+        rx
+    }
+
+    /// Inserts a subscription on its owning shard. Waits for the shard
+    /// to apply it (mutations are synchronous; events are not).
+    pub fn insert(&self, id: ObjectId, rect: HyperRect) -> Result<(), IndexError> {
+        let shard = shard_of(self.config.shard_by, id, &rect, self.shards.len());
+        {
+            // Claim the route first so a racing insert of the same id
+            // fails fast; rolled back if the shard rejects the insert.
+            let mut routes = self.routes.lock().expect("routes lock");
+            if routes.contains_key(&id.0) {
+                return Err(IndexError::DuplicateObject(id.0));
+            }
+            routes.insert(id.0, shard);
+        }
+        let result = self.with_shard(shard, move |index| index.insert(id, rect));
+        if result.is_err() {
+            self.routes.lock().expect("routes lock").remove(&id.0);
+        }
+        result
+    }
+
+    /// Bulk insert, grouped into one application per shard.
+    pub fn insert_all<I>(&self, objects: I) -> Result<(), IndexError>
+    where
+        I: IntoIterator<Item = (ObjectId, HyperRect)>,
+    {
+        let mut groups: Vec<Vec<(ObjectId, HyperRect)>> = vec![Vec::new(); self.shards.len()];
+        {
+            let mut routes = self.routes.lock().expect("routes lock");
+            for (id, rect) in objects {
+                if routes.contains_key(&id.0) {
+                    // Nothing has been sent to any shard yet: roll back
+                    // the routes this call claimed and reject.
+                    for group in &groups {
+                        for (claimed, _) in group {
+                            routes.remove(&claimed.0);
+                        }
+                    }
+                    return Err(IndexError::DuplicateObject(id.0));
+                }
+                let shard = shard_of(self.config.shard_by, id, &rect, self.shards.len());
+                routes.insert(id.0, shard);
+                groups[shard].push((id, rect));
+            }
+        }
+        let receivers: Vec<_> = groups
+            .into_iter()
+            .enumerate()
+            .filter(|(_, group)| !group.is_empty())
+            .map(|(shard, group)| {
+                let ids: Vec<ObjectId> = group.iter().map(|(id, _)| *id).collect();
+                let (tx, rx) = mpsc::channel();
+                self.send_apply(
+                    shard,
+                    Box::new(move |index| {
+                        let mut outcome: Result<(), (usize, IndexError)> = Ok(());
+                        for (k, (id, rect)) in group.into_iter().enumerate() {
+                            if let Err(e) = index.insert(id, rect) {
+                                outcome = Err((k, e));
+                                break;
+                            }
+                        }
+                        let _ = tx.send(outcome);
+                    }),
+                );
+                (ids, rx)
+            })
+            .collect();
+        let mut first_error = None;
+        for (ids, rx) in receivers {
+            if let Err((applied, e)) = rx.recv().expect("shard worker exited") {
+                let mut routes = self.routes.lock().expect("routes lock");
+                for id in &ids[applied..] {
+                    routes.remove(&id.0);
+                }
+                first_error.get_or_insert(e);
+            }
+        }
+        match first_error {
+            None => Ok(()),
+            Some(e) => Err(e),
+        }
+    }
+
+    /// Removes a subscription from its owning shard.
+    pub fn remove(&self, id: ObjectId) -> Result<HyperRect, IndexError> {
+        let shard = self
+            .routes
+            .lock()
+            .expect("routes lock")
+            .get(&id.0)
+            .copied()
+            .ok_or(IndexError::UnknownObject(id.0))?;
+        let result = self.with_shard(shard, move |index| index.remove(id));
+        if result.is_ok() {
+            self.routes.lock().expect("routes lock").remove(&id.0);
+        }
+        result
+    }
+
+    /// Replaces a subscription's rectangle, returning the old one.
+    /// Under [`ShardBy::Space`] the new rectangle may belong to a
+    /// different shard; the subscription then migrates (remove at the
+    /// old owner, insert at the new).
+    pub fn update(&self, id: ObjectId, rect: HyperRect) -> Result<HyperRect, IndexError> {
+        let old_shard = self
+            .routes
+            .lock()
+            .expect("routes lock")
+            .get(&id.0)
+            .copied()
+            .ok_or(IndexError::UnknownObject(id.0))?;
+        let new_shard = shard_of(self.config.shard_by, id, &rect, self.shards.len());
+        if new_shard == old_shard {
+            return self.with_shard(old_shard, move |index| index.update(id, rect));
+        }
+        let old = self.with_shard(old_shard, move |index| index.remove(id))?;
+        let attempt = {
+            let rect = rect.clone();
+            self.with_shard(new_shard, move |index| index.insert(id, rect))
+        };
+        match attempt {
+            Ok(()) => {
+                self.routes
+                    .lock()
+                    .expect("routes lock")
+                    .insert(id.0, new_shard);
+                Ok(old)
+            }
+            Err(e) => {
+                // Re-home the original so a failed migration is a no-op.
+                let restore = old.clone();
+                self.with_shard(old_shard, move |index| index.insert(id, restore))
+                    .expect("restore after failed migration");
+                Err(e)
+            }
+        }
+    }
+
+    /// The rectangle of a resident subscription.
+    pub fn get(&self, id: ObjectId) -> Option<HyperRect> {
+        let shard = self
+            .routes
+            .lock()
+            .expect("routes lock")
+            .get(&id.0)
+            .copied()?;
+        self.with_shard(shard, move |index| index.get(id))
+    }
+
+    // ------------------------------------------------------------------
+    // Durability (composes with the core WAL/checkpoint layer)
+    // ------------------------------------------------------------------
+
+    /// Attaches a write-ahead log to every shard: `dir/shard-<i>.wal`,
+    /// created (or truncated) fresh.
+    pub fn attach_wal_dir(&self, dir: &Path, policy: FlushPolicy) -> Result<(), IndexError> {
+        std::fs::create_dir_all(dir)
+            .map_err(|e| IndexError::Wal(acx_storage::WalError::from(e)))?;
+        let dims = self.config.index.dims;
+        for shard in 0..self.shards.len() {
+            let store = FileBacking::create(&dir.join(format!("shard-{shard}.wal")))
+                .map_err(|e| IndexError::Wal(acx_storage::WalError::from(e)))?;
+            let wal = Wal::create(Box::new(store), policy, dims).map_err(IndexError::Wal)?;
+            self.with_shard(shard, move |index| index.attach_wal(wal))?;
+        }
+        Ok(())
+    }
+
+    /// Checkpoints every shard to `dir/shard-<i>.ckpt`, truncating each
+    /// shard's log (the core checkpoint/WAL generation coupling applies
+    /// per shard).
+    pub fn checkpoint_all(&self, dir: &Path) -> Result<(), IndexError> {
+        std::fs::create_dir_all(dir)
+            .map_err(|e| IndexError::Wal(acx_storage::WalError::from(e)))?;
+        for shard in 0..self.shards.len() {
+            let path = dir.join(format!("shard-{shard}.ckpt"));
+            self.with_shard(shard, move |index| index.checkpoint(&path))?;
+        }
+        Ok(())
+    }
+
+    /// Rebuilds a sharded index from `dir`: each shard recovers from
+    /// its own `shard-<i>.ckpt` (when present) plus `shard-<i>.wal`,
+    /// independently — disjoint partitions need no cross-log order.
+    /// `config` must describe the same shard count and partitioning
+    /// the files were written under; overlapping recovered partitions
+    /// are rejected.
+    pub fn recover(
+        dir: &Path,
+        policy: FlushPolicy,
+        config: ServeConfig,
+    ) -> Result<(Self, Vec<RecoveryReport>), IndexError> {
+        Self::validate(&config)?;
+        let mut indexes = Vec::with_capacity(config.shards);
+        let mut reports = Vec::with_capacity(config.shards);
+        for shard in 0..config.shards {
+            let ckpt = dir.join(format!("shard-{shard}.ckpt"));
+            let ckpt = ckpt.exists().then_some(ckpt);
+            let store = FileBacking::open(&dir.join(format!("shard-{shard}.wal")))
+                .map_err(|e| IndexError::Wal(acx_storage::WalError::from(e)))?;
+            let (index, report) = AdaptiveClusterIndex::recover(
+                ckpt.as_deref(),
+                Box::new(store),
+                policy,
+                config.index.clone(),
+            )?;
+            indexes.push(index);
+            reports.push(report);
+        }
+        let recovered = Self::assemble(config, indexes)?;
+        Ok((recovered, reports))
+    }
+
+    // ------------------------------------------------------------------
+    // Statistics
+    // ------------------------------------------------------------------
+
+    /// Snapshot of the current measurement window. Performs one
+    /// synchronous round-trip through each shard's queue (it observes
+    /// each shard at a consistent point), so it waits behind whatever
+    /// is queued — call after [`ShardedIndex::flush`] for end-of-run
+    /// numbers.
+    pub fn stats(&self) -> ServeStats {
+        let window = self.window.lock().expect("window lock");
+        let window_wall_ns = window.started.elapsed().as_nanos() as u64;
+        let baselines = window.reorg.clone();
+        drop(window);
+        let mut per_shard = Vec::with_capacity(self.shards.len());
+        let mut reorg_passes = 0u64;
+        let mut reorg_stall_ns = 0u64;
+        for (i, shared) in self.shards.iter().enumerate() {
+            let (objects, clusters, passes, stall_ns) =
+                self.with_shard(i, |index: &mut AdaptiveClusterIndex| {
+                    (
+                        index.len(),
+                        index.cluster_count(),
+                        index.reorganizations(),
+                        index.reorg_wall_ns(),
+                    )
+                });
+            let (base_passes, base_stall) = baselines[i];
+            let hist: Vec<u64> = shared
+                .depth_hist
+                .iter()
+                .map(|c| c.load(Ordering::Relaxed))
+                .collect();
+            let shard = ShardStats {
+                shard: i,
+                events: shared.events.load(Ordering::Relaxed),
+                objects,
+                clusters,
+                reorg_passes: passes - base_passes,
+                reorg_stall_ns: stall_ns - base_stall,
+                queue_depth_p50: stats::nearest_rank_hist(&hist, 50.0),
+                queue_depth_p99: stats::nearest_rank_hist(&hist, 99.0),
+            };
+            reorg_passes += shard.reorg_passes;
+            reorg_stall_ns += shard.reorg_stall_ns;
+            per_shard.push(shard);
+        }
+        let mut latencies = self
+            .collector
+            .latencies
+            .lock()
+            .expect("collector lock")
+            .clone();
+        latencies.sort_unstable();
+        ServeStats {
+            shards: per_shard,
+            events_submitted: self.events_submitted.load(Ordering::Relaxed),
+            events_completed: self.collector.events_completed.load(Ordering::Relaxed),
+            queue_full_rejections: self.queue_full_rejections.load(Ordering::Relaxed),
+            submit_stalls: self.submit_stalls.load(Ordering::Relaxed),
+            submit_stall_ns: self.submit_stall_ns.load(Ordering::Relaxed),
+            latency_p50_ns: stats::nearest_rank(&latencies, 50.0),
+            latency_p99_ns: stats::nearest_rank(&latencies, 99.0),
+            reorg_passes,
+            reorg_stall_ns,
+            window_wall_ns,
+        }
+    }
+
+    /// Starts a fresh measurement window: zeroes every windowed counter
+    /// and sample, and re-baselines the per-shard reorganization
+    /// counters. The benches call this between warm-up and measurement.
+    pub fn reset_stats_window(&self) {
+        let mut reorg = Vec::with_capacity(self.shards.len());
+        for (i, shared) in self.shards.iter().enumerate() {
+            let baseline = self.with_shard(i, |index: &mut AdaptiveClusterIndex| {
+                (index.reorganizations(), index.reorg_wall_ns())
+            });
+            reorg.push(baseline);
+            shared.events.store(0, Ordering::Relaxed);
+            for counter in &shared.depth_hist {
+                counter.store(0, Ordering::Relaxed);
+            }
+        }
+        self.events_submitted.store(0, Ordering::Relaxed);
+        self.collector.events_completed.store(0, Ordering::Relaxed);
+        self.queue_full_rejections.store(0, Ordering::Relaxed);
+        self.submit_stalls.store(0, Ordering::Relaxed);
+        self.submit_stall_ns.store(0, Ordering::Relaxed);
+        self.collector
+            .latencies
+            .lock()
+            .expect("collector lock")
+            .clear();
+        let mut window = self.window.lock().expect("window lock");
+        window.started = Instant::now();
+        window.reorg = reorg;
+    }
+}
+
+impl Drop for ShardedIndex {
+    fn drop(&mut self) {
+        for shard in &self.shards {
+            shard.queue.close();
+        }
+        for worker in &mut self.workers {
+            if let Some(handle) = worker.take() {
+                let _ = handle.join();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use acx_geom::Scalar;
+
+    fn rect(lo: Scalar, hi: Scalar) -> HyperRect {
+        HyperRect::from_bounds(&[lo, lo, lo], &[hi, hi, hi]).unwrap()
+    }
+
+    fn small_index(shards: usize) -> ShardedIndex {
+        ShardedIndex::new(
+            ServeConfig::new(IndexConfig::memory(3))
+                .with_shards(shards)
+                .retaining_results(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn rejects_degenerate_configs() {
+        let c = ServeConfig::new(IndexConfig::memory(3)).with_shards(0);
+        assert!(matches!(
+            ShardedIndex::new(c),
+            Err(IndexError::InvalidConfig(_))
+        ));
+        let c = ServeConfig::new(IndexConfig::memory(3)).with_queue_cap(0);
+        assert!(matches!(
+            ShardedIndex::new(c),
+            Err(IndexError::InvalidConfig(_))
+        ));
+    }
+
+    #[test]
+    fn routes_mutations_and_answers_queries() {
+        let index = small_index(3);
+        index.insert(ObjectId(1), rect(0.1, 0.3)).unwrap();
+        index.insert(ObjectId(2), rect(0.2, 0.5)).unwrap();
+        index.insert(ObjectId(3), rect(0.7, 0.9)).unwrap();
+        assert_eq!(index.len(), 3);
+        assert!(index.contains(ObjectId(2)));
+        assert_eq!(
+            index.object_ids(),
+            vec![ObjectId(1), ObjectId(2), ObjectId(3)]
+        );
+        assert_eq!(index.get(ObjectId(3)), Some(rect(0.7, 0.9)));
+        assert_eq!(index.get(ObjectId(9)), None);
+
+        index
+            .submit(SpatialQuery::point_enclosing(vec![0.25, 0.25, 0.25]))
+            .to_string();
+        index.flush();
+        let results = index.drain_results();
+        assert_eq!(results.len(), 1);
+        assert_eq!(results[0].matches, vec![ObjectId(1), ObjectId(2)]);
+
+        assert_eq!(index.remove(ObjectId(1)).unwrap(), rect(0.1, 0.3));
+        assert!(matches!(
+            index.remove(ObjectId(1)),
+            Err(IndexError::UnknownObject(1))
+        ));
+        assert!(matches!(
+            index.insert(ObjectId(2), rect(0.0, 1.0)),
+            Err(IndexError::DuplicateObject(2))
+        ));
+        assert_eq!(index.update(ObjectId(2), rect(0.6, 0.8)).unwrap(), rect(0.2, 0.5));
+        index
+            .submit(SpatialQuery::point_enclosing(vec![0.7, 0.7, 0.7]))
+            .to_string();
+        index.flush();
+        let results = index.drain_results();
+        assert_eq!(results[0].matches, vec![ObjectId(2), ObjectId(3)]);
+    }
+
+    #[test]
+    fn space_partitioning_migrates_on_update() {
+        let index = ShardedIndex::new(
+            ServeConfig::new(IndexConfig::memory(3))
+                .with_shards(4)
+                .with_shard_by(ShardBy::Space),
+        )
+        .unwrap();
+        index.insert(ObjectId(7), rect(0.0, 0.1)).unwrap();
+        // Moves from the first slab to the last.
+        index.update(ObjectId(7), rect(0.9, 1.0)).unwrap();
+        assert_eq!(index.len(), 1);
+        assert_eq!(index.get(ObjectId(7)), Some(rect(0.9, 1.0)));
+        let on_last = index.with_shard(3, |i: &mut AdaptiveClusterIndex| i.len());
+        assert_eq!(on_last, 1);
+        let on_first = index.with_shard(0, |i: &mut AdaptiveClusterIndex| i.len());
+        assert_eq!(on_first, 0);
+    }
+
+    #[test]
+    fn insert_all_groups_by_shard() {
+        let index = small_index(4);
+        index
+            .insert_all((0..40).map(|i| (ObjectId(i), rect(0.1, 0.6))))
+            .unwrap();
+        assert_eq!(index.len(), 40);
+        let total: usize = (0..4)
+            .map(|s| index.with_shard(s, |i: &mut AdaptiveClusterIndex| i.len()))
+            .sum();
+        assert_eq!(total, 40);
+        assert!(matches!(
+            index.insert_all([(ObjectId(5), rect(0.0, 1.0))]),
+            Err(IndexError::DuplicateObject(5))
+        ));
+        assert_eq!(index.len(), 40, "failed bulk insert must not leak routes");
+    }
+
+    #[test]
+    fn stats_window_resets() {
+        let index = small_index(2);
+        index.insert(ObjectId(1), rect(0.2, 0.4)).unwrap();
+        for _ in 0..10 {
+            index.submit(SpatialQuery::point_enclosing(vec![0.3, 0.3, 0.3]));
+        }
+        index.flush();
+        let stats = index.stats();
+        assert_eq!(stats.events_submitted, 10);
+        assert_eq!(stats.events_completed, 10);
+        assert_eq!(stats.shards.len(), 2);
+        for shard in &stats.shards {
+            assert_eq!(shard.events, 10, "every event reaches every shard");
+        }
+        assert!(stats.qps() > 0.0);
+        index.reset_stats_window();
+        let stats = index.stats();
+        assert_eq!(stats.events_submitted, 0);
+        assert_eq!(stats.events_completed, 0);
+        assert_eq!(stats.latency_p50_ns, 0);
+        assert_eq!(stats.shards[0].events, 0);
+    }
+}

@@ -1,0 +1,186 @@
+//! Bounded MPSC command queue with two-phase admission.
+//!
+//! Event submission fans one query out to every shard, and that fan-out
+//! must be all-or-nothing: an event queued on some shards but rejected
+//! by others would complete with a partial match set. Admission is
+//! therefore split into a *reservation* — claims a slot under the cap
+//! without publishing anything, and can be rolled back — and a
+//! *publish* ([`BoundedQueue::push_reserved`]) that cannot fail. The
+//! submitter reserves on all shards in shard order (a total order, so
+//! concurrent blocking submitters cannot deadlock), rolling everything
+//! back on the first rejection, and only then publishes everywhere.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+use std::time::Instant;
+
+struct Inner<T> {
+    items: VecDeque<T>,
+    /// Slots claimed by reservations not yet published.
+    reserved: usize,
+    closed: bool,
+}
+
+/// A capacity-bounded FIFO between the submitting threads and one shard
+/// worker.
+pub(crate) struct BoundedQueue<T> {
+    inner: Mutex<Inner<T>>,
+    not_full: Condvar,
+    not_empty: Condvar,
+    cap: usize,
+}
+
+impl<T> BoundedQueue<T> {
+    pub fn new(cap: usize) -> Self {
+        assert!(cap > 0, "queue capacity must be positive");
+        Self {
+            inner: Mutex::new(Inner {
+                items: VecDeque::with_capacity(cap),
+                reserved: 0,
+                closed: false,
+            }),
+            not_full: Condvar::new(),
+            not_empty: Condvar::new(),
+            cap,
+        }
+    }
+
+    /// Claims one slot if the queue has spare capacity, without
+    /// publishing anything.
+    pub fn try_reserve(&self) -> bool {
+        let mut g = self.inner.lock().expect("queue lock");
+        if g.items.len() + g.reserved < self.cap {
+            g.reserved += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Claims one slot, blocking while the queue is at capacity.
+    /// Returns the nanoseconds spent waiting (`0` when admission was
+    /// immediate) so the caller can account backpressure stalls.
+    pub fn reserve(&self) -> u64 {
+        let mut g = self.inner.lock().expect("queue lock");
+        if g.items.len() + g.reserved < self.cap {
+            g.reserved += 1;
+            return 0;
+        }
+        let started = Instant::now();
+        while g.items.len() + g.reserved >= self.cap {
+            g = self.not_full.wait(g).expect("queue lock");
+        }
+        g.reserved += 1;
+        started.elapsed().as_nanos() as u64
+    }
+
+    /// Rolls back one slot claimed by [`BoundedQueue::try_reserve`] /
+    /// [`BoundedQueue::reserve`].
+    pub fn cancel_reservation(&self) {
+        let mut g = self.inner.lock().expect("queue lock");
+        debug_assert!(g.reserved > 0, "cancel without a reservation");
+        g.reserved = g.reserved.saturating_sub(1);
+        drop(g);
+        self.not_full.notify_one();
+    }
+
+    /// Publishes an item into a previously claimed slot — infallible by
+    /// construction. Returns the queue depth right after the push (the
+    /// sample the depth histogram records).
+    pub fn push_reserved(&self, item: T) -> usize {
+        let mut g = self.inner.lock().expect("queue lock");
+        debug_assert!(g.reserved > 0, "publish without a reservation");
+        g.reserved = g.reserved.saturating_sub(1);
+        g.items.push_back(item);
+        let depth = g.items.len();
+        drop(g);
+        self.not_empty.notify_one();
+        depth
+    }
+
+    /// Dequeues the next item, blocking while the queue is empty.
+    /// `None` once the queue is closed **and** drained — the worker's
+    /// exit signal.
+    pub fn pop(&self) -> Option<T> {
+        let mut g = self.inner.lock().expect("queue lock");
+        loop {
+            if let Some(item) = g.items.pop_front() {
+                drop(g);
+                self.not_full.notify_one();
+                return Some(item);
+            }
+            if g.closed {
+                return None;
+            }
+            g = self.not_empty.wait(g).expect("queue lock");
+        }
+    }
+
+    /// Published items currently waiting (reservations excluded).
+    #[cfg(test)]
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("queue lock").items.len()
+    }
+
+    /// Closes the queue: the worker drains what remains, then sees
+    /// `None`. Called with no submitter alive (drop order), so no
+    /// reservation can be outstanding.
+    pub fn close(&self) {
+        self.inner.lock().expect("queue lock").closed = true;
+        self.not_empty.notify_all();
+        self.not_full.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn reservations_count_against_capacity() {
+        let q: BoundedQueue<u32> = BoundedQueue::new(2);
+        assert!(q.try_reserve());
+        assert!(q.try_reserve());
+        assert!(!q.try_reserve(), "cap reached via reservations alone");
+        q.cancel_reservation();
+        assert!(q.try_reserve());
+        q.push_reserved(1);
+        q.push_reserved(2);
+        assert_eq!(q.len(), 2);
+        assert!(!q.try_reserve(), "cap reached via published items");
+        assert_eq!(q.pop(), Some(1));
+        assert!(q.try_reserve());
+        q.cancel_reservation();
+    }
+
+    #[test]
+    fn close_drains_then_signals_exit() {
+        let q: BoundedQueue<u32> = BoundedQueue::new(4);
+        assert!(q.try_reserve());
+        q.push_reserved(7);
+        q.close();
+        assert_eq!(q.pop(), Some(7));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn blocking_reserve_reports_the_stall() {
+        let q: Arc<BoundedQueue<u32>> = Arc::new(BoundedQueue::new(1));
+        assert!(q.try_reserve());
+        q.push_reserved(1);
+        let producer = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || {
+                let waited = q.reserve();
+                q.push_reserved(2);
+                waited
+            })
+        };
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        assert_eq!(q.pop(), Some(1));
+        let waited = producer.join().expect("producer");
+        assert!(waited > 0, "reserve should have blocked");
+        assert_eq!(q.pop(), Some(2));
+    }
+}

@@ -19,6 +19,9 @@
 //!   [`index::AdaptiveClusterIndex`] itself.
 //! * [`baselines`] — Sequential Scan and a full R*-tree, used as
 //!   competitors in the paper's evaluation.
+//! * [`serve`] — the shard-per-core serving tier: partitioned indexes
+//!   behind bounded ingestion queues with event fan-out and per-shard
+//!   off-path reorganization.
 //! * [`workloads`] — uniform/skewed workload generators with selectivity
 //!   calibration, plus a publish/subscribe domain generator.
 //!
@@ -40,6 +43,7 @@
 pub use acx_baselines as baselines;
 pub use acx_core as index;
 pub use acx_geom as geom;
+pub use acx_serve as serve;
 pub use acx_storage as storage;
 pub use acx_workloads as workloads;
 
@@ -53,6 +57,7 @@ pub mod prelude {
     pub use acx_geom::{
         HyperRect, Interval, ObjectId, Scalar, SpatialQuery, SpatialRelation,
     };
+    pub use acx_serve::{ServeConfig, ServeStats, ShardBy, ShardedIndex, SubmitError};
     pub use acx_storage::{AccessStats, CostModel, DeviceProfile, StorageScenario};
     pub use acx_workloads::{
         EventStream, SkewedWorkload, UniformWorkload, Workload, WorkloadConfig,
